@@ -1,0 +1,182 @@
+//! Adaptive move-class selection.
+//!
+//! In Lam's framework "move generation affects the correlation between
+//! consecutive cost values and the adaptive schedule specifies how to
+//! control move generation to maximize cooling speed while satisfying
+//! the quasi-equilibrium condition" (§4.1). For placement tools this is
+//! the classic range-limiter; for the combinatorial mapping problem the
+//! analogue is choosing *which kind* of move to draw. The paper's
+//! refinement of the selection process lives in an unavailable thesis
+//! ([11]); [`MoveClassController`] approximates it by tracking a
+//! per-class acceptance EWMA and weighting classes by Lam's rate factor
+//! `f(ρ_c)`, so classes running close to the optimal 0.44 acceptance are
+//! drawn more often than classes that are either always rejected (too
+//! disruptive at the current temperature) or always accepted
+//! (uninformative).
+
+use crate::schedule::lam_rate_factor;
+use crate::stats::Ewma;
+use rand::Rng;
+use rand::RngCore;
+
+/// Floor weight so no class ever starves.
+const MIN_WEIGHT: f64 = 0.05;
+
+/// Adaptive roulette over move classes.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_anneal::MoveClassController;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut ctl = MoveClassController::new(3);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let class = ctl.pick(&mut rng);
+/// assert!(class < 3);
+/// ctl.record(class, true, true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MoveClassController {
+    acceptance: Vec<Ewma>,
+    adaptive: bool,
+}
+
+impl MoveClassController {
+    /// Creates an adaptive controller over `n_classes ≥ 1` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0`.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes >= 1, "need at least one move class");
+        MoveClassController {
+            acceptance: vec![Ewma::with_initial(0.99, 0.5); n_classes],
+            adaptive: true,
+        }
+    }
+
+    /// Creates a controller that draws classes uniformly (the paper's
+    /// baseline behaviour: a single undifferentiated random move rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0`.
+    pub fn uniform(n_classes: usize) -> Self {
+        let mut c = MoveClassController::new(n_classes);
+        c.adaptive = false;
+        c
+    }
+
+    /// Number of classes managed.
+    pub fn n_classes(&self) -> usize {
+        self.acceptance.len()
+    }
+
+    /// Current selection weight of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn weight(&self, class: usize) -> f64 {
+        if self.adaptive {
+            lam_rate_factor(self.acceptance[class].value()).max(MIN_WEIGHT)
+        } else {
+            assert!(class < self.acceptance.len(), "class out of range");
+            1.0
+        }
+    }
+
+    /// Draws a class according to the current weights.
+    pub fn pick(&self, rng: &mut dyn RngCore) -> usize {
+        let n = self.n_classes();
+        if n == 1 {
+            return 0;
+        }
+        let total: f64 = (0..n).map(|c| self.weight(c)).sum();
+        let mut x: f64 = rng.random::<f64>() * total;
+        for c in 0..n {
+            x -= self.weight(c);
+            if x <= 0.0 {
+                return c;
+            }
+        }
+        n - 1
+    }
+
+    /// Records the outcome of a move of `class`. Infeasible proposals
+    /// count as rejections: a class that mostly produces cyclic search
+    /// graphs should be cooled down too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn record(&mut self, class: usize, feasible: bool, accepted: bool) {
+        self.acceptance[class].update(if feasible && accepted { 1.0 } else { 0.0 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_class_always_zero() {
+        let ctl = MoveClassController::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(ctl.pick(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn rejected_class_gets_downweighted() {
+        let mut ctl = MoveClassController::new(2);
+        for _ in 0..2000 {
+            ctl.record(0, true, false); // class 0: always rejected
+            ctl.record(1, true, true); // class 1: always accepted... also low f
+        }
+        // Class 0 acceptance -> 0 => weight floored; make class 1 sit at
+        // the sweet spot instead.
+        let mut ctl2 = MoveClassController::new(2);
+        for i in 0..2000 {
+            ctl2.record(0, true, false);
+            ctl2.record(1, true, i % 9 < 4); // ~0.44 acceptance
+        }
+        assert!(ctl2.weight(1) > ctl2.weight(0));
+        let mut rng = StdRng::seed_from_u64(3);
+        let picks1: usize = (0..5000).map(|_| ctl2.pick(&mut rng)).sum();
+        // Class 1 should be drawn much more often than class 0.
+        assert!(picks1 > 3500, "class 1 picked {picks1} / 5000");
+    }
+
+    #[test]
+    fn uniform_controller_is_unbiased() {
+        let ctl = MoveClassController::uniform(4);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[ctl.pick(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 1500 && c < 2500, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_counts_as_rejection() {
+        let mut ctl = MoveClassController::new(2);
+        for _ in 0..500 {
+            ctl.record(0, false, false);
+        }
+        assert!(ctl.weight(0) <= ctl.weight(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_classes_rejected() {
+        let _ = MoveClassController::new(0);
+    }
+}

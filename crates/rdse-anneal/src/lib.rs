@@ -1,0 +1,46 @@
+//! Adaptive simulated annealing with the Lam cooling schedule.
+//!
+//! This crate implements the search engine of the DATE'05 paper
+//! (Miramond & Delosme, §4.1): a local-search method based on simulated
+//! annealing whose cooling schedule is *adaptive* in the sense of Lam —
+//! the inverse temperature is raised at the fastest rate compatible with
+//! keeping the system in quasi-equilibrium, driven by running statistics
+//! (mean, variance, acceptance ratio) of the cost function. The engine
+//! is problem-agnostic: anything implementing [`Problem`] can be
+//! annealed, mirroring the paper's object-oriented tool design.
+//!
+//! Three schedules are provided:
+//!
+//! * [`LamSchedule`] — the adaptive schedule (the paper's method);
+//! * [`GeometricSchedule`] — classic fixed-rate cooling, for ablations;
+//! * [`InfiniteTemperature`] — pure random walk, used both for the
+//!   warm-up phase visible in Fig. 2 of the paper and as a baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdse_anneal::{anneal, LamSchedule, Problem, RunOptions};
+//! use rdse_anneal::problems::continuous::Sphere;
+//!
+//! let mut problem = Sphere::new(4, 5.0, 42);
+//! let mut schedule = LamSchedule::new(1.0);
+//! let result = anneal(
+//!     &mut problem,
+//!     &mut schedule,
+//!     &RunOptions { max_iterations: 20_000, seed: 7, ..RunOptions::default() },
+//! );
+//! assert!(result.best_cost < 1.0);
+//! ```
+
+pub mod controller;
+pub mod problem;
+pub mod problems;
+pub mod runner;
+pub mod schedule;
+pub mod stats;
+
+pub use controller::MoveClassController;
+pub use problem::Problem;
+pub use runner::{anneal, RunOptions, RunResult, StopReason, TracePoint};
+pub use schedule::{GeometricSchedule, InfiniteTemperature, LamSchedule, Schedule};
+pub use stats::{Ewma, EwmaMoments, OnlineStats};

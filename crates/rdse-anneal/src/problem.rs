@@ -1,0 +1,62 @@
+//! The problem abstraction annealed by [`anneal`](crate::anneal).
+//!
+//! The paper's tool is object-oriented: application and architecture
+//! models plug into a generic optimizer, and "adaptation to new models
+//! of computation and target architectures only requires the definition
+//! of simple simulated annealing moves" (§6). [`Problem`] is the Rust
+//! rendering of that contract.
+
+use rand::RngCore;
+
+/// An optimization problem explorable by simulated annealing.
+///
+/// Implementations hold the *current* solution state. A move is
+/// proposed and tentatively applied by [`try_move`]; the engine then
+/// either keeps it or calls [`undo`]. Implementations must guarantee
+/// that `undo` restores the state (and cost) exactly.
+///
+/// [`try_move`]: Problem::try_move
+/// [`undo`]: Problem::undo
+pub trait Problem {
+    /// A reversible move, carrying whatever the problem needs to undo it.
+    type Move;
+    /// A full copy of the solution, used to keep the best-so-far.
+    type Snapshot;
+
+    /// Cost of the current solution (lower is better).
+    fn cost(&self) -> f64;
+
+    /// Number of move classes the problem exposes (≥ 1). The engine's
+    /// [`MoveClassController`](crate::MoveClassController) draws a class
+    /// in `0..n_move_classes()` and passes it to [`try_move`].
+    ///
+    /// [`try_move`]: Problem::try_move
+    fn n_move_classes(&self) -> usize {
+        1
+    }
+
+    /// Proposes a random move of the given class and applies it
+    /// tentatively, returning the move and the *new* cost.
+    ///
+    /// Returns `None` when the sampled move is infeasible (for the
+    /// paper's mapping problem: it would create a cycle in the search
+    /// graph) — the state must then be left unchanged.
+    fn try_move(&mut self, rng: &mut dyn RngCore, class: usize) -> Option<(Self::Move, f64)>;
+
+    /// Reverts the most recent un-undone move returned by [`try_move`].
+    ///
+    /// [`try_move`]: Problem::try_move
+    fn undo(&mut self, mv: Self::Move);
+
+    /// Captures the current solution.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Restores a previously captured solution.
+    fn restore(&mut self, snapshot: &Self::Snapshot);
+
+    /// Problem-specific observables recorded in run traces (e.g. the
+    /// number of FPGA contexts plotted in Fig. 2 of the paper).
+    fn observables(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+}

@@ -1,0 +1,10 @@
+//! Self-contained test problems.
+//!
+//! The paper states the accelerated annealing engine was "validated on
+//! several types of problems, including graph partitioning and
+//! continuous function minimization" (§4.1). These two problem families
+//! are provided both as engine tests and as fixtures for the schedule
+//! ablation experiments.
+
+pub mod bipartition;
+pub mod continuous;

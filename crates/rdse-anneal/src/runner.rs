@@ -1,0 +1,400 @@
+//! The annealing loop.
+//!
+//! Mirrors the structure visible in Fig. 2 of the paper: an optional
+//! warm-up phase at infinite temperature (broad exploration, no average
+//! improvement), then adaptive cooling until the iteration budget is
+//! exhausted, the run freezes, or the caller's deadline passes. The
+//! method is iterative and interruptible — it always returns the best
+//! solution seen so far.
+
+use crate::controller::MoveClassController;
+use crate::problem::Problem;
+use crate::schedule::{IterationOutcome, Schedule};
+use crate::stats::OnlineStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Options controlling an annealing run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Total iteration budget (warm-up included).
+    pub max_iterations: u64,
+    /// Iterations spent at infinite temperature before cooling starts
+    /// (1 200 in the paper's Fig. 2 run).
+    pub warmup_iterations: u64,
+    /// RNG seed; equal seeds give identical runs.
+    pub seed: u64,
+    /// Optional wall-clock budget; checked every 256 iterations.
+    pub time_budget: Option<Duration>,
+    /// Stop early once the best cost is at or below this target.
+    pub target_cost: Option<f64>,
+    /// Freeze detection: stop after this many consecutive iterations
+    /// without improvement of the best cost *and* acceptance below 1%.
+    /// `0` disables freeze detection.
+    pub freeze_window: u64,
+    /// Record a trace point every `trace_every` iterations (`0` = no
+    /// trace). Traces feed the Fig. 2 reproduction.
+    pub trace_every: u64,
+    /// Use the adaptive move-class controller; when `false` classes are
+    /// drawn uniformly.
+    pub adaptive_moves: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_iterations: 10_000,
+            warmup_iterations: 0,
+            seed: 0,
+            time_budget: None,
+            target_cost: None,
+            freeze_window: 0,
+            trace_every: 0,
+            adaptive_moves: true,
+        }
+    }
+}
+
+/// One sampled point of a run trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePoint {
+    /// Iteration index (0-based).
+    pub iteration: u64,
+    /// Cost of the current solution.
+    pub cost: f64,
+    /// Best cost seen so far.
+    pub best_cost: f64,
+    /// Inverse temperature at this iteration.
+    pub inverse_temperature: f64,
+    /// Problem observables, in the order reported by
+    /// [`Problem::observables`].
+    pub observables: Vec<(&'static str, f64)>,
+}
+
+/// Why the run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The iteration budget was exhausted.
+    IterationBudget,
+    /// The wall-clock budget was exhausted.
+    TimeBudget,
+    /// The target cost was reached.
+    TargetReached,
+    /// No improvement within the freeze window at near-zero acceptance.
+    Frozen,
+}
+
+impl StopReason {
+    /// Short human-readable description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            StopReason::IterationBudget => "iteration budget exhausted",
+            StopReason::TimeBudget => "time budget exhausted",
+            StopReason::TargetReached => "target cost reached",
+            StopReason::Frozen => "frozen",
+        }
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Best cost encountered (the problem is restored to this solution).
+    pub best_cost: f64,
+    /// Cost of the initial solution.
+    pub initial_cost: f64,
+    /// Iterations actually executed.
+    pub iterations: u64,
+    /// Accepted moves.
+    pub accepted: u64,
+    /// Rejected (feasible) moves.
+    pub rejected: u64,
+    /// Infeasible proposals (e.g. cyclic search graphs).
+    pub infeasible: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Sampled trace (empty unless `trace_every > 0`).
+    pub trace: Vec<TracePoint>,
+    /// Statistics of the warm-up phase (empty if no warm-up ran).
+    pub warmup: OnlineStats,
+}
+
+impl RunResult {
+    /// Short description of why the run stopped.
+    pub fn stop_description(&self) -> &'static str {
+        self.stop.describe()
+    }
+}
+
+/// Runs simulated annealing on `problem` under `schedule`.
+///
+/// On return the problem is restored to the best solution found.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_anneal::{anneal, LamSchedule, RunOptions};
+/// use rdse_anneal::problems::bipartition::Bipartition;
+///
+/// let mut p = Bipartition::two_cliques(6, 42);
+/// let mut s = LamSchedule::new(1.0);
+/// let result = anneal(&mut p, &mut s, &RunOptions {
+///     max_iterations: 20_000,
+///     warmup_iterations: 500,
+///     seed: 1,
+///     ..RunOptions::default()
+/// });
+/// assert_eq!(result.best_cost, 1.0); // single bridge edge cut
+/// ```
+pub fn anneal<P: Problem, S: Schedule>(
+    problem: &mut P,
+    schedule: &mut S,
+    opts: &RunOptions,
+) -> RunResult {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    schedule.reset();
+    let controller = if opts.adaptive_moves {
+        MoveClassController::new(problem.n_move_classes().max(1))
+    } else {
+        MoveClassController::uniform(problem.n_move_classes().max(1))
+    };
+    let mut controller = controller;
+
+    let initial_cost = problem.cost();
+    let mut cost = initial_cost;
+    let mut best_cost = cost;
+    let mut best_snapshot = problem.snapshot();
+    let mut last_improvement: u64 = 0;
+
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut infeasible = 0u64;
+    let mut warmup = OnlineStats::new();
+    let mut trace = Vec::new();
+    let mut stop = StopReason::IterationBudget;
+
+    let mut s = 0.0_f64; // inverse temperature; 0 during warm-up
+    let mut iter = 0u64;
+    while iter < opts.max_iterations {
+        if iter == opts.warmup_iterations && iter > 0 {
+            schedule.begin(warmup.mean(), warmup.std_dev());
+        }
+        let in_warmup = iter < opts.warmup_iterations;
+
+        let class = controller.pick(&mut rng);
+        let outcome = match problem.try_move(&mut rng, class) {
+            None => {
+                infeasible += 1;
+                controller.record(class, false, false);
+                IterationOutcome {
+                    cost,
+                    accepted: false,
+                    feasible: false,
+                }
+            }
+            Some((mv, new_cost)) => {
+                let delta = new_cost - cost;
+                let accept = delta <= 0.0 || {
+                    let s_eff = if in_warmup { 0.0 } else { s };
+                    // s_eff == 0 means infinite temperature: accept all.
+                    s_eff == 0.0 || rng.random::<f64>() < (-delta * s_eff).exp()
+                };
+                if accept {
+                    cost = new_cost;
+                    accepted += 1;
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_snapshot = problem.snapshot();
+                        last_improvement = iter;
+                    }
+                } else {
+                    problem.undo(mv);
+                    rejected += 1;
+                }
+                controller.record(class, true, accept);
+                IterationOutcome {
+                    cost,
+                    accepted: accept,
+                    feasible: true,
+                }
+            }
+        };
+
+        if in_warmup {
+            warmup.update(cost);
+        } else {
+            s = schedule.update(outcome);
+        }
+
+        if opts.trace_every > 0 && iter.is_multiple_of(opts.trace_every) {
+            trace.push(TracePoint {
+                iteration: iter,
+                cost,
+                best_cost,
+                inverse_temperature: if in_warmup { 0.0 } else { s },
+                observables: problem.observables(),
+            });
+        }
+
+        iter += 1;
+
+        if let Some(target) = opts.target_cost {
+            if best_cost <= target {
+                stop = StopReason::TargetReached;
+                break;
+            }
+        }
+        if opts.freeze_window > 0
+            && !in_warmup
+            && iter - last_improvement > opts.freeze_window
+            && schedule.acceptance().is_some_and(|a| a < 0.01)
+        {
+            stop = StopReason::Frozen;
+            break;
+        }
+        if iter.is_multiple_of(256) {
+            if let Some(budget) = opts.time_budget {
+                if start.elapsed() >= budget {
+                    stop = StopReason::TimeBudget;
+                    break;
+                }
+            }
+        }
+    }
+
+    problem.restore(&best_snapshot);
+    RunResult {
+        best_cost,
+        initial_cost,
+        iterations: iter,
+        accepted,
+        rejected,
+        infeasible,
+        stop,
+        elapsed: start.elapsed(),
+        trace,
+        warmup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::bipartition::Bipartition;
+    use crate::problems::continuous::Sphere;
+    use crate::schedule::{GeometricSchedule, InfiniteTemperature, LamSchedule};
+
+    fn quick_opts(iters: u64, seed: u64) -> RunOptions {
+        RunOptions {
+            max_iterations: iters,
+            warmup_iterations: iters / 10,
+            seed,
+            ..RunOptions::default()
+        }
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let mut p = Sphere::new(3, 1.0, 0);
+        let mut s = LamSchedule::new(1.0);
+        let r = anneal(&mut p, &mut s, &quick_opts(100, 0));
+        assert_eq!(r.iterations, 100);
+        assert_eq!(r.stop, StopReason::IterationBudget);
+        assert_eq!(r.accepted + r.rejected + r.infeasible, 100);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut p = Sphere::new(5, 3.0, 7);
+            let mut s = LamSchedule::new(1.0);
+            anneal(&mut p, &mut s, &quick_opts(5000, seed)).best_cost
+        };
+        assert_eq!(run(11), run(11));
+        // Different seeds should (almost surely) differ.
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn best_cost_never_worse_than_initial() {
+        let mut p = Bipartition::two_cliques(8, 3);
+        let mut s = GeometricSchedule::new(10.0, 0.95, 20);
+        let r = anneal(&mut p, &mut s, &quick_opts(2000, 5));
+        assert!(r.best_cost <= r.initial_cost);
+        // The problem was restored to the best solution.
+        assert_eq!(p.cost(), r.best_cost);
+    }
+
+    #[test]
+    fn infinite_temperature_does_not_converge() {
+        // A random walk should end (on average) far from optimal; we
+        // only check the engine runs and records a full trace.
+        let mut p = Sphere::new(4, 10.0, 1);
+        let mut s = InfiniteTemperature::new();
+        let r = anneal(
+            &mut p,
+            &mut s,
+            &RunOptions {
+                max_iterations: 1000,
+                trace_every: 100,
+                seed: 2,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(r.trace.len(), 10);
+        assert!(r.trace.iter().all(|t| t.inverse_temperature == 0.0));
+    }
+
+    #[test]
+    fn target_cost_stops_early() {
+        let mut p = Bipartition::two_cliques(6, 1);
+        let mut s = LamSchedule::new(1.0);
+        let r = anneal(
+            &mut p,
+            &mut s,
+            &RunOptions {
+                max_iterations: 200_000,
+                warmup_iterations: 100,
+                target_cost: Some(1.0),
+                seed: 4,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(r.stop, StopReason::TargetReached);
+        assert!(r.iterations < 200_000);
+        assert_eq!(r.best_cost, 1.0);
+    }
+
+    #[test]
+    fn warmup_statistics_are_collected() {
+        let mut p = Sphere::new(3, 2.0, 9);
+        let mut s = LamSchedule::new(1.0);
+        let r = anneal(&mut p, &mut s, &quick_opts(1000, 3));
+        assert_eq!(r.warmup.count(), 100);
+        assert!(r.warmup.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn trace_monotone_best() {
+        let mut p = Bipartition::two_cliques(10, 2);
+        let mut s = LamSchedule::new(0.5);
+        let r = anneal(
+            &mut p,
+            &mut s,
+            &RunOptions {
+                max_iterations: 20_000,
+                warmup_iterations: 1000,
+                trace_every: 50,
+                seed: 8,
+                ..RunOptions::default()
+            },
+        );
+        for w in r.trace.windows(2) {
+            assert!(w[1].best_cost <= w[0].best_cost);
+        }
+    }
+}

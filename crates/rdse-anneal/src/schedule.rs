@@ -1,0 +1,370 @@
+//! Cooling schedules.
+//!
+//! The adaptive [`LamSchedule`] follows J. Lam's thesis (reference [9]
+//! of the paper): view the cost as the energy of a dynamical system and
+//! raise the inverse temperature `s = 1/T` at the maximal rate that
+//! keeps the system in quasi-equilibrium. The practical form of the
+//! update is
+//!
+//! ```text
+//! s ← s + λ · f(ρ) / σ,      f(ρ) = 4ρ(1−ρ)² / (2−ρ)²
+//! ```
+//!
+//! where `σ` is the running standard deviation of the cost and `ρ` the
+//! running acceptance ratio. `f` peaks at ρ ≈ 0.44 — the well-known
+//! optimal acceptance target of Lam's derivation — so cooling is
+//! fastest exactly when the sampler sits at the edge of equilibrium.
+//! The quality factor `λ` is the single user knob the paper mentions
+//! ("lets the designer select the quality of the optimization, hence its
+//! computing time"): smaller λ cools more slowly and finds better
+//! solutions.
+
+use crate::stats::{Ewma, EwmaMoments};
+
+/// Outcome of one annealing iteration, fed back into the schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationOutcome {
+    /// Cost after the accept/reject decision.
+    pub cost: f64,
+    /// Whether the proposed move was accepted.
+    pub accepted: bool,
+    /// Whether the proposed move was feasible at all.
+    pub feasible: bool,
+}
+
+/// A cooling schedule: maps iteration outcomes to inverse temperatures.
+pub trait Schedule {
+    /// Resets internal state for a fresh run.
+    fn reset(&mut self);
+
+    /// Optionally absorbs warm-up statistics (mean/σ of the cost at
+    /// infinite temperature) before cooling starts.
+    fn begin(&mut self, warmup_mean: f64, warmup_std_dev: f64) {
+        let _ = (warmup_mean, warmup_std_dev);
+    }
+
+    /// Records one iteration and returns the inverse temperature to use
+    /// for the *next* acceptance test.
+    fn update(&mut self, outcome: IterationOutcome) -> f64;
+
+    /// Current inverse temperature `s = 1/T` (0 means infinite T).
+    fn inverse_temperature(&self) -> f64;
+
+    /// Current smoothed acceptance ratio, if the schedule tracks one.
+    fn acceptance(&self) -> Option<f64> {
+        None
+    }
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Lam's adaptive schedule (see module docs).
+#[derive(Debug, Clone)]
+pub struct LamSchedule {
+    lambda: f64,
+    s: f64,
+    acceptance: Ewma,
+    moments: EwmaMoments,
+    sigma_floor: f64,
+}
+
+/// Lam's optimal acceptance target (the argmax of `f`).
+pub const LAM_TARGET_ACCEPTANCE: f64 = 0.44;
+
+/// The rate factor `f(ρ) = 4ρ(1−ρ)²/(2−ρ)²` of Lam's schedule.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_anneal::schedule::lam_rate_factor;
+/// // The factor vanishes at both extremes and peaks near 0.44.
+/// assert_eq!(lam_rate_factor(0.0), 0.0);
+/// assert!(lam_rate_factor(0.44) > lam_rate_factor(0.1));
+/// assert!(lam_rate_factor(0.44) > lam_rate_factor(0.9));
+/// ```
+pub fn lam_rate_factor(rho: f64) -> f64 {
+    let rho = rho.clamp(0.0, 1.0);
+    4.0 * rho * (1.0 - rho) * (1.0 - rho) / ((2.0 - rho) * (2.0 - rho))
+}
+
+impl LamSchedule {
+    /// Creates the schedule with quality factor `lambda` (> 0). Typical
+    /// values: 0.1 for high quality, 1.0 for quick runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        LamSchedule {
+            lambda,
+            s: 0.0,
+            acceptance: Ewma::with_initial(0.998, 0.5),
+            moments: EwmaMoments::new(0.99),
+            sigma_floor: f64::EPSILON,
+        }
+    }
+
+    /// The quality factor λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Schedule for LamSchedule {
+    fn reset(&mut self) {
+        self.s = 0.0;
+        self.acceptance = Ewma::with_initial(0.998, 0.5);
+        self.moments = EwmaMoments::new(0.99);
+    }
+
+    fn begin(&mut self, warmup_mean: f64, warmup_std_dev: f64) {
+        if warmup_std_dev > 0.0 {
+            self.moments = EwmaMoments::new(0.99);
+            // Seed the moment estimator with the warm-up distribution so
+            // the very first updates of s are sane (this is our stand-in
+            // for the refined estimation procedure of reference [11]).
+            self.moments.update(warmup_mean + warmup_std_dev);
+            self.moments.update(warmup_mean - warmup_std_dev);
+            self.sigma_floor = warmup_std_dev * 1e-6;
+        }
+    }
+
+    fn update(&mut self, outcome: IterationOutcome) -> f64 {
+        if outcome.feasible {
+            self.acceptance.update(if outcome.accepted { 1.0 } else { 0.0 });
+        }
+        self.moments.update(outcome.cost);
+        let sigma = self.moments.std_dev().max(self.sigma_floor);
+        if sigma > 0.0 {
+            // Floor the rate factor: with a perfectly correlated start
+            // (ρ ≈ 1) the textbook factor is 0 and cooling would never
+            // begin.
+            let f = lam_rate_factor(self.acceptance.value()).max(0.005);
+            self.s += self.lambda * f / sigma;
+        }
+        self.s
+    }
+
+    fn inverse_temperature(&self) -> f64 {
+        self.s
+    }
+
+    fn acceptance(&self) -> Option<f64> {
+        Some(self.acceptance.value())
+    }
+
+    fn name(&self) -> &'static str {
+        "lam-adaptive"
+    }
+}
+
+/// Classic geometric cooling: `T ← α·T` every `plateau` iterations.
+#[derive(Debug, Clone)]
+pub struct GeometricSchedule {
+    t0: f64,
+    alpha: f64,
+    plateau: u64,
+    t: f64,
+    iter: u64,
+    acceptance: Ewma,
+}
+
+impl GeometricSchedule {
+    /// Creates the schedule with initial temperature `t0`, cooling rate
+    /// `alpha ∈ (0, 1)` and plateau length `plateau ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive `t0`, `alpha` outside `(0, 1)`, or a zero
+    /// plateau.
+    pub fn new(t0: f64, alpha: f64, plateau: u64) -> Self {
+        assert!(t0 > 0.0, "initial temperature must be positive");
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
+        assert!(plateau >= 1, "plateau must be at least 1");
+        GeometricSchedule {
+            t0,
+            alpha,
+            plateau,
+            t: t0,
+            iter: 0,
+            acceptance: Ewma::with_initial(0.998, 0.5),
+        }
+    }
+}
+
+impl Schedule for GeometricSchedule {
+    fn reset(&mut self) {
+        self.t = self.t0;
+        self.iter = 0;
+        self.acceptance = Ewma::with_initial(0.998, 0.5);
+    }
+
+    fn begin(&mut self, _warmup_mean: f64, warmup_std_dev: f64) {
+        // Standard rule of thumb: start hot enough that a typical
+        // uphill move of one σ is accepted with high probability.
+        if warmup_std_dev > 0.0 {
+            self.t0 = warmup_std_dev;
+            self.t = self.t0;
+        }
+    }
+
+    fn update(&mut self, outcome: IterationOutcome) -> f64 {
+        if outcome.feasible {
+            self.acceptance.update(if outcome.accepted { 1.0 } else { 0.0 });
+        }
+        self.iter += 1;
+        if self.iter.is_multiple_of(self.plateau) {
+            self.t *= self.alpha;
+        }
+        1.0 / self.t
+    }
+
+    fn inverse_temperature(&self) -> f64 {
+        1.0 / self.t
+    }
+
+    fn acceptance(&self) -> Option<f64> {
+        Some(self.acceptance.value())
+    }
+
+    fn name(&self) -> &'static str {
+        "geometric"
+    }
+}
+
+/// Degenerate schedule that never cools — a uniform random walk over
+/// feasible moves. Fig. 2 of the paper runs its first 1 200 iterations
+/// in this regime; it also serves as a baseline in ablations.
+#[derive(Debug, Clone, Default)]
+pub struct InfiniteTemperature;
+
+impl InfiniteTemperature {
+    /// Creates the schedule.
+    pub fn new() -> Self {
+        InfiniteTemperature
+    }
+}
+
+impl Schedule for InfiniteTemperature {
+    fn reset(&mut self) {}
+
+    fn update(&mut self, _outcome: IterationOutcome) -> f64 {
+        0.0
+    }
+
+    fn inverse_temperature(&self) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "infinite-temperature"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_factor_peaks_near_044() {
+        let mut best = (0.0, 0.0);
+        let mut rho = 0.0;
+        while rho <= 1.0 {
+            let f = lam_rate_factor(rho);
+            if f > best.1 {
+                best = (rho, f);
+            }
+            rho += 0.001;
+        }
+        assert!((best.0 - 0.44).abs() < 0.01, "peak at {}", best.0);
+    }
+
+    #[test]
+    fn lam_inverse_temperature_is_nondecreasing() {
+        let mut s = LamSchedule::new(0.5);
+        s.begin(100.0, 10.0);
+        let mut prev = 0.0;
+        for i in 0..1000 {
+            let cost = 100.0 - i as f64 * 0.01;
+            let next = s.update(IterationOutcome {
+                cost,
+                accepted: i % 2 == 0,
+                feasible: true,
+            });
+            assert!(next >= prev);
+            prev = next;
+        }
+        assert!(prev > 0.0);
+    }
+
+    #[test]
+    fn lam_cools_faster_with_larger_lambda() {
+        let run = |lambda: f64| {
+            let mut s = LamSchedule::new(lambda);
+            s.begin(100.0, 10.0);
+            for i in 0..500 {
+                s.update(IterationOutcome {
+                    cost: 100.0,
+                    accepted: i % 2 == 0,
+                    feasible: true,
+                });
+            }
+            s.inverse_temperature()
+        };
+        assert!(run(1.0) > run(0.1));
+    }
+
+    #[test]
+    fn geometric_halves_on_schedule() {
+        let mut s = GeometricSchedule::new(8.0, 0.5, 2);
+        let out = IterationOutcome {
+            cost: 1.0,
+            accepted: true,
+            feasible: true,
+        };
+        s.update(out); // iter 1
+        assert_eq!(s.inverse_temperature(), 1.0 / 8.0);
+        s.update(out); // iter 2 -> T=4
+        assert_eq!(s.inverse_temperature(), 1.0 / 4.0);
+        s.reset();
+        assert_eq!(s.inverse_temperature(), 1.0 / 8.0);
+    }
+
+    #[test]
+    fn infinite_temperature_stays_zero() {
+        let mut s = InfiniteTemperature::new();
+        for _ in 0..10 {
+            assert_eq!(
+                s.update(IterationOutcome {
+                    cost: 5.0,
+                    accepted: true,
+                    feasible: true
+                }),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn lam_rejects_bad_lambda() {
+        let _ = LamSchedule::new(0.0);
+    }
+
+    #[test]
+    fn infeasible_moves_do_not_touch_acceptance() {
+        let mut s = LamSchedule::new(1.0);
+        s.begin(10.0, 1.0);
+        for _ in 0..100 {
+            s.update(IterationOutcome {
+                cost: 10.0,
+                accepted: false,
+                feasible: false,
+            });
+        }
+        // Acceptance EWMA was never updated: still at its 0.5 prior.
+        assert!((s.acceptance().unwrap() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,264 @@
+//! Streaming statistics used by the adaptive schedule.
+//!
+//! Lam's schedule is expressed in terms of statistical quantities of the
+//! cost function — mean, variance and acceptance ratio — estimated on
+//! the fly. Exponentially weighted moving averages (EWMA) give the
+//! schedule its adaptivity; a plain Welford accumulator summarizes the
+//! infinite-temperature warm-up phase.
+
+/// Exponentially weighted moving average.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_anneal::Ewma;
+///
+/// let mut acc = Ewma::new(0.9);
+/// acc.update(1.0);
+/// acc.update(0.0);
+/// assert!(acc.value() < 1.0 && acc.value() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    weight: f64,
+    value: f64,
+    initialized: bool,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing weight `weight ∈ (0, 1)`; values
+    /// close to 1 average over a long horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not in `(0, 1)`.
+    pub fn new(weight: f64) -> Self {
+        assert!(weight > 0.0 && weight < 1.0, "EWMA weight must lie in (0, 1)");
+        Ewma {
+            weight,
+            value: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// Creates an EWMA pre-seeded with `initial` so early reads are
+    /// biased toward a known prior instead of the first sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not in `(0, 1)`.
+    pub fn with_initial(weight: f64, initial: f64) -> Self {
+        let mut e = Ewma::new(weight);
+        e.value = initial;
+        e.initialized = true;
+        e
+    }
+
+    /// Feeds one sample.
+    pub fn update(&mut self, sample: f64) {
+        if self.initialized {
+            self.value = self.weight * self.value + (1.0 - self.weight) * sample;
+        } else {
+            self.value = sample;
+            self.initialized = true;
+        }
+    }
+
+    /// Current smoothed value (0.0 before the first sample).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Whether at least one sample has been seen or a prior was set.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+}
+
+/// EWMA estimate of mean and standard deviation.
+///
+/// Tracks first and second moments with the same smoothing weight; the
+/// variance estimate is clamped at zero to absorb rounding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EwmaMoments {
+    mean: Ewma,
+    sq: Ewma,
+}
+
+impl EwmaMoments {
+    /// Creates the estimator with the given smoothing weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not in `(0, 1)`.
+    pub fn new(weight: f64) -> Self {
+        EwmaMoments {
+            mean: Ewma::new(weight),
+            sq: Ewma::new(weight),
+        }
+    }
+
+    /// Feeds one sample.
+    pub fn update(&mut self, sample: f64) {
+        self.mean.update(sample);
+        self.sq.update(sample * sample);
+    }
+
+    /// Smoothed mean.
+    pub fn mean(&self) -> f64 {
+        self.mean.value()
+    }
+
+    /// Smoothed standard deviation (`sqrt(E[x²] − E[x]²)`, clamped ≥ 0).
+    pub fn std_dev(&self) -> f64 {
+        let var = self.sq.value() - self.mean.value() * self.mean.value();
+        var.max(0.0).sqrt()
+    }
+
+    /// Whether any sample has been seen.
+    pub fn is_initialized(&self) -> bool {
+        self.mean.is_initialized()
+    }
+}
+
+/// Exact running mean/variance (Welford), used for warm-up summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one sample.
+    pub fn update(&mut self, sample: f64) {
+        self.n += 1;
+        let delta = sample - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (sample - self.mean);
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0.0 with fewer than two samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_first_sample_taken_verbatim() {
+        let mut e = Ewma::new(0.99);
+        e.update(42.0);
+        assert_eq!(e.value(), 42.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(0.9);
+        for _ in 0..500 {
+            e.update(3.0);
+        }
+        assert!((e.value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_with_initial_biases_early_reads() {
+        let mut e = Ewma::with_initial(0.5, 10.0);
+        assert_eq!(e.value(), 10.0);
+        e.update(0.0);
+        assert_eq!(e.value(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA weight")]
+    fn ewma_rejects_bad_weight() {
+        let _ = Ewma::new(1.0);
+    }
+
+    #[test]
+    fn moments_track_constant() {
+        let mut m = EwmaMoments::new(0.9);
+        for _ in 0..200 {
+            m.update(5.0);
+        }
+        assert!((m.mean() - 5.0).abs() < 1e-9);
+        assert!(m.std_dev() < 1e-6);
+    }
+
+    #[test]
+    fn moments_nonzero_spread() {
+        let mut m = EwmaMoments::new(0.99);
+        for i in 0..1000 {
+            m.update(if i % 2 == 0 { 0.0 } else { 2.0 });
+        }
+        assert!((m.mean() - 1.0).abs() < 0.1);
+        assert!((m.std_dev() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn online_stats_known_values() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.update(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+}

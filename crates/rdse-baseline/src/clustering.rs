@@ -1,0 +1,113 @@
+//! Deterministic temporal clustering (the [6] baseline's second stage).
+//!
+//! Hardware tasks are packed into contexts greedily, following the
+//! global list order: each task joins the current (last) context if its
+//! implementation fits the residual capacity, otherwise a new context
+//! is opened. Because the packing follows a topological order, the
+//! resulting context sequence is always feasible.
+
+use crate::list_sched::SpatialPartition;
+use rdse_mapping::Mapping;
+use rdse_model::{Architecture, TaskGraph, TaskId};
+
+/// Packs the hardware tasks of `partition` into contexts of the first
+/// DRLC, mutating `mapping` (whose processor order must already contain
+/// every task; hardware tasks are detached from it here).
+///
+/// `order` is the global list order driving the packing.
+///
+/// # Panics
+///
+/// Panics if a hardware request references a missing implementation
+/// (callers sanitize first) or if the architecture has no DRLC while
+/// hardware was requested.
+pub fn pack_contexts(
+    app: &TaskGraph,
+    arch: &Architecture,
+    mapping: &mut Mapping,
+    order: &[TaskId],
+    partition: &SpatialPartition,
+) {
+    let hw_tasks: Vec<TaskId> = order
+        .iter()
+        .copied()
+        .filter(|t| partition[t.index()].is_some())
+        .collect();
+    if hw_tasks.is_empty() {
+        return;
+    }
+    let drlc = 0;
+    let capacity = arch
+        .drlcs()
+        .first()
+        .expect("hardware requested but no DRLC in architecture")
+        .n_clbs();
+    for t in hw_tasks {
+        let imp = partition[t.index()].expect("filtered to hardware tasks");
+        let area = app.task(t).expect("task id in range").hw_impls()[imp].clbs();
+        mapping.detach(t);
+        let n_ctx = mapping.contexts(drlc).len();
+        if n_ctx == 0 {
+            mapping.insert_new_context(t, drlc, 0, imp);
+        } else {
+            let last = n_ctx - 1;
+            let used = mapping.context_clbs(app, drlc, last);
+            if used + area <= capacity {
+                mapping.insert_hardware(t, drlc, last, imp);
+            } else {
+                mapping.insert_new_context(t, drlc, n_ctx, imp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::list_sched::realize_partition;
+    use rdse_model::units::Clbs;
+    use rdse_workloads::{epicure_architecture, motion_detection_app};
+
+    #[test]
+    fn packing_respects_capacity() {
+        let app = motion_detection_app();
+        for size in [200u32, 400, 800, 2000] {
+            let arch = epicure_architecture(size);
+            let partition: crate::SpatialPartition = app
+                .task_ids()
+                .map(|t| {
+                    let task = app.task(t).unwrap();
+                    if task.hw_impls().is_empty() {
+                        None
+                    } else {
+                        Some(0)
+                    }
+                })
+                .collect();
+            let m = realize_partition(&app, &arch, &partition);
+            m.validate(&app, &arch).unwrap();
+            for c in 0..m.contexts(0).len() {
+                assert!(m.context_clbs(&app, 0, c) <= Clbs::new(size));
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_device_needs_more_contexts() {
+        let app = motion_detection_app();
+        let partition: crate::SpatialPartition = app
+            .task_ids()
+            .map(|t| {
+                let task = app.task(t).unwrap();
+                if task.hw_impls().is_empty() {
+                    None
+                } else {
+                    Some(0)
+                }
+            })
+            .collect();
+        let small = realize_partition(&app, &epicure_architecture(200), &partition);
+        let large = realize_partition(&app, &epicure_architecture(5000), &partition);
+        assert!(small.n_contexts() > large.n_contexts());
+        assert_eq!(large.n_contexts(), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! The genetic-algorithm baseline of Ben Chehida & Auguin [6].
+//!
+//! Chromosome: one gene per task — software, or hardware with an
+//! implementation index. Fitness: makespan of the deterministic
+//! realization (list scheduling + greedy clustering, see
+//! [`realize_partition`]). Selection is tournament-based with elitism,
+//! single-point crossover, per-gene mutation. The published
+//! configuration uses a population of 300.
+
+use crate::list_sched::{realize_partition, SpatialPartition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdse_mapping::{evaluate, Evaluation, Mapping, MappingError};
+use rdse_model::{Architecture, TaskGraph};
+use std::time::{Duration, Instant};
+
+/// GA parameters (defaults follow [6] where published).
+#[derive(Debug, Clone)]
+pub struct GaOptions {
+    /// Population size (300 in [6]).
+    pub population: usize,
+    /// Maximum generations.
+    pub generations: usize,
+    /// Stop early after this many generations without improvement.
+    pub stall_generations: usize,
+    /// Crossover probability.
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size.
+    pub tournament: usize,
+    /// Elite individuals copied unchanged each generation.
+    pub elitism: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaOptions {
+    fn default() -> Self {
+        GaOptions {
+            population: 300,
+            generations: 200,
+            stall_generations: 40,
+            crossover_rate: 0.9,
+            mutation_rate: 0.02,
+            tournament: 3,
+            elitism: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a GA run.
+#[derive(Debug, Clone)]
+pub struct GaOutcome {
+    /// Best mapping found.
+    pub mapping: Mapping,
+    /// Its evaluation.
+    pub evaluation: Evaluation,
+    /// Generations actually executed.
+    pub generations: usize,
+    /// Total fitness evaluations.
+    pub evaluations: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Best makespan per generation (µs), for convergence plots.
+    pub history: Vec<f64>,
+}
+
+/// The GA explorer.
+#[derive(Debug, Clone)]
+pub struct GeneticExplorer<'a> {
+    app: &'a TaskGraph,
+    arch: &'a Architecture,
+    opts: GaOptions,
+}
+
+impl<'a> GeneticExplorer<'a> {
+    /// Creates an explorer over the given models.
+    pub fn new(app: &'a TaskGraph, arch: &'a Architecture, opts: GaOptions) -> Self {
+        GeneticExplorer { app, arch, opts }
+    }
+
+    fn random_individual(&self, rng: &mut StdRng) -> SpatialPartition {
+        self.app
+            .task_ids()
+            .map(|t| {
+                let task = self.app.task(t).expect("task id in range");
+                if task.hw_impls().is_empty() || rng.random::<bool>() {
+                    None
+                } else {
+                    Some(rng.random_range(0..task.hw_impls().len()))
+                }
+            })
+            .collect()
+    }
+
+    fn mutate(&self, ind: &mut SpatialPartition, rng: &mut StdRng) {
+        for t in self.app.task_ids() {
+            if rng.random::<f64>() >= self.opts.mutation_rate {
+                continue;
+            }
+            let task = self.app.task(t).expect("task id in range");
+            let gene = &mut ind[t.index()];
+            if task.hw_impls().is_empty() {
+                *gene = None;
+            } else if gene.is_none() {
+                *gene = Some(rng.random_range(0..task.hw_impls().len()));
+            } else if rng.random::<bool>() {
+                *gene = None;
+            } else {
+                *gene = Some(rng.random_range(0..task.hw_impls().len()));
+            }
+        }
+    }
+
+    fn crossover(
+        &self,
+        a: &SpatialPartition,
+        b: &SpatialPartition,
+        rng: &mut StdRng,
+    ) -> SpatialPartition {
+        if rng.random::<f64>() >= self.opts.crossover_rate || a.len() < 2 {
+            return a.clone();
+        }
+        let cut = rng.random_range(1..a.len());
+        a[..cut].iter().chain(&b[cut..]).copied().collect()
+    }
+
+    fn fitness(&self, ind: &SpatialPartition) -> (f64, Mapping) {
+        let mapping = realize_partition(self.app, self.arch, ind);
+        let eval = evaluate(self.app, self.arch, &mapping)
+            .expect("realized partitions are feasible by construction");
+        (eval.makespan.value(), mapping)
+    }
+
+    /// Runs the GA to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MappingError`] only if the final best mapping fails
+    /// re-evaluation, which would indicate an internal inconsistency.
+    pub fn run(&self) -> Result<GaOutcome, MappingError> {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        let mut population: Vec<SpatialPartition> = (0..self.opts.population)
+            .map(|_| self.random_individual(&mut rng))
+            .collect();
+        let mut evaluations = 0u64;
+        let mut scored: Vec<(f64, SpatialPartition)> = population
+            .drain(..)
+            .map(|ind| {
+                evaluations += 1;
+                (self.fitness(&ind).0, ind)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut best = scored[0].clone();
+        let mut history = vec![best.0];
+        let mut stall = 0usize;
+        let mut generation = 0usize;
+
+        while generation < self.opts.generations && stall < self.opts.stall_generations {
+            generation += 1;
+            let mut next: Vec<SpatialPartition> = scored
+                .iter()
+                .take(self.opts.elitism)
+                .map(|(_, ind)| ind.clone())
+                .collect();
+            while next.len() < self.opts.population {
+                let pick = |rng: &mut StdRng| {
+                    let mut champion = rng.random_range(0..scored.len());
+                    for _ in 1..self.opts.tournament {
+                        let c = rng.random_range(0..scored.len());
+                        if scored[c].0 < scored[champion].0 {
+                            champion = c;
+                        }
+                    }
+                    champion
+                };
+                let a = pick(&mut rng);
+                let b = pick(&mut rng);
+                let mut child = self.crossover(&scored[a].1, &scored[b].1, &mut rng);
+                self.mutate(&mut child, &mut rng);
+                next.push(child);
+            }
+            scored = next
+                .drain(..)
+                .map(|ind| {
+                    evaluations += 1;
+                    (self.fitness(&ind).0, ind)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+            if scored[0].0 + 1e-9 < best.0 {
+                best = scored[0].clone();
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            history.push(best.0);
+        }
+
+        let (_, mapping) = self.fitness(&best.1);
+        let evaluation = evaluate(self.app, self.arch, &mapping)?;
+        Ok(GaOutcome {
+            mapping,
+            evaluation,
+            generations: generation,
+            evaluations,
+            elapsed: start.elapsed(),
+            history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdse_workloads::{epicure_architecture, motion_detection_app};
+
+    fn quick_opts(seed: u64) -> GaOptions {
+        GaOptions {
+            population: 60,
+            generations: 40,
+            stall_generations: 15,
+            seed,
+            ..GaOptions::default()
+        }
+    }
+
+    #[test]
+    fn ga_meets_the_constraint_on_motion() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(2000);
+        let out = GeneticExplorer::new(&app, &arch, quick_opts(1)).run().unwrap();
+        assert!(
+            out.evaluation.makespan.value() < 40_000.0,
+            "GA best {} ms",
+            out.evaluation.makespan.as_millis()
+        );
+        out.mapping.validate(&app, &arch).unwrap();
+    }
+
+    #[test]
+    fn ga_history_is_monotone() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(1500);
+        let out = GeneticExplorer::new(&app, &arch, quick_opts(3)).run().unwrap();
+        for w in out.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+        assert!(out.evaluations >= 60);
+    }
+
+    #[test]
+    fn ga_is_deterministic_per_seed() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(1000);
+        let a = GeneticExplorer::new(&app, &arch, quick_opts(7)).run().unwrap();
+        let b = GeneticExplorer::new(&app, &arch, quick_opts(7)).run().unwrap();
+        assert_eq!(a.evaluation.makespan, b.evaluation.makespan);
+    }
+}

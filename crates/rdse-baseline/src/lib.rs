@@ -1,0 +1,30 @@
+//! Baseline explorers for the DATE'05 comparison (§5).
+//!
+//! The paper compares against the approach of Ben Chehida & Auguin [6]:
+//! a **genetic algorithm** explores the HW/SW spatial partitioning; for
+//! each individual a *deterministic* temporal clustering packs the
+//! hardware tasks into contexts and a list scheduler fixes the software
+//! order — so, unlike the paper's annealer, only a single temporal
+//! partitioning and a single schedule is examined per spatial
+//! partition. The published numbers: best execution time 28 ms and
+//! ≈ 4 minutes of runtime with a population of 300, versus 18.1 ms in
+//! under 10 s for the simulated-annealing tool.
+//!
+//! Two more baselines calibrate the comparison: pure random sampling of
+//! initial solutions and first-improvement hill climbing over the same
+//! move set as the annealer.
+//!
+//! All baselines share the `rdse-mapping` evaluator, so quality
+//! differences come from the search strategies alone.
+
+pub mod clustering;
+pub mod ga;
+pub mod hill_climb;
+pub mod list_sched;
+pub mod random_search;
+
+pub use clustering::pack_contexts;
+pub use ga::{GaOptions, GaOutcome, GeneticExplorer};
+pub use hill_climb::{hill_climb, HillClimbOptions};
+pub use list_sched::{realize_partition, upward_ranks, SpatialPartition};
+pub use random_search::random_search;

@@ -1,0 +1,213 @@
+//! Deterministic realization of a spatial partition: priority-driven
+//! list scheduling plus greedy temporal clustering.
+//!
+//! Given a HW/SW assignment (the GA's chromosome), this module builds
+//! the unique mapping the baseline of [6] would evaluate: tasks are
+//! linearized by a critical-path (upward-rank) list scheduler, software
+//! tasks take that order on the processor, and hardware tasks are
+//! packed into contexts in the same order by
+//! [`pack_contexts`](crate::clustering::pack_contexts).
+
+use crate::clustering::pack_contexts;
+use rdse_mapping::Mapping;
+use rdse_model::{Architecture, TaskGraph, TaskId};
+
+/// A spatial partition: for every task, `None` = software or
+/// `Some(impl_index)` = hardware with that implementation.
+pub type SpatialPartition = Vec<Option<usize>>;
+
+/// Upward rank of every task: the longest path (execution plus
+/// communication estimates) from the task to any sink, the classic
+/// list-scheduling priority.
+///
+/// Execution time is the partition's choice (software or the selected
+/// hardware implementation); every edge is charged its full bus
+/// transfer time, a conservative estimate made before placement is
+/// known.
+pub fn upward_ranks(
+    app: &TaskGraph,
+    arch: &Architecture,
+    partition: &SpatialPartition,
+) -> Vec<f64> {
+    let exec = |t: TaskId| -> f64 {
+        let task = app.task(t).expect("task id in range");
+        match partition[t.index()] {
+            Some(i) if i < task.hw_impls().len() => task.hw_impls()[i].time().value(),
+            _ => task.sw_time().value(),
+        }
+    };
+    let order = rdse_graph::topo_sort(&app.precedence_graph()).expect("validated app is acyclic");
+    let mut rank = vec![0.0_f64; app.n_tasks()];
+    for &v in order.iter().rev() {
+        let t = TaskId::from(v);
+        let mut best = 0.0_f64;
+        for e in app.edges().iter().filter(|e| e.from == t) {
+            let comm = arch.bus().transfer_time(e.bytes).value();
+            best = best.max(comm + rank[e.to.index()]);
+        }
+        rank[t.index()] = exec(t) + best;
+    }
+    rank
+}
+
+/// Builds the deterministic mapping of a spatial partition.
+///
+/// Tasks whose requested implementation does not fit the device fall
+/// back to software, so the result is always structurally valid and
+/// feasible (every sequentialization edge follows one global list
+/// order).
+///
+/// # Panics
+///
+/// Panics if the architecture has no processor or `partition.len()`
+/// differs from the task count.
+pub fn realize_partition(
+    app: &TaskGraph,
+    arch: &Architecture,
+    partition: &SpatialPartition,
+) -> Mapping {
+    assert_eq!(partition.len(), app.n_tasks(), "partition length mismatch");
+    assert!(!arch.processors().is_empty(), "need a processor for software tasks");
+
+    // Sanitize: hardware requests must reference an existing
+    // implementation that fits the (first) device.
+    let capacity = arch.drlcs().first().map(|d| d.n_clbs());
+    let sanitized: SpatialPartition = app
+        .task_ids()
+        .map(|t| {
+            let task = app.task(t).expect("task id in range");
+            match (partition[t.index()], capacity) {
+                (Some(i), Some(cap)) if i < task.hw_impls().len() => {
+                    if task.hw_impls()[i].clbs() <= cap {
+                        Some(i)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        })
+        .collect();
+
+    // Global list order: Kahn's algorithm picking the ready task with
+    // the highest upward rank (ties by id for determinism).
+    let ranks = upward_ranks(app, arch, &sanitized);
+    let g = app.precedence_graph();
+    let mut in_deg: Vec<usize> = (0..app.n_tasks())
+        .map(|i| g.in_degree(rdse_graph::NodeId(i as u32)))
+        .collect();
+    let mut ready: Vec<TaskId> = app.task_ids().filter(|t| in_deg[t.index()] == 0).collect();
+    let mut order = Vec::with_capacity(app.n_tasks());
+    while !ready.is_empty() {
+        let (pos, _) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                ranks[a.index()]
+                    .total_cmp(&ranks[b.index()])
+                    .then(b.0.cmp(&a.0))
+            })
+            .expect("ready set is non-empty");
+        let t = ready.swap_remove(pos);
+        order.push(t);
+        for (s, _) in g.successors(t.node()) {
+            in_deg[s.index()] -= 1;
+            if in_deg[s.index()] == 0 {
+                ready.push(TaskId::from(s));
+            }
+        }
+    }
+
+    let mut mapping = Mapping::all_software(
+        app,
+        arch,
+        order
+            .iter()
+            .copied()
+            .filter(|t| sanitized[t.index()].is_none())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .chain(order.iter().copied().filter(|t| sanitized[t.index()].is_some()))
+            .collect(),
+    );
+    // `all_software` needs every task in the order; hardware tasks are
+    // detached right away and packed into contexts.
+    pack_contexts(app, arch, &mut mapping, &order, &sanitized);
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdse_mapping::evaluate;
+    use rdse_workloads::{epicure_architecture, motion_detection_app};
+
+    #[test]
+    fn all_software_partition_reproduces_sw_makespan() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(2000);
+        let partition: SpatialPartition = vec![None; app.n_tasks()];
+        let m = realize_partition(&app, &arch, &partition);
+        m.validate(&app, &arch).unwrap();
+        let eval = evaluate(&app, &arch, &m).unwrap();
+        assert!((eval.makespan.value() - 76_400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_hardware_request_is_feasible() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(2000);
+        let partition: SpatialPartition = app
+            .task_ids()
+            .map(|t| {
+                let task = app.task(t).unwrap();
+                if task.hw_impls().is_empty() {
+                    None
+                } else {
+                    Some(0)
+                }
+            })
+            .collect();
+        let m = realize_partition(&app, &arch, &partition);
+        m.validate(&app, &arch).unwrap();
+        let eval = evaluate(&app, &arch, &m).unwrap();
+        assert!(eval.n_hw_tasks > 5);
+        assert!(eval.makespan.value() > 0.0);
+    }
+
+    #[test]
+    fn oversized_impl_falls_back_to_software() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(100); // tiny device
+        let partition: SpatialPartition = app
+            .task_ids()
+            .map(|t| {
+                let task = app.task(t).unwrap();
+                if task.hw_impls().is_empty() {
+                    None
+                } else {
+                    Some(task.hw_impls().len() - 1) // biggest impl
+                }
+            })
+            .collect();
+        let m = realize_partition(&app, &arch, &partition);
+        m.validate(&app, &arch).unwrap();
+        evaluate(&app, &arch, &m).unwrap();
+    }
+
+    #[test]
+    fn upward_ranks_decrease_along_edges() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(2000);
+        let partition: SpatialPartition = vec![None; app.n_tasks()];
+        let ranks = upward_ranks(&app, &arch, &partition);
+        for e in app.edges() {
+            assert!(
+                ranks[e.from.index()] > ranks[e.to.index()],
+                "rank must strictly decrease along {} -> {}",
+                e.from,
+                e.to
+            );
+        }
+    }
+}

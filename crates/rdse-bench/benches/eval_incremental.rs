@@ -1,0 +1,128 @@
+//! Ablation A1 — the §4.4 claim: after a local move, the longest path
+//! "may in some cases be obtained incrementally by means of a
+//! Woodbury-type update formula". This bench compares, on the motion
+//! benchmark's search graph and on larger random DAGs:
+//!
+//! * full longest-path recomputation (O(V+E) topological DP),
+//! * the (max,+) closure's rank-1 Woodbury update on edge insertion
+//!   (O(V²), but yielding *all-pairs* — and the makespan — without a
+//!   full rebuild),
+//! * full (max,+) closure recomputation (what the update replaces).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdse_graph::{dag_longest_path, MaxPlusClosure, NodeId, TransitiveClosure};
+use rdse_mapping::{random_initial, SearchGraph};
+use rdse_workloads::{epicure_architecture, layered_dag, motion_detection_app, LayeredDagConfig};
+use std::hint::black_box;
+
+/// A candidate edge to insert plus the graph context.
+fn motion_search_graph() -> (rdse_graph::Digraph, Vec<f64>) {
+    let app = motion_detection_app();
+    let arch = epicure_architecture(2000);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mapping = random_initial(&app, &arch, &mut rng);
+    let sg = SearchGraph::build(&app, &arch, &mapping);
+    (sg.graph().clone(), sg.node_weights().to_vec())
+}
+
+fn find_insertable(g: &rdse_graph::Digraph) -> (NodeId, NodeId) {
+    let tc = TransitiveClosure::of(g).expect("search graph is acyclic");
+    for u in g.nodes() {
+        for v in g.nodes() {
+            if u != v && !g.has_edge(u, v) && !tc.would_create_cycle(u, v) {
+                return (u, v);
+            }
+        }
+    }
+    panic!("no insertable edge found");
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_after_edge_insertion");
+
+    // Motion benchmark (29 nodes incl. the virtual source).
+    {
+        let (g, w) = motion_search_graph();
+        let (u, v) = find_insertable(&g);
+
+        group.bench_function("motion/full_longest_path", |b| {
+            let mut g2 = g.clone();
+            g2.add_edge(u, v, 1.0).expect("insertable edge");
+            b.iter(|| black_box(dag_longest_path(&g2, &w).expect("acyclic").makespan()));
+        });
+        group.bench_function("motion/woodbury_insert", |b| {
+            let base = MaxPlusClosure::of(&g).expect("acyclic");
+            b.iter(|| {
+                let mut d = base.clone();
+                d.insert_edge(u, v, 1.0);
+                black_box(d.dist(NodeId(0), NodeId(5)))
+            });
+        });
+        group.bench_function("motion/closure_recompute", |b| {
+            let mut g2 = g.clone();
+            g2.add_edge(u, v, 1.0).expect("insertable edge");
+            b.iter(|| black_box(MaxPlusClosure::of(&g2).expect("acyclic")));
+        });
+    }
+
+    // Larger synthetic graphs: where the trade-off flips.
+    for (layers, width) in [(10usize, 10usize), (20, 10)] {
+        let app = layered_dag(
+            &LayeredDagConfig {
+                layers,
+                width,
+                edge_percent: 30,
+                hw_percent: 60,
+            },
+            7,
+        );
+        let g = app.precedence_graph();
+        let w: Vec<f64> = (0..g.n_nodes()).map(|i| (i % 9) as f64 + 1.0).collect();
+        let (u, v) = find_insertable(&g);
+        let n = g.n_nodes();
+
+        group.bench_with_input(
+            BenchmarkId::new("full_longest_path", n),
+            &n,
+            |b, _| {
+                let mut g2 = g.clone();
+                g2.add_edge(u, v, 1.0).expect("insertable edge");
+                b.iter(|| black_box(dag_longest_path(&g2, &w).expect("acyclic").makespan()));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("woodbury_insert", n), &n, |b, _| {
+            let base = MaxPlusClosure::of(&g).expect("acyclic");
+            b.iter(|| {
+                let mut d = base.clone();
+                d.insert_edge(u, v, 1.0);
+                black_box(d.dist(NodeId(0), NodeId((n - 1) as u32)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("closure_recompute", n), &n, |b, _| {
+            let mut g2 = g.clone();
+            g2.add_edge(u, v, 1.0).expect("insertable edge");
+            b.iter(|| black_box(MaxPlusClosure::of(&g2).expect("acyclic")));
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_cycle_check(c: &mut Criterion) {
+    let (g, _) = motion_search_graph();
+    let (u, v) = find_insertable(&g);
+    let tc = TransitiveClosure::of(&g).expect("acyclic");
+    let mut group = c.benchmark_group("cycle_check");
+    group.bench_function("closure_bit_test", |b| {
+        b.iter(|| black_box(tc.would_create_cycle(u, v)));
+    });
+    group.bench_function("dfs_reachability", |b| {
+        b.iter(|| black_box(rdse_graph::topo::reaches(&g, v, u)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_cycle_check);
+criterion_main!(benches);

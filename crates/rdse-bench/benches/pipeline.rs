@@ -1,0 +1,96 @@
+//! End-to-end throughput benchmarks: one solution evaluation, one full
+//! exploration at the paper's Fig. 2 protocol, one GA run (the E3
+//! runtime comparison), and one discrete-event validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdse_baseline::{GaOptions, GeneticExplorer};
+use rdse_mapping::{evaluate, explore, random_initial, ExploreOptions};
+use rdse_sim::{simulate, SimConfig};
+use rdse_workloads::{epicure_architecture, motion_detection_app};
+use std::hint::black_box;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let app = motion_detection_app();
+    let arch = epicure_architecture(2000);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mapping = random_initial(&app, &arch, &mut rng);
+    c.bench_function("evaluate_motion_mapping", |b| {
+        b.iter(|| black_box(evaluate(&app, &arch, &mapping).expect("feasible").makespan));
+    });
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let app = motion_detection_app();
+    let arch = epicure_architecture(2000);
+    let mut group = c.benchmark_group("explore_motion");
+    group.sample_size(10);
+    group.bench_function("sa_5000_iters_fig2_protocol", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = explore(
+                &app,
+                &arch,
+                &ExploreOptions {
+                    max_iterations: 5_000,
+                    warmup_iterations: 1_200,
+                    seed,
+                    ..ExploreOptions::default()
+                },
+            )
+            .expect("explores cleanly");
+            black_box(out.evaluation.makespan)
+        });
+    });
+    group.bench_function("ga_pop100_30_generations", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = GeneticExplorer::new(
+                &app,
+                &arch,
+                GaOptions {
+                    population: 100,
+                    generations: 30,
+                    stall_generations: 30,
+                    seed,
+                    ..GaOptions::default()
+                },
+            )
+            .run()
+            .expect("GA runs cleanly");
+            black_box(out.evaluation.makespan)
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let app = motion_detection_app();
+    let arch = epicure_architecture(2000);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mapping = random_initial(&app, &arch, &mut rng);
+    let mut group = c.benchmark_group("des");
+    group.bench_function("contention_free", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(&app, &arch, &mapping, &SimConfig::contention_free())
+                    .expect("simulates")
+                    .makespan,
+            )
+        });
+    });
+    group.bench_function("exclusive_bus", |b| {
+        let cfg = SimConfig {
+            exclusive_bus: true,
+            record_events: false,
+        };
+        b.iter(|| black_box(simulate(&app, &arch, &mapping, &cfg).expect("simulates").makespan));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate, bench_explore, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Reproduction of **Fig. 3**: average execution time, initial and
+//! dynamic reconfiguration times, and number of contexts versus FPGA
+//! size (100 → 10 000 CLBs), each point averaged over many runs.
+//!
+//! Paper reference shape: execution time is high for tiny devices,
+//! drops quickly once a context can hold more than one task, reaches a
+//! minimum around 800 CLBs, grows slowly and plateaus around 5 000
+//! CLBs (from which size on a single context suffices); small devices
+//! (400–1 500 CLBs) use up to ~10 contexts, the count dropping steadily
+//! with size; total reconfiguration time stays roughly constant because
+//! context count and context size compensate.
+//!
+//! Usage: `fig3 [--runs N] [--iters N] [--seed N] [--out F]`
+
+use rdse_bench::{arg_num, arg_value, ascii_plot, mean, write_csv};
+use rdse_mapping::{explore, ExploreOptions};
+use rdse_workloads::{epicure_architecture, motion_detection_app};
+use std::sync::Mutex;
+
+/// Device sizes swept (CLBs), as in the paper's 100..10000 range.
+const SIZES: [u32; 16] = [
+    100, 200, 300, 400, 600, 800, 1000, 1250, 1500, 2000, 3000, 4000, 5000, 6000, 8000, 10000,
+];
+
+/// One averaged sweep point: (size, exec, initial reconfig, dynamic
+/// reconfig, contexts).
+type SweepRow = (u32, f64, f64, f64, f64);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: u64 = arg_num(&args, "--runs", 100);
+    let iters: u64 = arg_num(&args, "--iters", 5_000);
+    let seed0: u64 = arg_num(&args, "--seed", 1);
+    let lambda: f64 = arg_num(&args, "--lambda", 0.5);
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "results/fig3.csv".into());
+
+    let app = motion_detection_app();
+    let results: Mutex<Vec<SweepRow>> = Mutex::new(Vec::new());
+
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(SIZES.len());
+    let work: Mutex<Vec<u32>> = Mutex::new(SIZES.to_vec());
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let size = {
+                    let mut w = work.lock().expect("work queue lock");
+                    match w.pop() {
+                        Some(s) => s,
+                        None => break,
+                    }
+                };
+                let arch = epicure_architecture(size);
+                let mut exec = Vec::new();
+                let mut init_r = Vec::new();
+                let mut dyn_r = Vec::new();
+                let mut ctxs = Vec::new();
+                for r in 0..runs {
+                    let outcome = explore(
+                        &app,
+                        &arch,
+                        &ExploreOptions {
+                            max_iterations: iters,
+                            warmup_iterations: iters / 5,
+                            seed: seed0 + r * 1000 + size as u64,
+                            lambda,
+                            ..ExploreOptions::default()
+                        },
+                    )
+                    .expect("motion benchmark explores cleanly");
+                    exec.push(outcome.evaluation.makespan.as_millis());
+                    init_r.push(outcome.evaluation.breakdown.initial_reconfig.as_millis());
+                    dyn_r.push(outcome.evaluation.breakdown.dynamic_reconfig.as_millis());
+                    ctxs.push(outcome.evaluation.n_contexts as f64);
+                }
+                results.lock().expect("results lock").push((
+                    size,
+                    mean(&exec),
+                    mean(&init_r),
+                    mean(&dyn_r),
+                    mean(&ctxs),
+                ));
+                eprintln!(
+                    "size {size:>5}: exec {:.1} ms, reconfig {:.1}+{:.1} ms, contexts {:.1}",
+                    mean(&exec),
+                    mean(&init_r),
+                    mean(&dyn_r),
+                    mean(&ctxs)
+                );
+            });
+        }
+    });
+
+    let mut rows = results.into_inner().expect("results lock");
+    rows.sort_by_key(|r| r.0);
+
+    let exec_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0 as f64, r.1)).collect();
+    let init_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0 as f64, r.2)).collect();
+    let dyn_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0 as f64, r.3)).collect();
+    let ctx_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0 as f64, r.4)).collect();
+
+    println!(
+        "{}",
+        ascii_plot(
+            "Fig. 3a — times (ms) vs FPGA size (CLBs)",
+            &[
+                ("execution time", &exec_pts),
+                ("initial reconfiguration", &init_pts),
+                ("dynamic reconfiguration", &dyn_pts),
+            ],
+            78,
+            20
+        )
+    );
+    println!(
+        "{}",
+        ascii_plot(
+            "Fig. 3b — number of contexts vs FPGA size",
+            &[("contexts", &ctx_pts)],
+            78,
+            10
+        )
+    );
+
+    println!("size_clbs  exec_ms  init_reconfig_ms  dyn_reconfig_ms  contexts");
+    for r in &rows {
+        println!(
+            "{:>8}  {:>7.1}  {:>16.1}  {:>15.1}  {:>8.1}",
+            r.0, r.1, r.2, r.3, r.4
+        );
+    }
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite means"))
+        .expect("at least one size");
+    println!(
+        "\nminimum average execution time: {:.1} ms at {} CLBs (paper: minimum near 800 CLBs)",
+        best.1, best.0
+    );
+
+    let csv_rows: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| vec![r.0 as f64, r.1, r.2, r.3, r.4])
+        .collect();
+    write_csv(
+        &out,
+        &[
+            "size_clbs",
+            "exec_ms",
+            "initial_reconfig_ms",
+            "dynamic_reconfig_ms",
+            "n_contexts",
+        ],
+        &csv_rows,
+    );
+}

@@ -1,0 +1,147 @@
+//! Shared helpers for the experiment harness: tiny CSV writer, ASCII
+//! plotting, and summary statistics. Each figure/table of the paper has
+//! a dedicated binary in `src/bin/` (see DESIGN.md's experiment index).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Writes rows as CSV (first row = header) and returns the path note.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — experiment binaries want loud
+/// failures, not silent data loss.
+pub fn write_csv(path: impl AsRef<Path>, header: &[&str], rows: &[Vec<f64>]) {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    fs::write(path, out).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Renders a rough ASCII scatter/line plot of `series` (label, points).
+///
+/// All series share the axes; x and y ranges are computed over the
+/// union. Each series is drawn with its own glyph.
+pub fn ascii_plot(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, pts) in series {
+        for &(x, y) in *pts {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if !xmin.is_finite() || xmax <= xmin {
+        xmax = xmin + 1.0;
+    }
+    if !ymin.is_finite() || ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in *pts {
+            let col = (((x - xmin) / (xmax - xmin)) * (width as f64 - 1.0)).round() as usize;
+            let row = (((y - ymin) / (ymax - ymin)) * (height as f64 - 1.0)).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "y: [{ymin:.2} .. {ymax:.2}]");
+    for row in grid {
+        let _ = writeln!(out, "|{}|", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "x: [{xmin:.2} .. {xmax:.2}]");
+    for (si, (label, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} = {label}", GLYPHS[si % GLYPHS.len()]);
+    }
+    out
+}
+
+/// Mean of a slice (0.0 when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (0.0 with fewer than two samples).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+/// Parses `--flag value` style options from `std::env::args`.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses a numeric `--flag value`, falling back to `default`.
+pub fn arg_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    arg_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn plot_contains_glyphs_and_ranges() {
+        let pts_a = [(0.0, 0.0), (1.0, 1.0)];
+        let pts_b = [(0.5, 0.5)];
+        let p = ascii_plot("demo", &[("A", &pts_a), ("B", &pts_b)], 20, 10);
+        assert!(p.contains('*') && p.contains('o'));
+        assert!(p.contains("x: [0.00 .. 1.00]"));
+        assert!(p.contains("demo"));
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["prog", "--runs", "25", "--out", "x.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_num(&args, "--runs", 100u32), 25);
+        assert_eq!(arg_num(&args, "--missing", 7u32), 7);
+        assert_eq!(arg_value(&args, "--out").unwrap(), "x.csv");
+    }
+}

@@ -1,0 +1,240 @@
+//! All-pairs longest paths in the (max,+) path algebra, with the
+//! Woodbury-type incremental update of §4.4.
+//!
+//! The paper notes that, simulated annealing being a *local* search, the
+//! longest path "may in some cases be obtained incrementally by means of
+//! a Woodbury-type update formula" and cites Carré's *Graphs and
+//! Networks*. In the (max,+) dioid the analogue of the Sherman–Morrison
+//! / Woodbury rank-1 identity for the closure matrix *D* of a DAG under
+//! insertion of an edge `u → v` with weight `w` is the outer-product
+//! update
+//!
+//! ```text
+//! D'[x][y] = max( D[x][y],  D[x][u] + w + D[v][y] )
+//! ```
+//!
+//! which costs O(n²) instead of the O(n·m) full recomputation.
+//!
+//! Weights here live on **edges only**; callers that also have node
+//! weights fold them into edge weights (see `rdse-mapping`).
+
+use crate::{Digraph, GraphError, NodeId};
+
+/// Distance value for unreachable pairs.
+pub const UNREACHABLE: f64 = f64::NEG_INFINITY;
+
+/// All-pairs longest-path matrix of a weighted DAG.
+///
+/// `dist(u, v)` is the largest total edge weight over directed paths
+/// `u ⇝ v`, `0.0` for `u == v`, and [`UNREACHABLE`] when no path exists.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_graph::{Digraph, NodeId, MaxPlusClosure};
+///
+/// # fn main() -> Result<(), rdse_graph::GraphError> {
+/// let mut g = Digraph::new(3);
+/// g.add_edge(NodeId(0), NodeId(1), 2.0)?;
+/// let mut d = MaxPlusClosure::of(&g)?;
+/// assert_eq!(d.dist(NodeId(0), NodeId(1)), 2.0);
+///
+/// // Incremental Woodbury-type update on edge insertion:
+/// g.add_edge(NodeId(1), NodeId(2), 3.0)?;
+/// d.insert_edge(NodeId(1), NodeId(2), 3.0);
+/// assert_eq!(d.dist(NodeId(0), NodeId(2)), 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxPlusClosure {
+    n: usize,
+    // Row-major n×n matrix.
+    d: Vec<f64>,
+}
+
+impl MaxPlusClosure {
+    /// Builds the closure of a weighted DAG (O(n·m)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if `g` is not acyclic.
+    pub fn of(g: &Digraph) -> Result<Self, GraphError> {
+        let n = g.n_nodes();
+        let mut c = MaxPlusClosure {
+            n,
+            d: vec![UNREACHABLE; n * n],
+        };
+        c.recompute(g)?;
+        Ok(c)
+    }
+
+    /// Number of nodes covered.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.d[i * self.n + j]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.d[i * self.n + j]
+    }
+
+    /// Longest-path distance `from ⇝ to` (see type docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds.
+    pub fn dist(&self, from: NodeId, to: NodeId) -> f64 {
+        assert!(from.index() < self.n && to.index() < self.n, "node out of bounds");
+        self.at(from.index(), to.index())
+    }
+
+    /// Rebuilds the matrix from scratch (used after edge deletions,
+    /// which the rank-1 update cannot express).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if `g` is not acyclic.
+    pub fn recompute(&mut self, g: &Digraph) -> Result<(), GraphError> {
+        assert_eq!(g.n_nodes(), self.n, "node count changed under closure");
+        let order = crate::topo::topo_sort(g)?;
+        self.d.fill(UNREACHABLE);
+        for i in 0..self.n {
+            *self.at_mut(i, i) = 0.0;
+        }
+        // Process targets in topological order; for each source row,
+        // relax along incoming edges. Equivalently: for v in topo order,
+        // for each incoming edge (p, v): D[:, v] = max(D[:, v], D[:, p] + w).
+        for &v in &order {
+            for p in g.predecessors(v) {
+                for (s, w) in g.successors(p) {
+                    if s != v {
+                        continue;
+                    }
+                    for x in 0..self.n {
+                        let via = self.at(x, p.index());
+                        if via == UNREACHABLE {
+                            continue;
+                        }
+                        let cand = via + w;
+                        if cand > self.at(x, v.index()) {
+                            *self.at_mut(x, v.index()) = cand;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Woodbury-type rank-1 update for the insertion of edge
+    /// `u → v` with weight `w` (O(n²)).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the edge would close a cycle, i.e. if
+    /// `v` already reaches `u`; callers check reachability first.
+    #[allow(clippy::needless_range_loop)] // x/y index two matrices at once
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
+        debug_assert!(
+            self.dist(v, u) == UNREACHABLE && u != v,
+            "insert_edge({u}, {v}) would create a cycle"
+        );
+        let (ui, vi) = (u.index(), v.index());
+        // Gather the column D[:, u] and row D[v, :] before mutating.
+        let col_u: Vec<f64> = (0..self.n).map(|x| self.at(x, ui)).collect();
+        let row_v: Vec<f64> = (0..self.n).map(|y| self.at(vi, y)).collect();
+        for x in 0..self.n {
+            let dxu = col_u[x];
+            if dxu == UNREACHABLE {
+                continue;
+            }
+            let base = dxu + w;
+            for y in 0..self.n {
+                let dvy = row_v[y];
+                if dvy == UNREACHABLE {
+                    continue;
+                }
+                let cand = base + dvy;
+                if cand > self.at(x, y) {
+                    *self.at_mut(x, y) = cand;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn diamond_distances() {
+        let mut g = Digraph::new(4);
+        g.add_edge(n(0), n(1), 1.0).unwrap();
+        g.add_edge(n(0), n(2), 5.0).unwrap();
+        g.add_edge(n(1), n(3), 1.0).unwrap();
+        g.add_edge(n(2), n(3), 1.0).unwrap();
+        let d = MaxPlusClosure::of(&g).unwrap();
+        assert_eq!(d.dist(n(0), n(3)), 6.0);
+        assert_eq!(d.dist(n(0), n(0)), 0.0);
+        assert_eq!(d.dist(n(3), n(0)), UNREACHABLE);
+        assert_eq!(d.dist(n(1), n(2)), UNREACHABLE);
+    }
+
+    #[test]
+    fn incremental_matches_recompute() {
+        let mut g = Digraph::new(5);
+        g.add_edge(n(0), n(1), 2.0).unwrap();
+        g.add_edge(n(2), n(3), 1.0).unwrap();
+        let mut d = MaxPlusClosure::of(&g).unwrap();
+        let inserts = [(n(1), n(2), 4.0), (n(3), n(4), 0.5), (n(0), n(4), 1.0)];
+        for (u, v, w) in inserts {
+            g.add_edge(u, v, w).unwrap();
+            d.insert_edge(u, v, w);
+            let fresh = MaxPlusClosure::of(&g).unwrap();
+            assert_eq!(d, fresh, "after inserting {u}->{v}");
+        }
+        // 0->1->2->3->4 = 2+4+1+0.5 = 7.5 beats the direct 0->4 edge.
+        assert_eq!(d.dist(n(0), n(4)), 7.5);
+    }
+
+    #[test]
+    fn parallel_edge_insert_takes_max() {
+        let mut g = Digraph::new(2);
+        g.add_edge(n(0), n(1), 1.0).unwrap();
+        let mut d = MaxPlusClosure::of(&g).unwrap();
+        d.insert_edge(n(0), n(1), 3.0);
+        assert_eq!(d.dist(n(0), n(1)), 3.0);
+        d.insert_edge(n(0), n(1), 2.0); // weaker parallel edge: no change
+        assert_eq!(d.dist(n(0), n(1)), 3.0);
+    }
+
+    #[test]
+    fn cycle_rejected_on_build() {
+        let mut g = Digraph::new(2);
+        g.add_edge(n(0), n(1), 1.0).unwrap();
+        g.add_edge(n(1), n(0), 1.0).unwrap();
+        assert!(MaxPlusClosure::of(&g).is_err());
+    }
+
+    #[test]
+    fn longest_not_shortest() {
+        // Two parallel routes; (max,+) must pick the heavier one.
+        let mut g = Digraph::new(3);
+        g.add_edge(n(0), n(1), 1.0).unwrap();
+        g.add_edge(n(1), n(2), 1.0).unwrap();
+        g.add_edge(n(0), n(2), 10.0).unwrap();
+        let d = MaxPlusClosure::of(&g).unwrap();
+        assert_eq!(d.dist(n(0), n(2)), 10.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Transitive closure with the O(1) cycle query of the paper (§4.3).
+//!
+//! The paper rejects a move "if a cycle appears when the search graph is
+//! updated (detectable in O(1) operations on the associated transitive
+//! closure matrix)". [`TransitiveClosure`] stores one reachability
+//! [`BitRow`](crate::BitRow) per node; the cycle query for a candidate
+//! edge `u → v` is a single bit test (`does v reach u?`).
+//!
+//! Closure maintenance under *insertions* is incremental
+//! ([`TransitiveClosure::insert_edge`], O(n²/64) worst case). Deletions
+//! cannot be handled incrementally with this representation, so callers
+//! rebuild via [`TransitiveClosure::recompute`] after a batch of
+//! removals; the pre-deletion closure remains a sound
+//! *over-approximation* of reachability in the meantime (see
+//! [`TransitiveClosure::may_reach`]).
+
+use crate::{BitMatrix, Digraph, GraphError, NodeId};
+
+/// Reachability matrix of a DAG.
+///
+/// Entry `(u, v)` is set iff there is a directed path from `u` to `v`
+/// with at least one edge, or `u == v` (every node reaches itself).
+///
+/// # Examples
+///
+/// ```
+/// use rdse_graph::{Digraph, NodeId, TransitiveClosure};
+///
+/// # fn main() -> Result<(), rdse_graph::GraphError> {
+/// let mut g = Digraph::new(3);
+/// g.add_edge(NodeId(0), NodeId(1), 0.0)?;
+/// g.add_edge(NodeId(1), NodeId(2), 0.0)?;
+/// let tc = TransitiveClosure::of(&g)?;
+/// assert!(tc.reaches(NodeId(0), NodeId(2)));
+/// // Adding 2 → 0 would close a cycle:
+/// assert!(tc.would_create_cycle(NodeId(2), NodeId(0)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitiveClosure {
+    reach: BitMatrix,
+}
+
+impl TransitiveClosure {
+    /// Builds the closure of a DAG by dynamic programming over a reverse
+    /// topological order (O(n·m/64)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if `g` is not acyclic.
+    pub fn of(g: &Digraph) -> Result<Self, GraphError> {
+        let mut tc = TransitiveClosure {
+            reach: BitMatrix::new(g.n_nodes()),
+        };
+        tc.recompute(g)?;
+        Ok(tc)
+    }
+
+    /// Number of nodes covered by this closure.
+    pub fn n(&self) -> usize {
+        self.reach.n()
+    }
+
+    /// Rebuilds the closure from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if `g` is not acyclic.
+    pub fn recompute(&mut self, g: &Digraph) -> Result<(), GraphError> {
+        assert_eq!(g.n_nodes(), self.reach.n(), "node count changed under closure");
+        let order = crate::topo::topo_sort(g)?;
+        self.reach.clear();
+        for v in g.nodes() {
+            self.reach.set(v.index(), v.index(), true);
+        }
+        // Reverse topological order: successors are finished before we
+        // aggregate them into v's row.
+        for &v in order.iter().rev() {
+            for (s, _) in g.successors(v) {
+                self.reach.union_row_into(s.index(), v.index());
+            }
+        }
+        Ok(())
+    }
+
+    /// O(1) query: is there a path `from ⇝ to` (or `from == to`)?
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.reach.get(from.index(), to.index())
+    }
+
+    /// O(1) cycle test of the paper: would inserting edge `u → v` close
+    /// a directed cycle? True iff `v` already reaches `u`.
+    pub fn would_create_cycle(&self, u: NodeId, v: NodeId) -> bool {
+        self.reaches(v, u)
+    }
+
+    /// Sound over-approximate reachability for use *after deletions have
+    /// been applied to the graph but before [`recompute`]* — deleting
+    /// edges can only remove paths, so a clear bit still proves
+    /// unreachability while a set bit is inconclusive.
+    ///
+    /// [`recompute`]: TransitiveClosure::recompute
+    pub fn may_reach(&self, from: NodeId, to: NodeId) -> bool {
+        self.reaches(from, to)
+    }
+
+    /// Incrementally accounts for a newly inserted edge `u → v`.
+    ///
+    /// Every node that reaches `u` now also reaches everything `v`
+    /// reaches. Cost O(n²/64) worst case, typically far less.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the insertion closes a cycle; callers
+    /// must check [`would_create_cycle`](Self::would_create_cycle) first.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!(
+            !self.would_create_cycle(u, v),
+            "insert_edge({u}, {v}) would create a cycle"
+        );
+        let n = self.reach.n();
+        // Collect ancestors of u (including u itself) first to avoid
+        // aliasing row borrows.
+        let ancestors: Vec<usize> =
+            (0..n).filter(|&x| self.reach.get(x, u.index())).collect();
+        for x in ancestors {
+            self.reach.union_row_into(v.index(), x);
+        }
+    }
+
+    /// Number of reachable pairs (including the n self-pairs); useful in
+    /// tests and as a cheap fingerprint.
+    pub fn n_pairs(&self) -> usize {
+        (0..self.reach.n()).map(|i| self.reach.row(i).count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::reaches as dfs_reaches;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn diamond() -> Digraph {
+        let mut g = Digraph::new(4);
+        g.add_edge(n(0), n(1), 0.0).unwrap();
+        g.add_edge(n(0), n(2), 0.0).unwrap();
+        g.add_edge(n(1), n(3), 0.0).unwrap();
+        g.add_edge(n(2), n(3), 0.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn closure_matches_dfs_on_diamond() {
+        let g = diamond();
+        let tc = TransitiveClosure::of(&g).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(tc.reaches(u, v), dfs_reaches(&g, u, v), "pair {u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_query() {
+        let g = diamond();
+        let tc = TransitiveClosure::of(&g).unwrap();
+        assert!(tc.would_create_cycle(n(3), n(0)));
+        assert!(tc.would_create_cycle(n(3), n(1)));
+        assert!(!tc.would_create_cycle(n(1), n(2)));
+        // Self edge is a cycle: v reaches itself.
+        assert!(tc.would_create_cycle(n(1), n(1)));
+    }
+
+    #[test]
+    fn incremental_insert_matches_recompute() {
+        let mut g = Digraph::new(6);
+        g.add_edge(n(0), n(1), 0.0).unwrap();
+        g.add_edge(n(2), n(3), 0.0).unwrap();
+        g.add_edge(n(4), n(5), 0.0).unwrap();
+        let mut tc = TransitiveClosure::of(&g).unwrap();
+        for (u, v) in [(n(1), n(2)), (n(3), n(4)), (n(0), n(5))] {
+            assert!(!tc.would_create_cycle(u, v));
+            g.add_edge(u, v, 0.0).unwrap();
+            tc.insert_edge(u, v);
+            let fresh = TransitiveClosure::of(&g).unwrap();
+            assert_eq!(tc, fresh, "after inserting {u}->{v}");
+        }
+        assert!(tc.reaches(n(0), n(5)));
+        assert!(tc.would_create_cycle(n(5), n(0)));
+    }
+
+    #[test]
+    fn recompute_rejects_cycle() {
+        let mut g = Digraph::new(2);
+        g.add_edge(n(0), n(1), 0.0).unwrap();
+        g.add_edge(n(1), n(0), 0.0).unwrap();
+        assert!(TransitiveClosure::of(&g).is_err());
+    }
+
+    #[test]
+    fn pairs_count() {
+        let tc = TransitiveClosure::of(&diamond()).unwrap();
+        // 4 self pairs + 0->1,0->2,0->3,1->3,2->3 = 9.
+        assert_eq!(tc.n_pairs(), 9);
+    }
+}

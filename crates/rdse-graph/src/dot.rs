@@ -1,0 +1,67 @@
+//! Graphviz DOT export for debugging and documentation figures.
+
+use crate::{Digraph, NodeId};
+use std::fmt::Write as _;
+
+/// Renders `g` in Graphviz DOT syntax.
+///
+/// `label` maps each node to its display label; edge labels show the
+/// weight when it is nonzero.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_graph::{Digraph, NodeId, dot::to_dot};
+///
+/// # fn main() -> Result<(), rdse_graph::GraphError> {
+/// let mut g = Digraph::new(2);
+/// g.add_edge(NodeId(0), NodeId(1), 3.0)?;
+/// let dot = to_dot(&g, "tasks", |n| format!("T{}", n.0));
+/// assert!(dot.contains("digraph tasks"));
+/// assert!(dot.contains("\"T0\" -> \"T1\""));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot<F>(g: &Digraph, name: &str, label: F) -> String
+where
+    F: Fn(NodeId) -> String,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  \"{}\";", label(v));
+    }
+    for e in g.edges() {
+        if e.weight != 0.0 {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                label(e.from),
+                label(e.to),
+                e.weight
+            );
+        } else {
+            let _ = writeln!(out, "  \"{}\" -> \"{}\";", label(e.from), label(e.to));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 0.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 2.5).unwrap();
+        let dot = to_dot(&g, "g", |n| n.to_string());
+        assert!(dot.contains("\"v0\" -> \"v1\";"));
+        assert!(dot.contains("\"v1\" -> \"v2\" [label=\"2.5\"];"));
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,95 @@
+//! Directed-graph substrate for design-space exploration.
+//!
+//! This crate provides the graph machinery that the DATE'05 exploration
+//! tool of Miramond & Delosme is built on:
+//!
+//! * [`Digraph`] — a dense directed graph with weighted edges that
+//!   supports cheap edge insertion/removal (the search graph *G′* of the
+//!   paper is edited on every annealing move);
+//! * [`topo`] — topological ordering and cycle diagnostics;
+//! * [`closure::TransitiveClosure`] — a bitset reachability matrix with
+//!   the O(1) cycle query used in §4.3 of the paper;
+//! * [`longest_path`] — DAG longest path (the solution cost of §4.4);
+//! * [`apsp::MaxPlusClosure`] — an all-pairs longest-path matrix in the
+//!   (max,+) path algebra with the Woodbury-type rank-1 edge-insertion
+//!   update the paper attributes to Carré's *Graphs and Networks*;
+//! * [`linext`] — linear-extension counting, used to regenerate the
+//!   solution-space sizes quoted in §5.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdse_graph::{Digraph, NodeId, longest_path::dag_longest_path};
+//!
+//! # fn main() -> Result<(), rdse_graph::GraphError> {
+//! let mut g = Digraph::new(3);
+//! g.add_edge(NodeId(0), NodeId(1), 2.0)?;
+//! g.add_edge(NodeId(1), NodeId(2), 3.0)?;
+//! let node_weights = [1.0, 1.0, 1.0];
+//! let lp = dag_longest_path(&g, &node_weights)?;
+//! assert_eq!(lp.makespan(), 8.0); // 1 + 2 + 1 + 3 + 1
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod apsp;
+pub mod bitset;
+pub mod closure;
+pub mod digraph;
+pub mod dot;
+pub mod linext;
+pub mod longest_path;
+pub mod topo;
+
+pub use apsp::MaxPlusClosure;
+pub use bitset::{BitMatrix, BitRow};
+pub use closure::TransitiveClosure;
+pub use digraph::{Digraph, EdgeRef, NodeId};
+pub use linext::{binomial, count_linear_extensions, parallel_chain_orders};
+pub use longest_path::{dag_longest_path, LongestPath};
+pub use topo::{is_acyclic, topo_sort};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph operations.
+///
+/// The `Display` form is lowercase without trailing punctuation per the
+/// Rust API guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node index was outside `0..n_nodes()`.
+    NodeOutOfBounds {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        n_nodes: usize,
+    },
+    /// An edge would connect a node to itself.
+    SelfLoop(NodeId),
+    /// The graph contains a cycle where a DAG was required.
+    Cycle {
+        /// A node known to lie on the cycle.
+        on_cycle: NodeId,
+    },
+    /// The requested edge does not exist.
+    NoSuchEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, n_nodes } => {
+                write!(f, "node {node} out of bounds for graph with {n_nodes} nodes")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::Cycle { on_cycle } => {
+                write!(f, "graph contains a cycle through node {on_cycle}")
+            }
+            GraphError::NoSuchEdge(u, v) => write!(f, "no edge from {u} to {v}"),
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,245 @@
+//! DAG longest path — the solution-cost evaluation of §4.4.
+//!
+//! The cost of a candidate mapping is the longest path of the search
+//! graph *G′*, where node weights are task execution times and edge
+//! weights are communication or reconfiguration latencies. The longest
+//! path doubles as an ASAP schedule: the completion label of each node
+//! is the earliest time at which the task can finish.
+
+use crate::{Digraph, GraphError, NodeId};
+
+/// Result of a longest-path computation over a DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LongestPath {
+    completion: Vec<f64>,
+    critical_pred: Vec<Option<NodeId>>,
+    makespan: f64,
+    terminal: Option<NodeId>,
+}
+
+impl LongestPath {
+    /// Completion label of `node`: node weight plus the longest weighted
+    /// path from any source up to and including `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn completion(&self, node: NodeId) -> f64 {
+        self.completion[node.index()]
+    }
+
+    /// Start label of `node` given its weight (`completion - weight`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn start(&self, node: NodeId, node_weight: f64) -> f64 {
+        self.completion[node.index()] - node_weight
+    }
+
+    /// The overall longest-path value (the makespan in scheduling use).
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// All completion labels, indexed by node.
+    pub fn completions(&self) -> &[f64] {
+        &self.completion
+    }
+
+    /// One critical path, from a source to the node achieving the
+    /// makespan, in execution order.
+    pub fn critical_path(&self) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        let mut cur = self.terminal;
+        while let Some(v) = cur {
+            path.push(v);
+            cur = self.critical_pred[v.index()];
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Computes the longest path of a weighted DAG.
+///
+/// `node_weights[i]` is the weight of node `i`; edge weights come from
+/// the graph. The completion label of a node `v` is
+/// `w(v) + max(0, max over incoming edges (u,v): completion(u) + w(u,v))`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if `g` is not acyclic.
+///
+/// # Panics
+///
+/// Panics if `node_weights.len() != g.n_nodes()`.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_graph::{Digraph, NodeId, dag_longest_path};
+///
+/// # fn main() -> Result<(), rdse_graph::GraphError> {
+/// let mut g = Digraph::new(4);
+/// g.add_edge(NodeId(0), NodeId(1), 0.0)?;
+/// g.add_edge(NodeId(0), NodeId(2), 0.0)?;
+/// g.add_edge(NodeId(1), NodeId(3), 0.0)?;
+/// g.add_edge(NodeId(2), NodeId(3), 0.0)?;
+/// let lp = dag_longest_path(&g, &[1.0, 5.0, 2.0, 1.0])?;
+/// assert_eq!(lp.makespan(), 7.0); // via the heavy branch 0-1-3
+/// assert_eq!(lp.critical_path(), vec![NodeId(0), NodeId(1), NodeId(3)]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dag_longest_path(g: &Digraph, node_weights: &[f64]) -> Result<LongestPath, GraphError> {
+    assert_eq!(
+        node_weights.len(),
+        g.n_nodes(),
+        "node weight slice must match node count"
+    );
+    let order = crate::topo::topo_sort(g)?;
+    let n = g.n_nodes();
+    let mut completion = vec![0.0_f64; n];
+    let mut critical_pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut makespan = 0.0_f64;
+    let mut terminal = None;
+    for &v in &order {
+        let mut best = 0.0_f64;
+        let mut best_pred = None;
+        // Scan incoming edges; parallel edges contribute individually so
+        // the max weight wins naturally.
+        for p in g.predecessors(v) {
+            for (s, w) in g.successors(p) {
+                if s == v {
+                    let cand = completion[p.index()] + w;
+                    if cand > best {
+                        best = cand;
+                        best_pred = Some(p);
+                    }
+                }
+            }
+        }
+        completion[v.index()] = best + node_weights[v.index()];
+        critical_pred[v.index()] = best_pred;
+        if completion[v.index()] > makespan {
+            makespan = completion[v.index()];
+            terminal = Some(v);
+        }
+    }
+    Ok(LongestPath {
+        completion,
+        critical_pred,
+        makespan,
+        terminal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Digraph::new(1);
+        let lp = dag_longest_path(&g, &[4.5]).unwrap();
+        assert_eq!(lp.makespan(), 4.5);
+        assert_eq!(lp.critical_path(), vec![n(0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Digraph::new(0);
+        let lp = dag_longest_path(&g, &[]).unwrap();
+        assert_eq!(lp.makespan(), 0.0);
+        assert!(lp.critical_path().is_empty());
+    }
+
+    #[test]
+    fn edge_weights_add() {
+        let mut g = Digraph::new(2);
+        g.add_edge(n(0), n(1), 10.0).unwrap();
+        let lp = dag_longest_path(&g, &[1.0, 2.0]).unwrap();
+        assert_eq!(lp.makespan(), 13.0);
+        assert_eq!(lp.completion(n(0)), 1.0);
+        assert_eq!(lp.start(n(1), 2.0), 11.0);
+    }
+
+    #[test]
+    fn parallel_edges_take_max() {
+        let mut g = Digraph::new(2);
+        g.add_edge(n(0), n(1), 1.0).unwrap();
+        g.add_edge(n(0), n(1), 9.0).unwrap();
+        let lp = dag_longest_path(&g, &[0.0, 0.0]).unwrap();
+        assert_eq!(lp.makespan(), 9.0);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut g = Digraph::new(4);
+        g.add_edge(n(0), n(1), 0.0).unwrap();
+        let lp = dag_longest_path(&g, &[1.0, 1.0, 7.0, 1.0]).unwrap();
+        assert_eq!(lp.makespan(), 7.0);
+        assert_eq!(lp.critical_path(), vec![n(2)]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = Digraph::new(2);
+        g.add_edge(n(0), n(1), 0.0).unwrap();
+        g.add_edge(n(1), n(0), 0.0).unwrap();
+        assert!(dag_longest_path(&g, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn brute_force_cross_check() {
+        // Small random-ish DAG, enumerate all paths by DFS and compare.
+        let mut g = Digraph::new(6);
+        let edges = [
+            (0, 1, 2.0),
+            (0, 2, 1.0),
+            (1, 3, 0.5),
+            (2, 3, 4.0),
+            (3, 4, 0.0),
+            (2, 5, 1.0),
+            (4, 5, 2.5),
+        ];
+        for (u, v, w) in edges {
+            g.add_edge(n(u), n(v), w).unwrap();
+        }
+        let w = [1.0, 2.0, 3.0, 1.0, 2.0, 1.0];
+        fn dfs(g: &Digraph, w: &[f64], v: NodeId) -> f64 {
+            let mut best = 0.0_f64;
+            for (s, ew) in g.successors(v) {
+                best = best.max(ew + dfs(g, w, s));
+            }
+            best + w[v.index()]
+        }
+        let brute = g
+            .nodes()
+            .map(|v| dfs(&g, &w, v))
+            .fold(0.0_f64, f64::max);
+        let lp = dag_longest_path(&g, &w).unwrap();
+        assert!((lp.makespan() - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_is_consistent() {
+        let mut g = Digraph::new(5);
+        g.add_edge(n(0), n(1), 0.0).unwrap();
+        g.add_edge(n(1), n(2), 0.0).unwrap();
+        g.add_edge(n(0), n(3), 0.0).unwrap();
+        g.add_edge(n(3), n(2), 0.0).unwrap();
+        g.add_edge(n(2), n(4), 0.0).unwrap();
+        let w = [1.0, 10.0, 1.0, 2.0, 1.0];
+        let lp = dag_longest_path(&g, &w).unwrap();
+        let path = lp.critical_path();
+        assert_eq!(path, vec![n(0), n(1), n(2), n(4)]);
+        let sum: f64 = path.iter().map(|v| w[v.index()]).sum();
+        assert_eq!(sum, lp.makespan());
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rdse_graph::{
+    count_linear_extensions, dag_longest_path, topo_sort, Digraph, MaxPlusClosure, NodeId,
+    TransitiveClosure,
+};
+
+/// Strategy: a random DAG over `n` nodes. Edges only go from lower to
+/// higher index, which guarantees acyclicity by construction.
+fn arb_dag(max_nodes: usize, edge_prob: f64) -> impl Strategy<Value = Digraph> {
+    (2..=max_nodes)
+        .prop_flat_map(move |n| {
+            let pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+                .collect();
+            let n_pairs = pairs.len();
+            (
+                Just(n),
+                Just(pairs),
+                proptest::collection::vec(any::<f64>(), n_pairs),
+                proptest::collection::vec(proptest::bool::weighted(edge_prob), n_pairs),
+            )
+        })
+        .prop_map(|(n, pairs, weights, mask)| {
+            let mut g = Digraph::new(n);
+            for ((&(u, v), w), &keep) in pairs.iter().zip(&weights).zip(&mask) {
+                if keep {
+                    let w = (w.abs() % 100.0).max(0.0);
+                    let w = if w.is_finite() { w } else { 1.0 };
+                    g.add_edge(NodeId(u as u32), NodeId(v as u32), w).unwrap();
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topo_sort_respects_edges(g in arb_dag(24, 0.3)) {
+        let order = topo_sort(&g).unwrap();
+        prop_assert_eq!(order.len(), g.n_nodes());
+        let mut pos = vec![0usize; g.n_nodes()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for e in g.edges() {
+            prop_assert!(pos[e.from.index()] < pos[e.to.index()]);
+        }
+    }
+
+    #[test]
+    fn closure_matches_dfs(g in arb_dag(20, 0.25)) {
+        let tc = TransitiveClosure::of(&g).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    tc.reaches(u, v),
+                    rdse_graph::topo::reaches(&g, u, v),
+                    "reachability mismatch {} -> {}", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_incremental_insert_equals_recompute(
+        g in arb_dag(16, 0.2),
+        extra in proptest::collection::vec((0usize..16, 0usize..16), 0..8)
+    ) {
+        let mut g = g;
+        let mut tc = TransitiveClosure::of(&g).unwrap();
+        for (a, b) in extra {
+            let n = g.n_nodes();
+            let (u, v) = (NodeId((a % n) as u32), NodeId((b % n) as u32));
+            if u == v || tc.would_create_cycle(u, v) {
+                continue;
+            }
+            g.add_edge(u, v, 0.0).unwrap();
+            tc.insert_edge(u, v);
+        }
+        let fresh = TransitiveClosure::of(&g).unwrap();
+        prop_assert_eq!(tc, fresh);
+    }
+
+    #[test]
+    fn apsp_incremental_insert_equals_recompute(
+        g in arb_dag(14, 0.2),
+        extra in proptest::collection::vec((0usize..14, 0usize..14, 0.0f64..50.0), 0..6)
+    ) {
+        let mut g = g;
+        let mut d = MaxPlusClosure::of(&g).unwrap();
+        let tc = || TransitiveClosure::of(&g);
+        let mut closure = tc().unwrap();
+        for (a, b, w) in extra {
+            let n = g.n_nodes();
+            let (u, v) = (NodeId((a % n) as u32), NodeId((b % n) as u32));
+            if u == v || closure.would_create_cycle(u, v) {
+                continue;
+            }
+            g.add_edge(u, v, w).unwrap();
+            closure.insert_edge(u, v);
+            d.insert_edge(u, v, w);
+            let fresh = MaxPlusClosure::of(&g).unwrap();
+            for x in g.nodes() {
+                for y in g.nodes() {
+                    let a = d.dist(x, y);
+                    let b = fresh.dist(x, y);
+                    prop_assert!(
+                        (a == b) || (a - b).abs() < 1e-9,
+                        "dist({}, {}) = {} vs fresh {}", x, y, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn longest_path_dominates_node_weights(g in arb_dag(20, 0.3)) {
+        let w: Vec<f64> = (0..g.n_nodes()).map(|i| (i % 7) as f64 + 1.0).collect();
+        let lp = dag_longest_path(&g, &w).unwrap();
+        for v in g.nodes() {
+            prop_assert!(lp.completion(v) >= w[v.index()]);
+        }
+        let max_w = w.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(lp.makespan() >= max_w);
+        // Critical path weights (plus edge weights) sum to the makespan.
+        let path = lp.critical_path();
+        let mut total = 0.0;
+        for (i, v) in path.iter().enumerate() {
+            total += w[v.index()];
+            if i + 1 < path.len() {
+                total += g.edge_weight(*v, path[i + 1]).unwrap_or(0.0);
+            }
+        }
+        prop_assert!((total - lp.makespan()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longest_path_monotone_under_edge_insertion(g in arb_dag(16, 0.25)) {
+        let w: Vec<f64> = vec![1.0; g.n_nodes()];
+        let lp0 = dag_longest_path(&g, &w).unwrap().makespan();
+        let mut g2 = g.clone();
+        let tc = TransitiveClosure::of(&g).unwrap();
+        // Insert the first safe edge we find.
+        'outer: for u in g.nodes() {
+            for v in g.nodes() {
+                if u != v && !tc.would_create_cycle(u, v) && !g.has_edge(u, v) {
+                    g2.add_edge(u, v, 2.0).unwrap();
+                    break 'outer;
+                }
+            }
+        }
+        let lp1 = dag_longest_path(&g2, &w).unwrap().makespan();
+        prop_assert!(lp1 >= lp0);
+    }
+
+    #[test]
+    fn linext_positive_and_bounded_by_factorial(g in arb_dag(8, 0.3)) {
+        let count = count_linear_extensions(&g, None).unwrap();
+        prop_assert!(count >= 1);
+        let fact: u128 = (1..=g.n_nodes() as u128).product();
+        prop_assert!(count <= fact);
+        // A graph with no edges must reach the factorial exactly.
+        if g.n_edges() == 0 {
+            prop_assert_eq!(count, fact);
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! The design-space explorer: the paper's tool, end to end.
+//!
+//! [`MappingProblem`] adapts the mapping problem to the
+//! [`rdse_anneal::Problem`] contract (move classes: the §4.2 pair moves
+//! and the §5 implementation-selection moves); [`explore`] wires it to
+//! the Lam adaptive schedule with the warm-up phase of Fig. 2 and
+//! returns the best mapping found together with run statistics.
+
+use crate::error::MappingError;
+use crate::eval::{evaluate, Evaluation};
+use crate::init::random_initial;
+use crate::moves::{propose_impl_move, propose_pair_move};
+use crate::solution::Mapping;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use rdse_anneal::{anneal, LamSchedule, Problem, RunOptions, RunResult};
+use rdse_model::units::Micros;
+use rdse_model::{Architecture, TaskGraph};
+
+/// What the annealer minimizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Minimize the execution time (the paper's experiments: the
+    /// architecture is fixed, "the criterion to be optimized becomes
+    /// here the execution time").
+    MinimizeMakespan,
+    /// Penalized makespan: minimize
+    /// `max(0, makespan − deadline) · penalty + makespan_weight · makespan`.
+    /// With a large penalty this searches for any solution meeting the
+    /// real-time constraint, then keeps improving below it.
+    DeadlinePenalty {
+        /// The real-time constraint (40 ms per image in the benchmark).
+        deadline: Micros,
+        /// Cost per microsecond of deadline violation.
+        penalty: f64,
+        /// Weight of the makespan below the deadline.
+        makespan_weight: f64,
+    },
+}
+
+impl Objective {
+    /// Scalar cost of an evaluation under this objective (µs scale).
+    pub fn cost(&self, eval: &Evaluation) -> f64 {
+        match *self {
+            Objective::MinimizeMakespan => eval.makespan.value(),
+            Objective::DeadlinePenalty {
+                deadline,
+                penalty,
+                makespan_weight,
+            } => {
+                let excess = (eval.makespan.value() - deadline.value()).max(0.0);
+                excess * penalty + eval.makespan.value() * makespan_weight
+            }
+        }
+    }
+}
+
+/// The mapping problem in [`rdse_anneal::Problem`] form.
+///
+/// Move class 0 draws the paper's `(vs, vd)` pair moves (m1/m2); class
+/// 1 draws implementation-selection moves (m5).
+#[derive(Debug, Clone)]
+pub struct MappingProblem<'a> {
+    app: &'a TaskGraph,
+    arch: &'a Architecture,
+    mapping: Mapping,
+    current: Evaluation,
+    objective: Objective,
+}
+
+impl<'a> MappingProblem<'a> {
+    /// Wraps an existing feasible mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns the evaluation error if `mapping` is infeasible.
+    pub fn new(
+        app: &'a TaskGraph,
+        arch: &'a Architecture,
+        mapping: Mapping,
+        objective: Objective,
+    ) -> Result<Self, MappingError> {
+        mapping.validate(app, arch)?;
+        let current = evaluate(app, arch, &mapping)?;
+        Ok(MappingProblem {
+            app,
+            arch,
+            mapping,
+            current,
+            objective,
+        })
+    }
+
+    /// The current mapping.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The current evaluation.
+    pub fn evaluation(&self) -> &Evaluation {
+        &self.current
+    }
+
+    /// Consumes the problem, returning mapping and evaluation.
+    pub fn into_parts(self) -> (Mapping, Evaluation) {
+        (self.mapping, self.current)
+    }
+}
+
+impl Problem for MappingProblem<'_> {
+    type Move = (Mapping, Evaluation);
+    type Snapshot = (Mapping, Evaluation);
+
+    fn cost(&self) -> f64 {
+        self.objective.cost(&self.current)
+    }
+
+    fn n_move_classes(&self) -> usize {
+        2
+    }
+
+    fn try_move(&mut self, rng: &mut dyn RngCore, class: usize) -> Option<(Self::Move, f64)> {
+        let prev = (self.mapping.clone(), self.current.clone());
+        let outcome = match class {
+            0 => propose_pair_move(self.app, self.arch, &mut self.mapping, rng),
+            _ => propose_impl_move(self.app, self.arch, &mut self.mapping, rng),
+        };
+        if outcome.is_none() {
+            // Proposal functions leave the mapping unchanged on None;
+            // restoring from the snapshot is belt-and-braces in case a
+            // future move kind weakens that contract.
+            self.mapping = prev.0;
+            self.current = prev.1;
+            return None;
+        }
+        match evaluate(self.app, self.arch, &self.mapping) {
+            Ok(eval) => {
+                self.current = eval;
+                let cost = self.cost();
+                Some((prev, cost))
+            }
+            Err(_) => {
+                // Cycle or capacity: infeasible move, roll back (§4.3).
+                self.mapping = prev.0;
+                self.current = prev.1;
+                None
+            }
+        }
+    }
+
+    fn undo(&mut self, mv: Self::Move) {
+        self.mapping = mv.0;
+        self.current = mv.1;
+    }
+
+    fn snapshot(&self) -> Self::Snapshot {
+        (self.mapping.clone(), self.current.clone())
+    }
+
+    fn restore(&mut self, snapshot: &Self::Snapshot) {
+        self.mapping = snapshot.0.clone();
+        self.current = snapshot.1.clone();
+    }
+
+    fn observables(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("makespan_ms", self.current.makespan.as_millis()),
+            ("n_contexts", self.current.n_contexts as f64),
+            (
+                "initial_reconfig_ms",
+                self.current.breakdown.initial_reconfig.as_millis(),
+            ),
+            (
+                "dynamic_reconfig_ms",
+                self.current.breakdown.dynamic_reconfig.as_millis(),
+            ),
+            ("n_hw_tasks", self.current.n_hw_tasks as f64),
+        ]
+    }
+}
+
+/// Options of a full exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Total iteration budget (the paper's Fig. 2 run uses 5 000).
+    pub max_iterations: u64,
+    /// Infinite-temperature warm-up iterations (1 200 in Fig. 2).
+    pub warmup_iterations: u64,
+    /// Lam quality factor λ (smaller = slower cooling = better result).
+    pub lambda: f64,
+    /// RNG seed (controls both the initial solution and the walk).
+    pub seed: u64,
+    /// Trace sampling period (0 = no trace).
+    pub trace_every: u64,
+    /// Objective to minimize.
+    pub objective: Objective,
+    /// Use the adaptive move-class controller.
+    pub adaptive_moves: bool,
+    /// Stop early at this makespan-cost (µs), if given.
+    pub target_cost: Option<f64>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_iterations: 5_000,
+            warmup_iterations: 1_200,
+            lambda: 0.5,
+            seed: 0,
+            trace_every: 0,
+            objective: Objective::MinimizeMakespan,
+            adaptive_moves: true,
+            target_cost: None,
+        }
+    }
+}
+
+/// Result of [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Best mapping found.
+    pub mapping: Mapping,
+    /// Its evaluation.
+    pub evaluation: Evaluation,
+    /// Annealer statistics and trace.
+    pub run: RunResult,
+}
+
+/// Runs the complete tool of the paper on `app` × `arch`: random
+/// initial solution, warm-up, Lam-adaptive annealing over the m1/m2/m5
+/// moves, best solution returned.
+///
+/// # Errors
+///
+/// Returns [`MappingError`] if no feasible initial solution can be
+/// constructed (e.g. the models are inconsistent).
+///
+/// See the [crate-level example](crate) for usage.
+pub fn explore(
+    app: &TaskGraph,
+    arch: &Architecture,
+    opts: &ExploreOptions,
+) -> Result<ExploreOutcome, MappingError> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let initial = random_initial(app, arch, &mut rng);
+    let mut problem = MappingProblem::new(app, arch, initial, opts.objective)?;
+    let mut schedule = LamSchedule::new(opts.lambda);
+    let run = anneal(
+        &mut problem,
+        &mut schedule,
+        &RunOptions {
+            max_iterations: opts.max_iterations,
+            warmup_iterations: opts.warmup_iterations,
+            seed: opts.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            trace_every: opts.trace_every,
+            adaptive_moves: opts.adaptive_moves,
+            target_cost: opts.target_cost,
+            ..RunOptions::default()
+        },
+    );
+    let (mapping, evaluation) = problem.into_parts();
+    Ok(ExploreOutcome {
+        mapping,
+        evaluation,
+        run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rdse_model::units::{Bytes, Clbs};
+    use rdse_model::HwImpl;
+
+    fn us(v: f64) -> Micros {
+        Micros::new(v)
+    }
+
+    /// A pipeline where hardware acceleration pays off massively.
+    fn fixture() -> (TaskGraph, Architecture) {
+        let mut app = TaskGraph::new("pipe");
+        let mut prev = None;
+        for i in 0..8 {
+            let t = app
+                .add_task(
+                    format!("t{i}"),
+                    "F",
+                    us(1000.0),
+                    vec![
+                        HwImpl::new(Clbs::new(80), us(50.0)),
+                        HwImpl::new(Clbs::new(160), us(25.0)),
+                    ],
+                )
+                .unwrap();
+            if let Some(p) = prev {
+                app.add_data_edge(p, t, Bytes::new(500)).unwrap();
+            }
+            prev = Some(t);
+        }
+        let arch = Architecture::builder("soc")
+            .processor("cpu", 1.0)
+            .drlc("fpga", Clbs::new(400), us(0.5), 1.0)
+            .bus_rate(100.0)
+            .build()
+            .unwrap();
+        (app, arch)
+    }
+
+    #[test]
+    fn explore_beats_all_software() {
+        let (app, arch) = fixture();
+        let all_sw = app.total_sw_time();
+        let out = explore(
+            &app,
+            &arch,
+            &ExploreOptions {
+                max_iterations: 6_000,
+                warmup_iterations: 1_000,
+                seed: 42,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            out.evaluation.makespan < all_sw * 0.5,
+            "no speedup: {} vs {}",
+            out.evaluation.makespan,
+            all_sw
+        );
+        out.mapping.validate(&app, &arch).unwrap();
+        // Returned evaluation matches a fresh evaluation of the mapping.
+        let fresh = evaluate(&app, &arch, &out.mapping).unwrap();
+        assert_eq!(fresh.makespan, out.evaluation.makespan);
+    }
+
+    #[test]
+    fn explore_is_deterministic_per_seed() {
+        let (app, arch) = fixture();
+        let opts = ExploreOptions {
+            max_iterations: 2_000,
+            warmup_iterations: 400,
+            seed: 7,
+            ..ExploreOptions::default()
+        };
+        let a = explore(&app, &arch, &opts).unwrap();
+        let b = explore(&app, &arch, &opts).unwrap();
+        assert_eq!(a.evaluation.makespan, b.evaluation.makespan);
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn trace_records_observables() {
+        let (app, arch) = fixture();
+        let out = explore(
+            &app,
+            &arch,
+            &ExploreOptions {
+                max_iterations: 1_000,
+                warmup_iterations: 200,
+                trace_every: 100,
+                seed: 3,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.run.trace.len(), 10);
+        let names: Vec<&str> = out.run.trace[0]
+            .observables
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert!(names.contains(&"makespan_ms"));
+        assert!(names.contains(&"n_contexts"));
+    }
+
+    #[test]
+    fn undo_restores_cost_exactly() {
+        let (app, arch) = fixture();
+        let mut rng = StdRng::seed_from_u64(5);
+        let initial = random_initial(&app, &arch, &mut rng);
+        let mut p =
+            MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan).unwrap();
+        for _ in 0..300 {
+            let before_cost = p.cost();
+            let before_map = p.mapping().clone();
+            let class = rng.random_range(0..2);
+            if let Some((mv, _)) = p.try_move(&mut rng, class) {
+                p.undo(mv);
+                assert_eq!(p.cost(), before_cost);
+                assert_eq!(p.mapping(), &before_map);
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_penalty_objective_orders_solutions() {
+        let (app, arch) = fixture();
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = random_initial(&app, &arch, &mut rng);
+        let eval = evaluate(&app, &arch, &m).unwrap();
+        let obj = Objective::DeadlinePenalty {
+            deadline: Micros::new(1.0), // everything violates
+            penalty: 100.0,
+            makespan_weight: 1.0,
+        };
+        let strict = obj.cost(&eval);
+        let plain = Objective::MinimizeMakespan.cost(&eval);
+        assert!(strict > plain);
+    }
+}

@@ -1,0 +1,80 @@
+//! Spatio-temporal mapping of task graphs onto dynamically
+//! reconfigurable architectures — the core contribution of the DATE'05
+//! paper (Miramond & Delosme).
+//!
+//! A [`Mapping`] simultaneously fixes the four coupled decisions of
+//! §3.3:
+//!
+//! 1. **spatial partitioning** — every task is placed on a processor,
+//!    in an FPGA context, or on an ASIC ([`Placement`]);
+//! 2. **temporal partitioning** — hardware tasks are grouped into
+//!    run-time [`Context`]s bounded by the device CLB capacity;
+//! 3. **scheduling** — a total order per processor and a globally
+//!    total, locally partial (GTLP) order on each reconfigurable
+//!    device;
+//! 4. **implementation selection** — each hardware task uses one of its
+//!    area–time Pareto implementations.
+//!
+//! [`evaluate`] scores a mapping by building the search graph *G′* =
+//! base precedence ∪ `Esw` ∪ `Ehw` (§3.3/§4.3) and taking its longest
+//! path (§4.4); [`MappingProblem`] exposes the moves of §4.2 to the
+//! adaptive simulated annealing engine of [`rdse_anneal`]; and
+//! [`explore`] runs the whole tool: random initial solution, warm-up at
+//! infinite temperature, adaptive cooling, best solution returned.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdse_mapping::{explore, ExploreOptions};
+//! use rdse_model::{Architecture, TaskGraph, HwImpl};
+//! use rdse_model::units::{Bytes, Clbs, Micros};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut app = TaskGraph::new("tiny");
+//! let a = app.add_task("a", "FIR", Micros::new(800.0), vec![
+//!     HwImpl::new(Clbs::new(100), Micros::new(40.0)),
+//! ])?;
+//! let b = app.add_task("b", "DCT", Micros::new(900.0), vec![
+//!     HwImpl::new(Clbs::new(150), Micros::new(50.0)),
+//! ])?;
+//! app.add_data_edge(a, b, Bytes::new(1024))?;
+//!
+//! let arch = Architecture::builder("soc")
+//!     .processor("cpu", 1.0)
+//!     .drlc("fpga", Clbs::new(400), Micros::new(2.0), 1.0)
+//!     .bus_rate(100.0)
+//!     .build()?;
+//!
+//! let outcome = explore(&app, &arch, &ExploreOptions {
+//!     max_iterations: 3_000,
+//!     seed: 1,
+//!     ..ExploreOptions::default()
+//! })?;
+//! assert!(outcome.evaluation.makespan.value() <= 1700.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arch_explore;
+pub mod error;
+pub mod eval;
+pub mod explorer;
+pub mod init;
+pub mod moves;
+pub mod placement;
+pub mod schedule;
+pub mod searchgraph;
+pub mod solution;
+
+pub use arch_explore::{
+    explore_architecture, ArchExploreOptions, ArchExploreOutcome, ArchProblem, ResourceCatalog,
+};
+pub use error::MappingError;
+pub use eval::{evaluate, EvalBreakdown, Evaluation};
+pub use explorer::{explore, ExploreOptions, ExploreOutcome, MappingProblem, Objective};
+pub use init::random_initial;
+pub use moves::{MoveKind, MoveOutcome};
+pub use placement::{Placement, ResourceRef};
+pub use schedule::{BusTransfer, GanttChart, ReconfigSlot, TaskSlot};
+pub use searchgraph::SearchGraph;
+pub use solution::{Context, Mapping};

@@ -1,0 +1,108 @@
+//! Task placements and resource references.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where one task executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// On a programmable processor (index into
+    /// [`Architecture::processors`](rdse_model::Architecture::processors)).
+    Software {
+        /// Processor index.
+        processor: usize,
+    },
+    /// In one run-time context of a reconfigurable device, with one of
+    /// the task's hardware implementations selected.
+    Hardware {
+        /// DRLC index within the architecture.
+        drlc: usize,
+        /// Context index within the mapping's ordered context list.
+        context: usize,
+        /// Index into the task's Pareto implementation set.
+        hw_impl: usize,
+    },
+    /// On a dedicated circuit (maximal parallelism, no reconfiguration).
+    Asic {
+        /// ASIC index within the architecture.
+        asic: usize,
+    },
+}
+
+impl Placement {
+    /// `true` for [`Placement::Software`].
+    pub fn is_software(&self) -> bool {
+        matches!(self, Placement::Software { .. })
+    }
+
+    /// `true` for [`Placement::Hardware`].
+    pub fn is_hardware(&self) -> bool {
+        matches!(self, Placement::Hardware { .. })
+    }
+
+    /// The resource this placement lives on.
+    pub fn resource(&self) -> ResourceRef {
+        match *self {
+            Placement::Software { processor } => ResourceRef::Processor(processor),
+            Placement::Hardware { drlc, context, .. } => ResourceRef::Context { drlc, context },
+            Placement::Asic { asic } => ResourceRef::Asic(asic),
+        }
+    }
+}
+
+/// A reference to a scheduling resource. Contexts are resources in
+/// their own right (§3.3: "Considering a context as a resource in
+/// itself").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceRef {
+    /// A programmable processor.
+    Processor(usize),
+    /// One context of a reconfigurable device.
+    Context {
+        /// DRLC index.
+        drlc: usize,
+        /// Context index in execution order.
+        context: usize,
+    },
+    /// A dedicated circuit.
+    Asic(usize),
+}
+
+impl fmt::Display for ResourceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceRef::Processor(p) => write!(f, "proc{p}"),
+            ResourceRef::Context { drlc, context } => write!(f, "drlc{drlc}/ctx{context}"),
+            ResourceRef::Asic(a) => write!(f, "asic{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_predicates() {
+        let sw = Placement::Software { processor: 0 };
+        let hw = Placement::Hardware {
+            drlc: 0,
+            context: 2,
+            hw_impl: 1,
+        };
+        assert!(sw.is_software() && !sw.is_hardware());
+        assert!(hw.is_hardware() && !hw.is_software());
+        assert_eq!(sw.resource(), ResourceRef::Processor(0));
+        assert_eq!(hw.resource(), ResourceRef::Context { drlc: 0, context: 2 });
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ResourceRef::Processor(1).to_string(), "proc1");
+        assert_eq!(
+            ResourceRef::Context { drlc: 0, context: 3 }.to_string(),
+            "drlc0/ctx3"
+        );
+        assert_eq!(ResourceRef::Asic(2).to_string(), "asic2");
+    }
+}

@@ -1,0 +1,326 @@
+//! Gantt-chart extraction — the schedule view of Fig. 1(c).
+//!
+//! The ASAP completion labels of the evaluation double as a schedule:
+//! task slots on their resources, reconfiguration slots between
+//! contexts, and the ordered bus transactions of the communication row.
+
+use crate::eval::Evaluation;
+use crate::placement::ResourceRef;
+use crate::solution::Mapping;
+use rdse_model::units::{Bytes, Micros};
+use rdse_model::{Architecture, TaskGraph, TaskId};
+use std::fmt::Write as _;
+
+/// One task occupying a resource for a time interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSlot {
+    /// The scheduled task.
+    pub task: TaskId,
+    /// The resource it executes on.
+    pub resource: ResourceRef,
+    /// Start time.
+    pub start: Micros,
+    /// End time.
+    pub end: Micros,
+}
+
+/// One reconfiguration interval on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigSlot {
+    /// DRLC index.
+    pub drlc: usize,
+    /// Context being configured.
+    pub context: usize,
+    /// Start time.
+    pub start: Micros,
+    /// End time.
+    pub end: Micros,
+}
+
+/// One transaction on the shared bus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusTransfer {
+    /// Producer task.
+    pub from: TaskId,
+    /// Consumer task.
+    pub to: TaskId,
+    /// Transfer start (producer completion).
+    pub start: Micros,
+    /// Transfer end.
+    pub end: Micros,
+    /// Amount of data moved.
+    pub bytes: Bytes,
+}
+
+/// A complete schedule view of one evaluated mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanttChart {
+    /// Task execution slots.
+    pub tasks: Vec<TaskSlot>,
+    /// Reconfiguration slots (one per context).
+    pub reconfigs: Vec<ReconfigSlot>,
+    /// Ordered bus transactions.
+    pub transfers: Vec<BusTransfer>,
+    /// Overall makespan.
+    pub makespan: Micros,
+}
+
+impl GanttChart {
+    /// Builds the chart from a mapping and its evaluation.
+    pub fn extract(
+        app: &TaskGraph,
+        arch: &Architecture,
+        mapping: &Mapping,
+        eval: &Evaluation,
+    ) -> Self {
+        let tasks: Vec<TaskSlot> = app
+            .task_ids()
+            .map(|t| TaskSlot {
+                task: t,
+                resource: mapping.resource(t),
+                start: eval.starts[t.index()],
+                end: eval.completions[t.index()],
+            })
+            .collect();
+
+        let mut reconfigs = Vec::new();
+        for (d, spec) in arch.drlcs().iter().enumerate() {
+            let ctxs = mapping.contexts(d);
+            for (k, _) in ctxs.iter().enumerate() {
+                let duration = spec.reconfiguration_time(mapping.context_clbs(app, d, k));
+                let start = if k == 0 {
+                    Micros::ZERO
+                } else {
+                    ctxs[k - 1]
+                        .tasks()
+                        .iter()
+                        .map(|&t| eval.completions[t.index()])
+                        .fold(Micros::ZERO, Micros::max)
+                };
+                reconfigs.push(ReconfigSlot {
+                    drlc: d,
+                    context: k,
+                    start,
+                    end: start + duration,
+                });
+            }
+        }
+
+        let bus = arch.bus();
+        let mut transfers: Vec<BusTransfer> = app
+            .edges()
+            .iter()
+            .filter(|e| {
+                !crate::searchgraph::same_device(mapping.resource(e.from), mapping.resource(e.to))
+            })
+            .map(|e| {
+                let start = eval.completions[e.from.index()];
+                BusTransfer {
+                    from: e.from,
+                    to: e.to,
+                    start,
+                    end: start + bus.transfer_time(e.bytes),
+                    bytes: e.bytes,
+                }
+            })
+            .collect();
+        // The total order imposed on the transactions (§3.3): by start
+        // time, ties by producer id.
+        transfers.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .expect("times are finite")
+                .then(a.from.cmp(&b.from))
+        });
+
+        GanttChart {
+            tasks,
+            reconfigs,
+            transfers,
+            makespan: eval.makespan,
+        }
+    }
+
+    /// Renders an ASCII Gantt chart of the given character width.
+    ///
+    /// One row per processor, per DRLC (contexts shown as digits,
+    /// reconfiguration as `#`), per ASIC, and one row for the bus.
+    pub fn render_ascii(&self, app: &TaskGraph, arch: &Architecture, width: usize) -> String {
+        let width = width.max(20);
+        let span = self.makespan.value().max(1e-9);
+        let col = |t: Micros| -> usize {
+            (((t.value() / span) * (width as f64 - 1.0)).round() as usize).min(width - 1)
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "makespan {} | width {width} chars ({:.1} µs/char)",
+            self.makespan,
+            span / width as f64
+        );
+
+        for p in 0..arch.processors().len() {
+            let mut row = vec![b'.'; width];
+            for slot in self.tasks.iter().filter(|s| s.resource == ResourceRef::Processor(p)) {
+                let (a, b) = (col(slot.start), col(slot.end));
+                let label = app
+                    .task(slot.task)
+                    .map(|t| t.name().bytes().next().unwrap_or(b'?'))
+                    .unwrap_or(b'?');
+                for c in row.iter_mut().take(b + 1).skip(a) {
+                    *c = label;
+                }
+            }
+            let _ = writeln!(out, "proc{p} |{}|", String::from_utf8_lossy(&row));
+        }
+
+        for d in 0..arch.drlcs().len() {
+            let mut row = vec![b'.'; width];
+            for r in self.reconfigs.iter().filter(|r| r.drlc == d) {
+                for c in row.iter_mut().take(col(r.end) + 1).skip(col(r.start)) {
+                    *c = b'#';
+                }
+            }
+            for slot in self.tasks.iter() {
+                if let ResourceRef::Context { drlc, context } = slot.resource {
+                    if drlc == d {
+                        let digit = b'0' + (context % 10) as u8;
+                        for c in row
+                            .iter_mut()
+                            .take(col(slot.end) + 1)
+                            .skip(col(slot.start))
+                        {
+                            *c = digit;
+                        }
+                    }
+                }
+            }
+            let _ = writeln!(out, "drlc{d} |{}|", String::from_utf8_lossy(&row));
+        }
+
+        for a in 0..arch.asics().len() {
+            let mut row = vec![b'.'; width];
+            for slot in self.tasks.iter().filter(|s| s.resource == ResourceRef::Asic(a)) {
+                for c in row
+                    .iter_mut()
+                    .take(col(slot.end) + 1)
+                    .skip(col(slot.start))
+                {
+                    *c = b'a';
+                }
+            }
+            let _ = writeln!(out, "asic{a} |{}|", String::from_utf8_lossy(&row));
+        }
+
+        let mut row = vec![b'.'; width];
+        for t in &self.transfers {
+            for c in row.iter_mut().take(col(t.end) + 1).skip(col(t.start)) {
+                *c = b'x';
+            }
+        }
+        let _ = writeln!(out, "bus   |{}|", String::from_utf8_lossy(&row));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::solution::Mapping;
+    use rdse_model::units::Clbs;
+    use rdse_model::HwImpl;
+
+    fn us(v: f64) -> Micros {
+        Micros::new(v)
+    }
+
+    fn fixture() -> (TaskGraph, Architecture, Mapping) {
+        let mut app = TaskGraph::new("fx");
+        let a = app
+            .add_task("alpha", "F", us(10.0), vec![HwImpl::new(Clbs::new(100), us(2.0))])
+            .unwrap();
+        let b = app
+            .add_task("beta", "G", us(20.0), vec![HwImpl::new(Clbs::new(150), us(3.0))])
+            .unwrap();
+        let c = app.add_task("gamma", "H", us(5.0), vec![]).unwrap();
+        app.add_data_edge(a, b, Bytes::new(1000)).unwrap();
+        app.add_data_edge(b, c, Bytes::new(2000)).unwrap();
+        let arch = Architecture::builder("soc")
+            .processor("cpu", 1.0)
+            .drlc("fpga", Clbs::new(200), us(0.1), 1.0)
+            .bus_rate(100.0)
+            .build()
+            .unwrap();
+        let mut m = Mapping::all_software(
+            &app,
+            &arch,
+            vec![TaskId(0), TaskId(1), TaskId(2)],
+        );
+        m.detach(TaskId(1));
+        m.insert_new_context(TaskId(1), 0, 0, 0);
+        (app, arch, m)
+    }
+
+    #[test]
+    fn slots_are_consistent_with_evaluation() {
+        let (app, arch, m) = fixture();
+        let eval = evaluate(&app, &arch, &m).unwrap();
+        let g = GanttChart::extract(&app, &arch, &m, &eval);
+        assert_eq!(g.tasks.len(), 3);
+        for slot in &g.tasks {
+            assert!(slot.start <= slot.end);
+            assert!(slot.end <= g.makespan);
+        }
+        // Processor slots must not overlap.
+        let mut proc: Vec<&TaskSlot> = g
+            .tasks
+            .iter()
+            .filter(|s| s.resource == ResourceRef::Processor(0))
+            .collect();
+        proc.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        for w in proc.windows(2) {
+            assert!(w[0].end <= w[1].start, "processor slots overlap");
+        }
+    }
+
+    #[test]
+    fn reconfig_slots_precede_context_tasks() {
+        let (app, arch, m) = fixture();
+        let eval = evaluate(&app, &arch, &m).unwrap();
+        let g = GanttChart::extract(&app, &arch, &m, &eval);
+        assert_eq!(g.reconfigs.len(), 1);
+        let r = &g.reconfigs[0];
+        assert_eq!(r.start, Micros::ZERO);
+        assert_eq!(r.end, us(15.0)); // 150 CLBs × 0.1 µs
+        let hw_slot = g
+            .tasks
+            .iter()
+            .find(|s| matches!(s.resource, ResourceRef::Context { .. }))
+            .unwrap();
+        assert!(hw_slot.start >= r.end);
+    }
+
+    #[test]
+    fn transfers_cross_devices_only() {
+        let (app, arch, m) = fixture();
+        let eval = evaluate(&app, &arch, &m).unwrap();
+        let g = GanttChart::extract(&app, &arch, &m, &eval);
+        // a->b and b->c both cross cpu<->fpga.
+        assert_eq!(g.transfers.len(), 2);
+        assert!(g.transfers.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn ascii_render_contains_rows() {
+        let (app, arch, m) = fixture();
+        let eval = evaluate(&app, &arch, &m).unwrap();
+        let g = GanttChart::extract(&app, &arch, &m, &eval);
+        let art = g.render_ascii(&app, &arch, 60);
+        assert!(art.contains("proc0 |"));
+        assert!(art.contains("drlc0 |"));
+        assert!(art.contains("bus   |"));
+        assert!(art.contains('#'), "reconfiguration not rendered");
+        assert!(art.contains('a'), "task letters not rendered");
+    }
+}

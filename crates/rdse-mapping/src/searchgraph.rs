@@ -1,0 +1,335 @@
+//! Construction of the search graph *G′* (§3.3, §4.3).
+//!
+//! `G′ = <V ∪ {source}, E ∪ Esw ∪ Ehw>` where
+//!
+//! * `E` are the application's precedence edges, weighted by the bus
+//!   transfer time `qij / D` when the edge crosses device boundaries
+//!   and 0 when producer and consumer share a device;
+//! * `Esw` are zero-weight sequentialization edges enforcing the total
+//!   execution order on each processor (consecutive tasks in the
+//!   order);
+//! * `Ehw` are context sequentialization edges from every *terminal*
+//!   node of context `k` to every *initial* node of context `k+1`,
+//!   weighted `tR × nCLB(k+1)` — the partial reconfiguration time of
+//!   the incoming context. The initial configuration of the first
+//!   context is modelled the same way with edges from the virtual
+//!   source (so Fig. 3's "initial reconfiguration time" is part of the
+//!   makespan).
+//!
+//! Node weights are the task execution times under the mapping's
+//! placements and implementation choices. A cycle in *G′* means the
+//! candidate schedule is infeasible and the move that produced it is
+//! discarded (§4.3).
+
+use crate::error::MappingError;
+use crate::placement::ResourceRef;
+use crate::solution::Mapping;
+use rdse_graph::{dag_longest_path, Digraph, LongestPath, NodeId};
+use rdse_model::{Architecture, TaskGraph, TaskId};
+
+/// The materialized search graph of one candidate mapping.
+#[derive(Debug, Clone)]
+pub struct SearchGraph {
+    graph: Digraph,
+    node_weights: Vec<f64>,
+    n_tasks: usize,
+}
+
+/// `true` if two placements share a physical device, in which case
+/// communication between them does not use the shared bus.
+pub fn same_device(a: ResourceRef, b: ResourceRef) -> bool {
+    match (a, b) {
+        (ResourceRef::Processor(x), ResourceRef::Processor(y)) => x == y,
+        (ResourceRef::Context { drlc: x, .. }, ResourceRef::Context { drlc: y, .. }) => x == y,
+        (ResourceRef::Asic(x), ResourceRef::Asic(y)) => x == y,
+        _ => false,
+    }
+}
+
+impl SearchGraph {
+    /// Index of the virtual source node (used for the initial
+    /// reconfiguration edges).
+    pub fn source(&self) -> NodeId {
+        NodeId(self.n_tasks as u32)
+    }
+
+    /// Builds *G′* for `mapping`.
+    ///
+    /// The construction itself cannot fail (any index inconsistency is
+    /// a programming error and panics); feasibility is determined later
+    /// by [`SearchGraph::longest_path`].
+    pub fn build(app: &TaskGraph, arch: &Architecture, mapping: &Mapping) -> Self {
+        let n = app.n_tasks();
+        let source = NodeId(n as u32);
+        let mut graph = Digraph::new(n + 1);
+        let mut node_weights = vec![0.0; n + 1];
+        for t in app.task_ids() {
+            node_weights[t.index()] = mapping.exec_time(app, t).value();
+        }
+
+        // Base precedence edges with communication weights.
+        let bus = arch.bus();
+        for e in app.edges() {
+            let (ra, rb) = (mapping.resource(e.from), mapping.resource(e.to));
+            let w = if same_device(ra, rb) {
+                0.0
+            } else {
+                bus.transfer_time(e.bytes).value()
+            };
+            graph
+                .add_edge(e.from.node(), e.to.node(), w)
+                .expect("task nodes exist");
+        }
+
+        // Esw: processor total orders.
+        for p in 0..arch.processors().len() {
+            let order = mapping.proc_order(p);
+            for pair in order.windows(2) {
+                graph
+                    .add_edge(pair[0].node(), pair[1].node(), 0.0)
+                    .expect("task nodes exist");
+            }
+        }
+
+        // Ehw: context sequentialization with reconfiguration weights.
+        for (d, spec) in arch.drlcs().iter().enumerate() {
+            let ctxs = mapping.contexts(d);
+            for (k, ctx) in ctxs.iter().enumerate() {
+                let reconfig = spec
+                    .reconfiguration_time(mapping.context_clbs(app, d, k))
+                    .value();
+                let initials = context_initials(app, ctx.tasks());
+                if k == 0 {
+                    for &t in &initials {
+                        graph
+                            .add_edge(source, t.node(), reconfig)
+                            .expect("task nodes exist");
+                    }
+                } else {
+                    let terminals = context_terminals(app, ctxs[k - 1].tasks());
+                    for &from in &terminals {
+                        for &to in &initials {
+                            graph
+                                .add_edge(from.node(), to.node(), reconfig)
+                                .expect("task nodes exist");
+                        }
+                    }
+                }
+            }
+        }
+
+        SearchGraph {
+            graph,
+            node_weights,
+            n_tasks: n,
+        }
+    }
+
+    /// The underlying weighted digraph (tasks `0..n` plus the source).
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// Node weights (execution times in µs; source weight 0).
+    pub fn node_weights(&self) -> &[f64] {
+        &self.node_weights
+    }
+
+    /// Number of task nodes (excluding the virtual source).
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Longest path of *G′* (the §4.4 evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::CyclicSchedule`] if the sequentialization
+    /// edges close a cycle (an infeasible order).
+    pub fn longest_path(&self) -> Result<LongestPath, MappingError> {
+        dag_longest_path(&self.graph, &self.node_weights)
+            .map_err(|_| MappingError::CyclicSchedule)
+    }
+}
+
+/// Initial nodes of a context: tasks whose immediate predecessors are
+/// all outside the context (§3.3).
+pub fn context_initials(app: &TaskGraph, tasks: &[TaskId]) -> Vec<TaskId> {
+    let inside = |t: TaskId| tasks.contains(&t);
+    tasks
+        .iter()
+        .copied()
+        .filter(|&t| {
+            !app.edges()
+                .iter()
+                .any(|e| e.to == t && inside(e.from))
+        })
+        .collect()
+}
+
+/// Terminal nodes of a context: tasks whose immediate successors are
+/// all outside the context (§3.3).
+pub fn context_terminals(app: &TaskGraph, tasks: &[TaskId]) -> Vec<TaskId> {
+    let inside = |t: TaskId| tasks.contains(&t);
+    tasks
+        .iter()
+        .copied()
+        .filter(|&t| {
+            !app.edges()
+                .iter()
+                .any(|e| e.from == t && inside(e.to))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdse_model::units::{Bytes, Clbs, Micros};
+    use rdse_model::HwImpl;
+
+    fn us(v: f64) -> Micros {
+        Micros::new(v)
+    }
+
+    /// Chain a(10) -> b(20) -> c(5); a and b have hardware impls.
+    fn fixture() -> (TaskGraph, Architecture) {
+        let mut app = TaskGraph::new("fx");
+        let a = app
+            .add_task("a", "F", us(10.0), vec![HwImpl::new(Clbs::new(100), us(2.0))])
+            .unwrap();
+        let b = app
+            .add_task("b", "G", us(20.0), vec![HwImpl::new(Clbs::new(150), us(3.0))])
+            .unwrap();
+        let c = app.add_task("c", "H", us(5.0), vec![]).unwrap();
+        app.add_data_edge(a, b, Bytes::new(1000)).unwrap();
+        app.add_data_edge(b, c, Bytes::new(2000)).unwrap();
+        let arch = Architecture::builder("soc")
+            .processor("cpu", 1.0)
+            .drlc("fpga", Clbs::new(200), us(0.1), 1.0)
+            .bus_rate(100.0) // 1000 bytes -> 10 µs
+            .build()
+            .unwrap();
+        (app, arch)
+    }
+
+    fn topo(app: &TaskGraph) -> Vec<TaskId> {
+        rdse_graph::topo_sort(&app.precedence_graph())
+            .unwrap()
+            .into_iter()
+            .map(TaskId::from)
+            .collect()
+    }
+
+    #[test]
+    fn all_software_makespan_is_sum_of_sw_times() {
+        let (app, arch) = fixture();
+        let m = Mapping::all_software(&app, &arch, topo(&app));
+        let sg = SearchGraph::build(&app, &arch, &m);
+        let lp = sg.longest_path().unwrap();
+        // Same device: zero comm. 10 + 20 + 5.
+        assert_eq!(lp.makespan(), 35.0);
+    }
+
+    #[test]
+    fn hw_placement_adds_comm_and_reconfig() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo(&app));
+        // Move b to hardware, context 0 (150 CLBs -> reconfig 15 µs).
+        m.detach(TaskId(1));
+        m.insert_new_context(TaskId(1), 0, 0, 0);
+        let sg = SearchGraph::build(&app, &arch, &m);
+        let lp = sg.longest_path().unwrap();
+        // Path: max( reconfig 15, a(10) + comm 10 ) + b_hw(3) + comm 20 + c(5)
+        // = max(15, 20) + 3 + 20 + 5 = 48.
+        assert_eq!(lp.makespan(), 48.0);
+    }
+
+    #[test]
+    fn initial_reconfig_floors_start_time() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo(&app));
+        // Move a (a source task) to hardware: its start must wait for
+        // the initial configuration (100 CLBs × 0.1 = 10 µs).
+        m.detach(TaskId(0));
+        m.insert_new_context(TaskId(0), 0, 0, 0);
+        let sg = SearchGraph::build(&app, &arch, &m);
+        let lp = sg.longest_path().unwrap();
+        // a: starts at 10 (reconfig), runs 2 -> 12; comm 10 -> b starts 22,
+        // ends 42; comm 20 (cross: b sw? no b is sw, same cpu as c -> 0).
+        // Wait: a(hw) -> b(sw): comm 10. b(20) -> c same device comm 0, c 5.
+        // makespan = 10 + 2 + 10 + 20 + 5 = 47.
+        assert_eq!(lp.makespan(), 47.0);
+        assert_eq!(lp.completion(TaskId(0).node()), 12.0);
+    }
+
+    #[test]
+    fn two_contexts_sequentialize_with_reconfig() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo(&app));
+        m.detach(TaskId(0));
+        m.insert_new_context(TaskId(0), 0, 0, 0); // ctx0: a, 100 CLBs
+        m.detach(TaskId(1));
+        m.insert_new_context(TaskId(1), 0, 1, 0); // ctx1: b, 150 CLBs
+        let sg = SearchGraph::build(&app, &arch, &m);
+        let lp = sg.longest_path().unwrap();
+        // a: reconfig 10 + 2 = 12. b: max(data: 12 + 0 (same device),
+        // ctx handover: 12 + 15) = 27 + 3 = 30. c: 30 + comm 20 + 5 = 55.
+        assert_eq!(lp.makespan(), 55.0);
+    }
+
+    #[test]
+    fn infeasible_order_detected_as_cycle() {
+        let (app, arch) = fixture();
+        // Order c before a on the processor although a ⇝ c.
+        let m = Mapping::all_software(
+            &app,
+            &arch,
+            vec![TaskId(2), TaskId(0), TaskId(1)],
+        );
+        let sg = SearchGraph::build(&app, &arch, &m);
+        assert_eq!(sg.longest_path(), Err(MappingError::CyclicSchedule));
+    }
+
+    #[test]
+    fn backwards_context_order_is_cyclic() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo(&app));
+        m.detach(TaskId(1));
+        m.insert_new_context(TaskId(1), 0, 0, 0); // ctx0: b
+        m.detach(TaskId(0));
+        m.insert_new_context(TaskId(0), 0, 1, 0); // ctx1: a, but a ⇝ b!
+        let sg = SearchGraph::build(&app, &arch, &m);
+        assert_eq!(sg.longest_path(), Err(MappingError::CyclicSchedule));
+    }
+
+    #[test]
+    fn initials_and_terminals() {
+        let (app, _) = fixture();
+        // Context holding a and b (a -> b inside).
+        let tasks = vec![TaskId(0), TaskId(1)];
+        assert_eq!(context_initials(&app, &tasks), vec![TaskId(0)]);
+        assert_eq!(context_terminals(&app, &tasks), vec![TaskId(1)]);
+        // Independent tasks are both initial and terminal.
+        let only_c = vec![TaskId(2)];
+        assert_eq!(context_initials(&app, &only_c), vec![TaskId(2)]);
+        assert_eq!(context_terminals(&app, &only_c), vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn same_device_rules() {
+        use ResourceRef::*;
+        assert!(same_device(Processor(0), Processor(0)));
+        assert!(!same_device(Processor(0), Processor(1)));
+        assert!(same_device(
+            Context { drlc: 0, context: 1 },
+            Context { drlc: 0, context: 5 }
+        ));
+        assert!(!same_device(
+            Context { drlc: 0, context: 1 },
+            Context { drlc: 1, context: 1 }
+        ));
+        assert!(!same_device(Processor(0), Asic(0)));
+        assert!(same_device(Asic(1), Asic(1)));
+    }
+}

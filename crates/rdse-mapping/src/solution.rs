@@ -1,0 +1,656 @@
+//! The solution representation: a complete spatio-temporal mapping.
+
+use crate::error::MappingError;
+use crate::placement::{Placement, ResourceRef};
+use rdse_model::units::{Clbs, Micros};
+use rdse_model::{Architecture, TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// One run-time context of a reconfigurable device: a set of hardware
+/// tasks configured and executed together (§3.2). Contexts execute in
+/// list order; tasks inside a context are only partially ordered by the
+/// application's precedence edges (the GTLP order of §3.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Context {
+    tasks: Vec<TaskId>,
+}
+
+impl Context {
+    /// Creates a context holding exactly one task.
+    pub fn singleton(task: TaskId) -> Self {
+        Context { tasks: vec![task] }
+    }
+
+    /// The tasks configured in this context (unordered set semantics).
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// Number of tasks in the context.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when the context holds no tasks (transient state only;
+    /// valid mappings never contain empty contexts).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+/// A complete candidate solution (§3.3): spatial partitioning, temporal
+/// partitioning, processor orders and implementation selection.
+///
+/// All mutating operations keep the cross-indices consistent (a task's
+/// [`Placement`] always agrees with the processor orders and context
+/// lists); [`Mapping::validate`] re-checks every invariant and is used
+/// liberally in tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    placement: Vec<Placement>,
+    proc_order: Vec<Vec<TaskId>>,
+    contexts: Vec<Vec<Context>>,
+}
+
+impl Mapping {
+    /// Creates the all-software mapping: every task on processor 0 in
+    /// the given total order (callers usually pass a topological order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture has no processor or `order` does not
+    /// cover every task exactly once (checked by `validate` in debug
+    /// builds).
+    pub fn all_software(app: &TaskGraph, arch: &Architecture, order: Vec<TaskId>) -> Self {
+        assert!(
+            !arch.processors().is_empty(),
+            "all-software mapping needs a processor"
+        );
+        assert_eq!(order.len(), app.n_tasks(), "order must cover all tasks");
+        Mapping {
+            placement: vec![Placement::Software { processor: 0 }; app.n_tasks()],
+            proc_order: {
+                let mut po = vec![Vec::new(); arch.processors().len()];
+                po[0] = order;
+                po
+            },
+            contexts: vec![Vec::new(); arch.drlcs().len()],
+        }
+    }
+
+    /// Number of tasks covered.
+    pub fn n_tasks(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Placement of one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn placement(&self, task: TaskId) -> Placement {
+        self.placement[task.index()]
+    }
+
+    /// The scheduling resource of one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn resource(&self, task: TaskId) -> ResourceRef {
+        self.placement(task).resource()
+    }
+
+    /// Total execution order of one processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processor` is out of range.
+    pub fn proc_order(&self, processor: usize) -> &[TaskId] {
+        &self.proc_order[processor]
+    }
+
+    /// Ordered context list of one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drlc` is out of range.
+    pub fn contexts(&self, drlc: usize) -> &[Context] {
+        &self.contexts[drlc]
+    }
+
+    /// Total number of contexts over all devices (the quantity plotted
+    /// in Figs. 2 and 3 of the paper).
+    pub fn n_contexts(&self) -> usize {
+        self.contexts.iter().map(Vec::len).sum()
+    }
+
+    /// Execution time of `task` under its current placement and
+    /// implementation selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement references a missing implementation.
+    pub fn exec_time(&self, app: &TaskGraph, task: TaskId) -> Micros {
+        let t = app.task(task).expect("task id in range");
+        match self.placement(task) {
+            Placement::Software { .. } => t.sw_time(),
+            Placement::Hardware { hw_impl, .. } => t.hw_impls()[hw_impl].time(),
+            Placement::Asic { .. } => t
+                .fastest_hw()
+                .map(|i| i.time())
+                .unwrap_or_else(|| t.sw_time()),
+        }
+    }
+
+    /// CLBs occupied by `task` (zero for software/ASIC placements).
+    pub fn task_clbs(&self, app: &TaskGraph, task: TaskId) -> Clbs {
+        match self.placement(task) {
+            Placement::Hardware { hw_impl, .. } => {
+                app.task(task).expect("task id in range").hw_impls()[hw_impl].clbs()
+            }
+            _ => Clbs::ZERO,
+        }
+    }
+
+    /// CLBs used by one context (`nCLB` in the paper's edge weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn context_clbs(&self, app: &TaskGraph, drlc: usize, context: usize) -> Clbs {
+        self.contexts[drlc][context]
+            .tasks()
+            .iter()
+            .map(|&t| self.task_clbs(app, t))
+            .sum()
+    }
+
+    /// Sum of CLBs over all contexts of all devices (total area that
+    /// must be configured during a run).
+    pub fn total_configured_clbs(&self, app: &TaskGraph) -> Clbs {
+        (0..self.contexts.len())
+            .map(|d| {
+                (0..self.contexts[d].len())
+                    .map(|c| self.context_clbs(app, d, c))
+                    .sum::<Clbs>()
+            })
+            .sum()
+    }
+
+    /// Tasks currently placed in hardware.
+    pub fn hw_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.placement
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_hardware())
+            .map(|(i, _)| TaskId(i as u32))
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations (used by the move generator and by baseline explorers).
+    // Each keeps the structure self-consistent — placements always agree
+    // with processor orders and context lists — while feasibility w.r.t.
+    // precedence is checked by the evaluator.
+    // ------------------------------------------------------------------
+
+    /// Removes `task` from the resource it currently occupies, leaving
+    /// it temporarily unplaced (the caller must re-insert it). Empty
+    /// contexts are deleted and later context indices re-numbered.
+    pub fn detach(&mut self, task: TaskId) {
+        match self.placement(task) {
+            Placement::Software { processor } => {
+                self.proc_order[processor].retain(|&t| t != task);
+            }
+            Placement::Hardware { drlc, context, .. } => {
+                let ctx = &mut self.contexts[drlc][context];
+                ctx.tasks.retain(|&t| t != task);
+                if ctx.is_empty() {
+                    self.remove_context(drlc, context);
+                }
+            }
+            Placement::Asic { .. } => {}
+        }
+    }
+
+    /// Inserts `task` into `processor`'s order at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` exceeds the order length.
+    pub fn insert_software(&mut self, task: TaskId, processor: usize, position: usize) {
+        self.proc_order[processor].insert(position, task);
+        self.placement[task.index()] = Placement::Software { processor };
+    }
+
+    /// Adds `task` to an existing context with implementation `hw_impl`.
+    pub fn insert_hardware(
+        &mut self,
+        task: TaskId,
+        drlc: usize,
+        context: usize,
+        hw_impl: usize,
+    ) {
+        self.contexts[drlc][context].tasks.push(task);
+        self.placement[task.index()] = Placement::Hardware {
+            drlc,
+            context,
+            hw_impl,
+        };
+    }
+
+    /// Spawns a new context at `position` in `drlc`'s context order
+    /// holding only `task` (the paper's overflow rule: "another context
+    /// will be spawned if nCLB(R(vd)) + C(vs) > NCLB").
+    pub fn insert_new_context(
+        &mut self,
+        task: TaskId,
+        drlc: usize,
+        position: usize,
+        hw_impl: usize,
+    ) {
+        self.contexts[drlc].insert(position, Context::singleton(task));
+        // Re-number placements for contexts displaced by the insertion.
+        for p in &mut self.placement {
+            if let Placement::Hardware { drlc: d, context, .. } = p {
+                if *d == drlc && *context >= position {
+                    *context += 1;
+                }
+            }
+        }
+        self.placement[task.index()] = Placement::Hardware {
+            drlc,
+            context: position,
+            hw_impl,
+        };
+    }
+
+    /// Places `task` on an ASIC.
+    pub fn insert_asic(&mut self, task: TaskId, asic: usize) {
+        self.placement[task.index()] = Placement::Asic { asic };
+    }
+
+    /// Changes the selected implementation of a hardware task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is not placed in hardware.
+    pub fn select_impl(&mut self, task: TaskId, hw_impl: usize) {
+        match &mut self.placement[task.index()] {
+            Placement::Hardware { hw_impl: cur, .. } => *cur = hw_impl,
+            other => panic!("select_impl on non-hardware placement {other:?}"),
+        }
+    }
+
+    /// Appends an (empty) order slot for a newly created processor —
+    /// the m4 architecture-exploration move. Returns the new index.
+    pub fn add_processor_slot(&mut self) -> usize {
+        self.proc_order.push(Vec::new());
+        self.proc_order.len() - 1
+    }
+
+    /// Appends an (empty) context list for a newly created DRLC.
+    /// Returns the new index.
+    pub fn add_drlc_slot(&mut self) -> usize {
+        self.contexts.push(Vec::new());
+        self.contexts.len() - 1
+    }
+
+    /// Removes processor `p`'s slot — the m3 move. The order must be
+    /// empty (move its tasks away first); placements on later
+    /// processors are renumbered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order is non-empty or `p` is out of range.
+    pub fn remove_processor_slot(&mut self, p: usize) {
+        assert!(self.proc_order[p].is_empty(), "processor {p} still has tasks");
+        self.proc_order.remove(p);
+        for place in &mut self.placement {
+            if let Placement::Software { processor } = place {
+                assert_ne!(*processor, p, "placement points at removed processor");
+                if *processor > p {
+                    *processor -= 1;
+                }
+            }
+        }
+    }
+
+    /// Removes DRLC `d`'s context list — the m3 move. The list must be
+    /// empty; placements on later devices are renumbered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device still has contexts or `d` is out of range.
+    pub fn remove_drlc_slot(&mut self, d: usize) {
+        assert!(self.contexts[d].is_empty(), "drlc {d} still has contexts");
+        self.contexts.remove(d);
+        for place in &mut self.placement {
+            if let Placement::Hardware { drlc, .. } = place {
+                assert_ne!(*drlc, d, "placement points at removed drlc");
+                if *drlc > d {
+                    *drlc -= 1;
+                }
+            }
+        }
+    }
+
+    /// Renumbers ASIC placements after removal of ASIC `a` (which must
+    /// host no tasks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a placement still references ASIC `a`.
+    pub fn remove_asic_slot(&mut self, a: usize) {
+        for place in &mut self.placement {
+            if let Placement::Asic { asic } = place {
+                assert_ne!(*asic, a, "placement points at removed asic");
+                if *asic > a {
+                    *asic -= 1;
+                }
+            }
+        }
+    }
+
+    fn remove_context(&mut self, drlc: usize, context: usize) {
+        self.contexts[drlc].remove(context);
+        for p in &mut self.placement {
+            if let Placement::Hardware { drlc: d, context: c, .. } = p {
+                if *d == drlc && *c > context {
+                    *c -= 1;
+                }
+            }
+        }
+    }
+
+    /// Checks every structural invariant against the models.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive [`MappingError`] on the first violation:
+    /// index mismatches, duplicated or missing tasks, empty contexts,
+    /// missing hardware capability, or capacity overflow.
+    pub fn validate(&self, app: &TaskGraph, arch: &Architecture) -> Result<(), MappingError> {
+        if self.placement.len() != app.n_tasks() {
+            return Err(MappingError::Inconsistent(format!(
+                "{} placements for {} tasks",
+                self.placement.len(),
+                app.n_tasks()
+            )));
+        }
+        if self.proc_order.len() != arch.processors().len() {
+            return Err(MappingError::Inconsistent(
+                "processor order count mismatch".into(),
+            ));
+        }
+        if self.contexts.len() != arch.drlcs().len() {
+            return Err(MappingError::Inconsistent("context list count mismatch".into()));
+        }
+        let mut seen = vec![false; app.n_tasks()];
+        for (p, order) in self.proc_order.iter().enumerate() {
+            for &t in order {
+                if t.index() >= app.n_tasks() {
+                    return Err(MappingError::Inconsistent(format!("unknown task {t}")));
+                }
+                if seen[t.index()] {
+                    return Err(MappingError::Inconsistent(format!("task {t} scheduled twice")));
+                }
+                seen[t.index()] = true;
+                if self.placement(t) != (Placement::Software { processor: p }) {
+                    return Err(MappingError::Inconsistent(format!(
+                        "task {t} in proc {p} order but placed elsewhere"
+                    )));
+                }
+            }
+        }
+        for (d, ctxs) in self.contexts.iter().enumerate() {
+            let spec = &arch.drlcs()[d];
+            for (c, ctx) in ctxs.iter().enumerate() {
+                if ctx.is_empty() {
+                    return Err(MappingError::Inconsistent(format!(
+                        "empty context {c} on drlc {d}"
+                    )));
+                }
+                for &t in ctx.tasks() {
+                    if t.index() >= app.n_tasks() {
+                        return Err(MappingError::Inconsistent(format!("unknown task {t}")));
+                    }
+                    if seen[t.index()] {
+                        return Err(MappingError::Inconsistent(format!(
+                            "task {t} scheduled twice"
+                        )));
+                    }
+                    seen[t.index()] = true;
+                    match self.placement(t) {
+                        Placement::Hardware {
+                            drlc,
+                            context,
+                            hw_impl,
+                        } if drlc == d && context == c => {
+                            let task = app.task(t).expect("task id in range");
+                            if task.hw_impls().is_empty() {
+                                return Err(MappingError::NotHwCapable(t));
+                            }
+                            if hw_impl >= task.hw_impls().len() {
+                                return Err(MappingError::Inconsistent(format!(
+                                    "task {t} selects implementation {hw_impl} of {}",
+                                    task.hw_impls().len()
+                                )));
+                            }
+                        }
+                        _ => {
+                            return Err(MappingError::Inconsistent(format!(
+                                "task {t} in drlc {d}/ctx {c} but placed elsewhere"
+                            )));
+                        }
+                    }
+                }
+                if self.context_clbs(app, d, c) > spec.n_clbs() {
+                    return Err(MappingError::CapacityExceeded { drlc: d, context: c });
+                }
+            }
+        }
+        for (i, p) in self.placement.iter().enumerate() {
+            let t = TaskId(i as u32);
+            match *p {
+                Placement::Asic { asic } => {
+                    if asic >= arch.asics().len() {
+                        return Err(MappingError::UnknownResource(format!("asic{asic}")));
+                    }
+                    seen[i] = true;
+                }
+                Placement::Software { processor } if processor >= arch.processors().len() => {
+                    return Err(MappingError::UnknownResource(format!("proc{processor}")));
+                }
+                _ => {}
+            }
+            if !seen[i] {
+                return Err(MappingError::Inconsistent(format!(
+                    "task {t} not present on its resource"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdse_model::units::Bytes;
+    use rdse_model::HwImpl;
+
+    fn us(v: f64) -> Micros {
+        Micros::new(v)
+    }
+
+    fn fixture() -> (TaskGraph, Architecture) {
+        let mut app = TaskGraph::new("fx");
+        let a = app
+            .add_task("a", "F", us(10.0), vec![HwImpl::new(Clbs::new(100), us(2.0))])
+            .unwrap();
+        let b = app
+            .add_task(
+                "b",
+                "G",
+                us(20.0),
+                vec![
+                    HwImpl::new(Clbs::new(50), us(8.0)),
+                    HwImpl::new(Clbs::new(150), us(3.0)),
+                ],
+            )
+            .unwrap();
+        let c = app.add_task("c", "H", us(5.0), vec![]).unwrap();
+        app.add_data_edge(a, b, Bytes::new(100)).unwrap();
+        app.add_data_edge(b, c, Bytes::new(200)).unwrap();
+        let arch = Architecture::builder("soc")
+            .processor("cpu", 1.0)
+            .drlc("fpga", Clbs::new(200), us(22.5), 1.0)
+            .build()
+            .unwrap();
+        (app, arch)
+    }
+
+    fn topo_order(app: &TaskGraph) -> Vec<TaskId> {
+        rdse_graph::topo_sort(&app.precedence_graph())
+            .unwrap()
+            .into_iter()
+            .map(TaskId::from)
+            .collect()
+    }
+
+    #[test]
+    fn all_software_is_valid() {
+        let (app, arch) = fixture();
+        let m = Mapping::all_software(&app, &arch, topo_order(&app));
+        m.validate(&app, &arch).unwrap();
+        assert_eq!(m.n_contexts(), 0);
+        assert_eq!(m.proc_order(0).len(), 3);
+        assert_eq!(m.exec_time(&app, TaskId(0)), us(10.0));
+    }
+
+    #[test]
+    fn move_task_to_new_context() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo_order(&app));
+        m.detach(TaskId(0));
+        m.insert_new_context(TaskId(0), 0, 0, 0);
+        m.validate(&app, &arch).unwrap();
+        assert_eq!(m.n_contexts(), 1);
+        assert_eq!(m.exec_time(&app, TaskId(0)), us(2.0));
+        assert_eq!(m.context_clbs(&app, 0, 0), Clbs::new(100));
+        assert_eq!(m.proc_order(0).len(), 2);
+    }
+
+    #[test]
+    fn detach_removes_empty_context_and_renumbers() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo_order(&app));
+        m.detach(TaskId(0));
+        m.insert_new_context(TaskId(0), 0, 0, 0);
+        m.detach(TaskId(1));
+        m.insert_new_context(TaskId(1), 0, 1, 0);
+        m.validate(&app, &arch).unwrap();
+        assert_eq!(m.n_contexts(), 2);
+        // Remove the first context's only task: context 1 renumbers to 0.
+        m.detach(TaskId(0));
+        m.insert_software(TaskId(0), 0, 0);
+        m.validate(&app, &arch).unwrap();
+        assert_eq!(m.n_contexts(), 1);
+        assert_eq!(
+            m.placement(TaskId(1)),
+            Placement::Hardware {
+                drlc: 0,
+                context: 0,
+                hw_impl: 0
+            }
+        );
+    }
+
+    #[test]
+    fn insert_new_context_in_middle_renumbers() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo_order(&app));
+        m.detach(TaskId(0));
+        m.insert_new_context(TaskId(0), 0, 0, 0);
+        m.detach(TaskId(2));
+        // c has no hw impls, so pretend b instead:
+        m.insert_software(TaskId(2), 0, 0);
+        m.detach(TaskId(1));
+        // Insert b's context *before* a's: a's context index must bump.
+        m.insert_new_context(TaskId(1), 0, 0, 1);
+        m.validate(&app, &arch).unwrap();
+        assert_eq!(
+            m.placement(TaskId(0)),
+            Placement::Hardware {
+                drlc: 0,
+                context: 1,
+                hw_impl: 0
+            }
+        );
+    }
+
+    #[test]
+    fn select_impl_changes_area_and_time() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo_order(&app));
+        m.detach(TaskId(1));
+        m.insert_new_context(TaskId(1), 0, 0, 0);
+        assert_eq!(m.exec_time(&app, TaskId(1)), us(8.0));
+        m.select_impl(TaskId(1), 1);
+        m.validate(&app, &arch).unwrap();
+        assert_eq!(m.exec_time(&app, TaskId(1)), us(3.0));
+        assert_eq!(m.context_clbs(&app, 0, 0), Clbs::new(150));
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo_order(&app));
+        m.detach(TaskId(0));
+        m.insert_new_context(TaskId(0), 0, 0, 0); // 100 CLBs
+        m.detach(TaskId(1));
+        m.insert_hardware(TaskId(1), 0, 0, 1); // +150 CLBs > 200
+        assert_eq!(
+            m.validate(&app, &arch),
+            Err(MappingError::CapacityExceeded { drlc: 0, context: 0 })
+        );
+    }
+
+    #[test]
+    fn duplicated_task_detected() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo_order(&app));
+        // Manually corrupt: insert a second copy of task 0 into the order.
+        m.proc_order[0].push(TaskId(0));
+        assert!(matches!(
+            m.validate(&app, &arch),
+            Err(MappingError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn non_hw_capable_task_rejected_in_context() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo_order(&app));
+        m.detach(TaskId(2)); // task c has no hw impls
+        m.insert_new_context(TaskId(2), 0, 0, 0);
+        assert_eq!(
+            m.validate(&app, &arch),
+            Err(MappingError::NotHwCapable(TaskId(2)))
+        );
+    }
+
+    #[test]
+    fn total_configured_clbs_sums_contexts() {
+        let (app, arch) = fixture();
+        let mut m = Mapping::all_software(&app, &arch, topo_order(&app));
+        m.detach(TaskId(0));
+        m.insert_new_context(TaskId(0), 0, 0, 0);
+        m.detach(TaskId(1));
+        m.insert_new_context(TaskId(1), 0, 1, 0);
+        assert_eq!(m.total_configured_clbs(&app), Clbs::new(150));
+        let hw: Vec<TaskId> = m.hw_tasks().collect();
+        assert_eq!(hw, vec![TaskId(0), TaskId(1)]);
+    }
+}

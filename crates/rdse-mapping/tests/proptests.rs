@@ -1,0 +1,138 @@
+//! Property-based tests: the move engine must preserve every invariant
+//! under arbitrary random walks, and the cached evaluation must always
+//! agree with a from-scratch evaluation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdse_anneal::Problem;
+use rdse_mapping::{evaluate, random_initial, MappingProblem, Objective};
+use rdse_model::units::{Bytes, Clbs, Micros};
+use rdse_model::{Architecture, HwImpl, TaskGraph};
+
+/// Builds a random layered application from a compact recipe.
+fn build_app(n_tasks: usize, edge_density: u8, hw_seed: u64) -> TaskGraph {
+    let mut app = TaskGraph::new("prop");
+    let mut rng = StdRng::seed_from_u64(hw_seed);
+    for i in 0..n_tasks {
+        let n_impls = rng.random_range(0..4usize);
+        let impls = (0..n_impls)
+            .map(|_| {
+                HwImpl::new(
+                    Clbs::new(rng.random_range(20..200)),
+                    Micros::new(rng.random_range(1.0..50.0)),
+                )
+            })
+            .collect();
+        app.add_task(
+            format!("t{i}"),
+            "F",
+            Micros::new(rng.random_range(10.0..500.0)),
+            impls,
+        )
+        .expect("valid task");
+    }
+    for a in 0..n_tasks {
+        for b in (a + 1)..n_tasks {
+            if rng.random_range(0..100) < edge_density as u32 {
+                app.add_data_edge(
+                    rdse_model::TaskId(a as u32),
+                    rdse_model::TaskId(b as u32),
+                    Bytes::new(rng.random_range(1..5000)),
+                )
+                .expect("valid edge");
+            }
+        }
+    }
+    app
+}
+
+fn arch(clbs: u32) -> Architecture {
+    Architecture::builder("soc")
+        .processor("cpu", 1.0)
+        .drlc("fpga", Clbs::new(clbs), Micros::new(5.0), 1.0)
+        .bus_rate(50.0)
+        .build()
+        .expect("valid architecture")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_walks_preserve_all_invariants(
+        n_tasks in 3usize..16,
+        density in 5u8..40,
+        seed in 0u64..1_000_000,
+        clbs in 100u32..600,
+    ) {
+        let app = build_app(n_tasks, density, seed);
+        let arch = arch(clbs);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let initial = random_initial(&app, &arch, &mut rng);
+        let mut problem = MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan)
+            .expect("initial solution feasible");
+        for step in 0..200u32 {
+            let class = (step % 2) as usize;
+            if let Some((mv, new_cost)) = problem.try_move(&mut rng, class) {
+                // Cached cost equals a fresh evaluation.
+                let fresh = evaluate(&app, &arch, problem.mapping()).expect("feasible");
+                prop_assert!((fresh.makespan.value() - new_cost).abs() < 1e-9);
+                problem.mapping().validate(&app, &arch).expect("valid after move");
+                if step % 3 == 0 {
+                    let cost_before = problem.cost();
+                    problem.undo(mv);
+                    prop_assert!(problem.cost() <= cost_before + 1e9); // sanity
+                    let fresh = evaluate(&app, &arch, problem.mapping()).expect("feasible");
+                    prop_assert!((fresh.makespan.value() - problem.cost()).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_never_below_critical_path_lower_bound(
+        n_tasks in 3usize..12,
+        density in 5u8..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let app = build_app(n_tasks, density, seed);
+        let arch = arch(400);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Lower bound: every task needs at least its fastest execution.
+        let fastest: f64 = app
+            .tasks()
+            .map(|(_, t)| {
+                t.fastest_hw()
+                    .map(|i| i.time().value().min(t.sw_time().value()))
+                    .unwrap_or(t.sw_time().value())
+            })
+            .fold(0.0, f64::max);
+        for _ in 0..10 {
+            let m = random_initial(&app, &arch, &mut rng);
+            let eval = evaluate(&app, &arch, &m).expect("feasible");
+            prop_assert!(eval.makespan.value() + 1e-9 >= fastest);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip(
+        n_tasks in 3usize..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let app = build_app(n_tasks, 20, seed);
+        let arch = arch(300);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial = random_initial(&app, &arch, &mut rng);
+        let mut problem = MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan)
+            .expect("feasible");
+        let snap = problem.snapshot();
+        let cost0 = problem.cost();
+        for step in 0..50u32 {
+            let _ = problem.try_move(&mut rng, (step % 2) as usize);
+        }
+        problem.restore(&snap);
+        prop_assert_eq!(problem.cost(), cost0);
+        problem.mapping().validate(&app, &arch).expect("valid after restore");
+    }
+}

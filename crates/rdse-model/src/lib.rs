@@ -1,0 +1,55 @@
+//! Application and architecture models for reconfigurable-system DSE.
+//!
+//! This crate is the Rust rendering of §3.1–3.2 of the DATE'05 paper
+//! (Miramond & Delosme):
+//!
+//! * [`TaskGraph`] — an acyclic precedence graph of coarse-grain tasks.
+//!   Each task carries a functionality label, an estimated software
+//!   execution time, and a set of Pareto-dominant hardware
+//!   implementations (CLB count × execution time), mirroring the
+//!   EPICURE estimates the paper uses (5–6 synthesized points per
+//!   function). Edges carry the amount of data transferred.
+//! * [`Architecture`] — the resource inventory: programmable
+//!   processors, dynamically reconfigurable logic circuits (DRLC) with
+//!   capacity `NCLB` and per-CLB reconfiguration time `tR`, optional
+//!   ASICs, and the shared bus (rate `D`) through which processor and
+//!   RC communicate via shared memory.
+//! * [`units`] — `Micros`, `Clbs`, `Bytes` newtypes so times, areas and
+//!   data volumes cannot be mixed up.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdse_model::{Architecture, TaskGraph, HwImpl};
+//! use rdse_model::units::{Bytes, Clbs, Micros};
+//!
+//! # fn main() -> Result<(), rdse_model::ModelError> {
+//! let mut app = TaskGraph::new("demo");
+//! let fir = app.add_task("fir", "FIR", Micros::new(900.0), vec![
+//!     HwImpl::new(Clbs::new(120), Micros::new(60.0)),
+//!     HwImpl::new(Clbs::new(220), Micros::new(35.0)),
+//! ])?;
+//! let dct = app.add_task("dct", "DCT", Micros::new(1500.0), vec![])?;
+//! app.add_data_edge(fir, dct, Bytes::new(4096))?;
+//! app.validate()?;
+//!
+//! let arch = Architecture::builder("soc")
+//!     .processor("arm922", 1.0)
+//!     .drlc("virtex-e", Clbs::new(2000), Micros::new(22.5), 1.0)
+//!     .bus_rate(100.0)
+//!     .build()?;
+//! assert_eq!(arch.drlcs().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod app;
+pub mod arch;
+pub mod error;
+pub mod io;
+pub mod units;
+
+pub use app::{DataEdge, HwImpl, Task, TaskGraph, TaskId};
+pub use arch::{Architecture, ArchitectureBuilder, AsicSpec, BusSpec, DrlcSpec, ProcessorSpec};
+pub use error::ModelError;
+pub use units::{Bytes, Clbs, Micros};

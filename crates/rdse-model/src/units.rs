@@ -1,0 +1,278 @@
+//! Unit newtypes: microseconds, CLB counts, byte counts.
+//!
+//! The paper mixes quantities of very different scales (22.5 µs per CLB
+//! reconfiguration vs. a 40 000 µs frame deadline); newtypes keep them
+//! apart at compile time (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A duration in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_model::units::Micros;
+///
+/// let t = Micros::new(1500.0) + Micros::new(500.0);
+/// assert_eq!(t.as_millis(), 2.0);
+/// assert_eq!(t * 2.0, Micros::new(4000.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct Micros(f64);
+
+impl Micros {
+    /// Zero duration.
+    pub const ZERO: Micros = Micros(0.0);
+
+    /// Creates a duration of `value` microseconds.
+    pub const fn new(value: f64) -> Self {
+        Micros(value)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Micros(ms * 1000.0)
+    }
+
+    /// The raw value in microseconds.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The value converted to milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// `true` if the value is finite and non-negative.
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Micros) -> Micros {
+        Micros(self.0.max(other.0))
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Micros {
+    type Output = Micros;
+    fn mul(self, rhs: f64) -> Micros {
+        Micros(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Micros {
+    type Output = Micros;
+    fn div(self, rhs: f64) -> Micros {
+        Micros(self.0 / rhs)
+    }
+}
+
+impl Sum for Micros {
+    fn sum<I: Iterator<Item = Micros>>(iter: I) -> Micros {
+        Micros(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1000.0 {
+            write!(f, "{:.3} ms", self.0 / 1000.0)
+        } else {
+            write!(f, "{:.1} µs", self.0)
+        }
+    }
+}
+
+/// A count of configurable logic blocks.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_model::units::Clbs;
+///
+/// let area = Clbs::new(120) + Clbs::new(80);
+/// assert_eq!(area.value(), 200);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Clbs(u32);
+
+impl Clbs {
+    /// Zero CLBs.
+    pub const ZERO: Clbs = Clbs(0);
+
+    /// Creates a CLB count.
+    pub fn new(value: u32) -> Self {
+        Clbs(value)
+    }
+
+    /// The raw count.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Clbs) -> Clbs {
+        Clbs(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Clbs {
+    type Output = Clbs;
+    fn add(self, rhs: Clbs) -> Clbs {
+        Clbs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Clbs {
+    fn add_assign(&mut self, rhs: Clbs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Clbs {
+    fn sum<I: Iterator<Item = Clbs>>(iter: I) -> Clbs {
+        Clbs(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Clbs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} CLBs", self.0)
+    }
+}
+
+/// A quantity of data in bytes.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_model::units::Bytes;
+///
+/// assert_eq!(Bytes::new(2048).value(), 2048);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a byte count.
+    pub fn new(value: u64) -> Self {
+        Bytes(value)
+    }
+
+    /// The raw count.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} B", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_arithmetic() {
+        let a = Micros::new(100.0);
+        let b = Micros::new(50.0);
+        assert_eq!((a + b).value(), 150.0);
+        assert_eq!((a - b).value(), 50.0);
+        assert_eq!((a * 3.0).value(), 300.0);
+        assert_eq!((a / 2.0).value(), 50.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.value(), 150.0);
+    }
+
+    #[test]
+    fn micros_display_switches_units() {
+        assert_eq!(Micros::new(40_000.0).to_string(), "40.000 ms");
+        assert_eq!(Micros::new(22.5).to_string(), "22.5 µs");
+    }
+
+    #[test]
+    fn micros_validity() {
+        assert!(Micros::new(1.0).is_valid());
+        assert!(Micros::ZERO.is_valid());
+        assert!(!Micros::new(-1.0).is_valid());
+        assert!(!Micros::new(f64::NAN).is_valid());
+    }
+
+    #[test]
+    fn micros_sum_and_millis() {
+        let total: Micros = [Micros::new(500.0), Micros::from_millis(1.5)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.as_millis(), 2.0);
+    }
+
+    #[test]
+    fn clbs_arithmetic() {
+        let total: Clbs = [Clbs::new(100), Clbs::new(250)].into_iter().sum();
+        assert_eq!(total, Clbs::new(350));
+        assert_eq!(Clbs::new(100).saturating_sub(Clbs::new(300)), Clbs::ZERO);
+        assert_eq!(Clbs::new(300).saturating_sub(Clbs::new(100)), Clbs::new(200));
+    }
+
+    #[test]
+    fn bytes_ordering() {
+        assert!(Bytes::new(10) < Bytes::new(20));
+        let total: Bytes = [Bytes::new(1), Bytes::new(2)].into_iter().sum();
+        assert_eq!(total, Bytes::new(3));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Clbs::new(2000).to_string(), "2000 CLBs");
+        assert_eq!(Bytes::new(64).to_string(), "64 B");
+    }
+}

@@ -1,0 +1,562 @@
+//! The event-driven simulator core.
+
+use crate::event::{SimEvent, SimEventKind};
+use rdse_mapping::{Mapping, MappingError, Placement};
+use rdse_model::units::Micros;
+use rdse_model::{Architecture, TaskGraph, TaskId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Model the shared bus as an exclusive FIFO resource. When
+    /// `false`, transfers proceed in parallel — the paper's static
+    /// ordered-transaction assumption — and the simulated makespan
+    /// equals the analytic longest path.
+    pub exclusive_bus: bool,
+    /// Record the full event log in the report.
+    pub record_events: bool,
+}
+
+impl SimConfig {
+    /// Contention-free bus, no event log (fast validation mode).
+    pub fn contention_free() -> Self {
+        SimConfig {
+            exclusive_bus: false,
+            record_events: false,
+        }
+    }
+
+    /// Exclusive FIFO bus with event log.
+    pub fn with_contention() -> Self {
+        SimConfig {
+            exclusive_bus: true,
+            record_events: true,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::contention_free()
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Completion time of the last task.
+    pub makespan: Micros,
+    /// Start time per task.
+    pub starts: Vec<Micros>,
+    /// End time per task.
+    pub ends: Vec<Micros>,
+    /// Total time the bus spent transferring.
+    pub bus_busy: Micros,
+    /// Number of bus transactions.
+    pub n_transfers: usize,
+    /// Total reconfiguration time across devices.
+    pub reconfig_total: Micros,
+    /// Event log (empty unless requested).
+    pub events: Vec<SimEvent>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(clippy::enum_variant_names)] // the Done suffix is the point: completions wake the engine
+enum Wake {
+    TaskDone(TaskId),
+    ReconfigDone { drlc: usize, context: usize },
+    TransferDone { edge: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: f64,
+    seq: u64,
+    wake: Wake,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via reversed comparison: earliest time first, then
+        // insertion order for determinism.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct ProcState {
+    order: Vec<TaskId>,
+    next: usize,
+    executing: bool,
+}
+
+#[derive(PartialEq)]
+enum DrlcPhase {
+    Reconfiguring,
+    Executing,
+    Done,
+}
+
+struct DrlcState {
+    phase: DrlcPhase,
+    current: usize,
+    remaining_in_current: usize,
+}
+
+struct Engine<'a> {
+    app: &'a TaskGraph,
+    arch: &'a Architecture,
+    mapping: &'a Mapping,
+    cfg: SimConfig,
+    heap: BinaryHeap<HeapEntry>,
+    seq: u64,
+    now: f64,
+    missing_inputs: Vec<usize>,
+    started: Vec<bool>,
+    done: Vec<bool>,
+    starts: Vec<f64>,
+    ends: Vec<f64>,
+    procs: Vec<ProcState>,
+    drlcs: Vec<DrlcState>,
+    bus_pending: Vec<usize>,
+    bus_active: Option<usize>,
+    bus_busy: f64,
+    n_transfers: usize,
+    reconfig_total: f64,
+    n_done: usize,
+    events: Vec<SimEvent>,
+}
+
+impl Engine<'_> {
+    fn push(&mut self, time: f64, wake: Wake) {
+        self.seq += 1;
+        self.heap.push(HeapEntry {
+            time,
+            seq: self.seq,
+            wake,
+        });
+    }
+
+    fn log(&mut self, time: f64, kind: SimEventKind) {
+        if self.cfg.record_events {
+            self.events.push(SimEvent::new(Micros::new(time), kind));
+        }
+    }
+
+    fn cross_device(&self, from: TaskId, to: TaskId) -> bool {
+        !rdse_mapping::searchgraph::same_device(
+            self.mapping.resource(from),
+            self.mapping.resource(to),
+        )
+    }
+
+    fn try_start(&mut self, task: TaskId) {
+        if self.started[task.index()] || self.missing_inputs[task.index()] > 0 {
+            return;
+        }
+        let can_start = match self.mapping.placement(task) {
+            Placement::Software { processor } => {
+                let p = &self.procs[processor];
+                !p.executing && p.next < p.order.len() && p.order[p.next] == task
+            }
+            Placement::Hardware { drlc, context, .. } => {
+                let d = &self.drlcs[drlc];
+                d.phase == DrlcPhase::Executing && d.current == context
+            }
+            Placement::Asic { .. } => true,
+        };
+        if !can_start {
+            return;
+        }
+        self.started[task.index()] = true;
+        self.starts[task.index()] = self.now;
+        if let Placement::Software { processor } = self.mapping.placement(task) {
+            self.procs[processor].executing = true;
+        }
+        let exec = self.mapping.exec_time(self.app, task).value();
+        self.log(self.now, SimEventKind::TaskStart(task));
+        self.push(self.now + exec, Wake::TaskDone(task));
+    }
+
+    fn start_bus_transfer_if_idle(&mut self) {
+        if self.bus_active.is_some() || self.bus_pending.is_empty() {
+            return;
+        }
+        let edge = self.bus_pending.remove(0);
+        self.bus_active = Some(edge);
+        let e = &self.app.edges()[edge];
+        let dur = self.arch.bus().transfer_time(e.bytes).value();
+        self.bus_busy += dur;
+        self.n_transfers += 1;
+        self.log(
+            self.now,
+            SimEventKind::TransferStart {
+                from: e.from,
+                to: e.to,
+            },
+        );
+        self.push(self.now + dur, Wake::TransferDone { edge });
+    }
+
+    fn request_transfer(&mut self, edge: usize) {
+        if self.cfg.exclusive_bus {
+            self.bus_pending.push(edge);
+            self.start_bus_transfer_if_idle();
+        } else {
+            let e = &self.app.edges()[edge];
+            let dur = self.arch.bus().transfer_time(e.bytes).value();
+            self.bus_busy += dur;
+            self.n_transfers += 1;
+            self.log(
+                self.now,
+                SimEventKind::TransferStart {
+                    from: e.from,
+                    to: e.to,
+                },
+            );
+            self.push(self.now + dur, Wake::TransferDone { edge });
+        }
+    }
+
+    fn deliver(&mut self, to: TaskId) {
+        self.missing_inputs[to.index()] -= 1;
+        self.try_start(to);
+    }
+
+    fn start_reconfig(&mut self, drlc: usize, context: usize) {
+        let clbs = self.mapping.context_clbs(self.app, drlc, context);
+        let dur = self.arch.drlcs()[drlc].reconfiguration_time(clbs).value();
+        self.reconfig_total += dur;
+        self.drlcs[drlc].phase = DrlcPhase::Reconfiguring;
+        self.drlcs[drlc].current = context;
+        self.log(self.now, SimEventKind::ReconfigStart { drlc, context });
+        self.push(self.now + dur, Wake::ReconfigDone { drlc, context });
+    }
+
+    fn on_task_done(&mut self, task: TaskId) {
+        self.done[task.index()] = true;
+        self.ends[task.index()] = self.now;
+        self.n_done += 1;
+        self.log(self.now, SimEventKind::TaskEnd(task));
+
+        match self.mapping.placement(task) {
+            Placement::Software { processor } => {
+                self.procs[processor].executing = false;
+                self.procs[processor].next += 1;
+                if let Some(&next) = {
+                    let p = &self.procs[processor];
+                    p.order.get(p.next)
+                } {
+                    self.try_start(next);
+                }
+            }
+            Placement::Hardware { drlc, .. } => {
+                self.drlcs[drlc].remaining_in_current -= 1;
+                if self.drlcs[drlc].remaining_in_current == 0 {
+                    let next_ctx = self.drlcs[drlc].current + 1;
+                    if next_ctx < self.mapping.contexts(drlc).len() {
+                        self.drlcs[drlc].remaining_in_current =
+                            self.mapping.contexts(drlc)[next_ctx].len();
+                        self.start_reconfig(drlc, next_ctx);
+                    } else {
+                        self.drlcs[drlc].phase = DrlcPhase::Done;
+                    }
+                }
+            }
+            Placement::Asic { .. } => {}
+        }
+
+        // Deliver outputs: intra-device immediately, cross-device via
+        // the bus.
+        for (i, e) in self.app.edges().iter().enumerate() {
+            if e.from != task {
+                continue;
+            }
+            if self.cross_device(e.from, e.to) {
+                self.request_transfer(i);
+            } else {
+                self.deliver(e.to);
+            }
+        }
+    }
+
+    fn on_reconfig_done(&mut self, drlc: usize, context: usize) {
+        self.drlcs[drlc].phase = DrlcPhase::Executing;
+        self.log(self.now, SimEventKind::ReconfigEnd { drlc, context });
+        let tasks: Vec<TaskId> = self.mapping.contexts(drlc)[context].tasks().to_vec();
+        for t in tasks {
+            self.try_start(t);
+        }
+    }
+
+    fn on_transfer_done(&mut self, edge: usize) {
+        let e = self.app.edges()[edge];
+        self.log(
+            self.now,
+            SimEventKind::TransferEnd {
+                from: e.from,
+                to: e.to,
+            },
+        );
+        if self.cfg.exclusive_bus {
+            self.bus_active = None;
+            self.start_bus_transfer_if_idle();
+        }
+        self.deliver(e.to);
+    }
+}
+
+/// Executes `mapping` on `arch` and reports the observed schedule.
+///
+/// # Errors
+///
+/// Returns the underlying [`MappingError`] if the mapping is invalid or
+/// infeasible (validated up front with
+/// [`rdse_mapping::evaluate`]), or
+/// [`MappingError::Inconsistent`] if the simulation deadlocks — which
+/// would indicate a bug, since feasible mappings cannot deadlock.
+pub fn simulate(
+    app: &TaskGraph,
+    arch: &Architecture,
+    mapping: &Mapping,
+    cfg: &SimConfig,
+) -> Result<SimReport, MappingError> {
+    mapping.validate(app, arch)?;
+    rdse_mapping::evaluate(app, arch, mapping)?;
+
+    let n = app.n_tasks();
+    let mut missing = vec![0usize; n];
+    for e in app.edges() {
+        missing[e.to.index()] += 1;
+    }
+    let procs: Vec<ProcState> = (0..arch.processors().len())
+        .map(|p| ProcState {
+            order: mapping.proc_order(p).to_vec(),
+            next: 0,
+            executing: false,
+        })
+        .collect();
+    let drlcs: Vec<DrlcState> = (0..arch.drlcs().len())
+        .map(|_| DrlcState {
+            phase: DrlcPhase::Done,
+            current: 0,
+            remaining_in_current: 0,
+        })
+        .collect();
+
+    let mut engine = Engine {
+        app,
+        arch,
+        mapping,
+        cfg: *cfg,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        now: 0.0,
+        missing_inputs: missing,
+        started: vec![false; n],
+        done: vec![false; n],
+        starts: vec![0.0; n],
+        ends: vec![0.0; n],
+        procs,
+        drlcs,
+        bus_pending: Vec::new(),
+        bus_active: None,
+        bus_busy: 0.0,
+        n_transfers: 0,
+        reconfig_total: 0.0,
+        n_done: 0,
+        events: Vec::new(),
+    };
+
+    // Kick-off: first context of each device starts configuring at t=0;
+    // ASIC and eligible software tasks may start immediately.
+    for d in 0..arch.drlcs().len() {
+        if !mapping.contexts(d).is_empty() {
+            engine.drlcs[d].remaining_in_current = mapping.contexts(d)[0].len();
+            engine.start_reconfig(d, 0);
+        }
+    }
+    for p in 0..engine.procs.len() {
+        if let Some(&first) = engine.procs[p].order.first() {
+            engine.try_start(first);
+        }
+    }
+    for t in app.task_ids() {
+        if matches!(mapping.placement(t), Placement::Asic { .. }) {
+            engine.try_start(t);
+        }
+    }
+
+    while let Some(entry) = engine.heap.pop() {
+        engine.now = entry.time;
+        match entry.wake {
+            Wake::TaskDone(t) => engine.on_task_done(t),
+            Wake::ReconfigDone { drlc, context } => engine.on_reconfig_done(drlc, context),
+            Wake::TransferDone { edge } => engine.on_transfer_done(edge),
+        }
+    }
+
+    if engine.n_done != n {
+        return Err(MappingError::Inconsistent(format!(
+            "simulation deadlock: {} of {} tasks completed",
+            engine.n_done, n
+        )));
+    }
+
+    let makespan = engine.ends.iter().copied().fold(0.0, f64::max);
+    Ok(SimReport {
+        makespan: Micros::new(makespan),
+        starts: engine.starts.into_iter().map(Micros::new).collect(),
+        ends: engine.ends.into_iter().map(Micros::new).collect(),
+        bus_busy: Micros::new(engine.bus_busy),
+        n_transfers: engine.n_transfers,
+        reconfig_total: Micros::new(engine.reconfig_total),
+        events: engine.events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdse_mapping::{evaluate, explore, random_initial, ExploreOptions};
+    use rdse_workloads::{epicure_architecture, motion_detection_app};
+
+    #[test]
+    fn contention_free_matches_analytic_on_random_mappings() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(1500);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let m = random_initial(&app, &arch, &mut rng);
+            let analytic = evaluate(&app, &arch, &m).unwrap();
+            let sim = simulate(&app, &arch, &m, &SimConfig::contention_free()).unwrap();
+            assert!(
+                (sim.makespan.value() - analytic.makespan.value()).abs() < 1e-6,
+                "sim {} vs analytic {}",
+                sim.makespan,
+                analytic.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn per_task_times_match_analytic() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(2000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = random_initial(&app, &arch, &mut rng);
+        let analytic = evaluate(&app, &arch, &m).unwrap();
+        let sim = simulate(&app, &arch, &m, &SimConfig::contention_free()).unwrap();
+        for t in app.task_ids() {
+            assert!(
+                (sim.ends[t.index()].value() - analytic.completions[t.index()].value()).abs()
+                    < 1e-6,
+                "task {t}: sim end {} vs analytic {}",
+                sim.ends[t.index()],
+                analytic.completions[t.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn exclusive_bus_never_beats_contention_free() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let m = random_initial(&app, &arch, &mut rng);
+            let free = simulate(&app, &arch, &m, &SimConfig::contention_free()).unwrap();
+            let excl = simulate(&app, &arch, &m, &SimConfig::with_contention()).unwrap();
+            assert!(
+                excl.makespan.value() >= free.makespan.value() - 1e-6,
+                "contention made things faster?!"
+            );
+            assert_eq!(excl.n_transfers, free.n_transfers);
+        }
+    }
+
+    #[test]
+    fn optimized_solution_validates_under_contention() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(2000);
+        let out = explore(
+            &app,
+            &arch,
+            &ExploreOptions {
+                max_iterations: 3000,
+                warmup_iterations: 600,
+                seed: 1,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let excl = simulate(&app, &arch, &out.mapping, &SimConfig::with_contention()).unwrap();
+        // The static estimate ignores contention; the dynamic check
+        // should stay close (ordered transactions rarely collide on
+        // this workload).
+        let slack = excl.makespan.value() / out.evaluation.makespan.value();
+        assert!(
+            (1.0..1.25).contains(&slack),
+            "contention inflated makespan by {slack}"
+        );
+    }
+
+    #[test]
+    fn event_log_is_causally_ordered() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(1500);
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = random_initial(&app, &arch, &mut rng);
+        let sim = simulate(&app, &arch, &m, &SimConfig::with_contention()).unwrap();
+        assert!(!sim.events.is_empty());
+        for w in sim.events.windows(2) {
+            assert!(w[0].time <= w[1].time, "events out of order");
+        }
+        // Every task start has a matching end at a later-or-equal time.
+        for t in app.task_ids() {
+            assert!(sim.starts[t.index()] <= sim.ends[t.index()]);
+        }
+    }
+
+    #[test]
+    fn reconfig_total_matches_mapping() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(1500);
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = random_initial(&app, &arch, &mut rng);
+        let sim = simulate(&app, &arch, &m, &SimConfig::contention_free()).unwrap();
+        let expected = arch.drlcs()[0]
+            .reconfiguration_time(m.total_configured_clbs(&app))
+            .value();
+        assert!((sim.reconfig_total.value() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let app = motion_detection_app();
+        let arch = epicure_architecture(800);
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = random_initial(&app, &arch, &mut rng);
+        let a = simulate(&app, &arch, &m, &SimConfig::with_contention()).unwrap();
+        let b = simulate(&app, &arch, &m, &SimConfig::with_contention()).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+    }
+}

@@ -1,0 +1,73 @@
+//! Event records produced by the simulator.
+
+use rdse_model::units::Micros;
+use rdse_model::TaskId;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEventKind {
+    /// A task started executing on its resource.
+    TaskStart(TaskId),
+    /// A task finished.
+    TaskEnd(TaskId),
+    /// A context reconfiguration started on a device.
+    ReconfigStart {
+        /// DRLC index.
+        drlc: usize,
+        /// Context being loaded.
+        context: usize,
+    },
+    /// A context reconfiguration finished.
+    ReconfigEnd {
+        /// DRLC index.
+        drlc: usize,
+        /// Context now resident.
+        context: usize,
+    },
+    /// A bus transfer started.
+    TransferStart {
+        /// Producer task.
+        from: TaskId,
+        /// Consumer task.
+        to: TaskId,
+    },
+    /// A bus transfer finished.
+    TransferEnd {
+        /// Producer task.
+        from: TaskId,
+        /// Consumer task.
+        to: TaskId,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimEvent {
+    /// Simulation time of the event.
+    pub time: Micros,
+    /// The event itself.
+    pub kind: SimEventKind,
+}
+
+impl SimEvent {
+    /// Creates an event.
+    pub fn new(time: Micros, kind: SimEventKind) -> Self {
+        SimEvent { time, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let e = SimEvent::new(Micros::new(3.0), SimEventKind::TaskStart(TaskId(1)));
+        assert_eq!(e.time, Micros::new(3.0));
+        assert_eq!(e.kind, SimEventKind::TaskStart(TaskId(1)));
+        assert_ne!(
+            e,
+            SimEvent::new(Micros::new(3.0), SimEventKind::TaskEnd(TaskId(1)))
+        );
+    }
+}

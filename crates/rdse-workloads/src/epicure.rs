@@ -1,0 +1,112 @@
+//! Synthetic EPICURE-style implementation estimates.
+//!
+//! The EPICURE project provided, for every function of the benchmark,
+//! a set of 5–6 *Pareto-dominant* synthesized implementations in the
+//! area–time plane (§5). Those numbers are not public; this module
+//! generates families with the same structure: areas increasing
+//! geometrically from a base, execution times decreasing with a
+//! diminishing-returns speedup, so every generated set is Pareto by
+//! construction.
+
+use rand::{Rng, RngCore};
+use rdse_model::units::{Clbs, Micros};
+use rdse_model::HwImpl;
+
+/// Generates `count` Pareto-dominant implementation points for a task
+/// whose software time is `sw_time`.
+///
+/// * `base_clbs` — area of the smallest implementation;
+/// * `base_speedup` — speedup of the smallest implementation over
+///   software.
+///
+/// Successive points grow the area by ×1.35 and the speedup by ×1.28,
+/// mirroring the diminishing returns of wider hardware unrolling.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_workloads::pareto_impls;
+/// use rdse_model::units::Micros;
+///
+/// let impls = pareto_impls(Micros::new(1000.0), 60, 10.0, 5);
+/// assert_eq!(impls.len(), 5);
+/// // Areas strictly increase, times strictly decrease.
+/// for w in impls.windows(2) {
+///     assert!(w[0].clbs() < w[1].clbs());
+///     assert!(w[0].time() > w[1].time());
+/// }
+/// ```
+pub fn pareto_impls(
+    sw_time: Micros,
+    base_clbs: u32,
+    base_speedup: f64,
+    count: usize,
+) -> Vec<HwImpl> {
+    (0..count)
+        .map(|j| {
+            let area = (base_clbs as f64 * 1.35_f64.powi(j as i32)).round() as u32;
+            let speedup = base_speedup * 1.28_f64.powi(j as i32);
+            HwImpl::new(
+                Clbs::new(area.max(1)),
+                Micros::new(sw_time.value() / speedup),
+            )
+        })
+        .collect()
+}
+
+/// Draws a randomized implementation family: 5 or 6 points, base area
+/// in `[min_clbs, max_clbs]`, base speedup in `[8, 16]`.
+pub fn random_pareto_impls(
+    sw_time: Micros,
+    min_clbs: u32,
+    max_clbs: u32,
+    rng: &mut dyn RngCore,
+) -> Vec<HwImpl> {
+    let count = if rng.random::<bool>() { 5 } else { 6 };
+    let base = rng.random_range(min_clbs..=max_clbs);
+    let speedup = rng.random_range(8.0..16.0);
+    pareto_impls(sw_time, base, speedup, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn family_is_pareto() {
+        let impls = pareto_impls(Micros::new(5000.0), 40, 12.0, 6);
+        assert_eq!(impls.len(), 6);
+        for i in 0..impls.len() {
+            for j in 0..impls.len() {
+                if i != j {
+                    assert!(
+                        !impls[i].is_dominated_by(&impls[j]),
+                        "point {i} dominated by {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speedups_in_expected_range() {
+        let sw = Micros::new(1000.0);
+        let impls = pareto_impls(sw, 50, 10.0, 5);
+        let first_speedup = sw.value() / impls[0].time().value();
+        let last_speedup = sw.value() / impls.last().unwrap().time().value();
+        assert!((first_speedup - 10.0).abs() < 1e-9);
+        assert!(last_speedup > 25.0 && last_speedup < 30.0);
+    }
+
+    #[test]
+    fn random_families_have_5_or_6_points() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let f = random_pareto_impls(Micros::new(800.0), 30, 120, &mut rng);
+            assert!(f.len() == 5 || f.len() == 6);
+            assert!(f[0].clbs().value() >= 30 && f[0].clbs().value() <= 120);
+        }
+    }
+}

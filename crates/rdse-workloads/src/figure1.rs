@@ -1,0 +1,112 @@
+//! A reconstruction of the ten-task example of Fig. 1.
+//!
+//! The paper's Fig. 1(a) shows a task graph with nodes A…J and data
+//! quantities 1–6; (b) shows a spatio-temporal partitioning with A, B,
+//! C on the processor (total order A → C → B) and the remaining tasks
+//! split over two execution contexts; (c) shows the resulting schedule
+//! with the reconfiguration between contexts. The published figure is
+//! schematic, so this module reconstructs a graph *consistent* with the
+//! described moves (the paper discusses moving C next to D, B before A,
+//! and G next to J) rather than a bit-exact copy.
+
+use rdse_model::units::{Bytes, Clbs, Micros};
+use rdse_model::{HwImpl, TaskGraph, TaskId};
+
+/// Task names of the example, in id order.
+pub const NAMES: [&str; 10] = ["A", "B", "C", "D", "E", "F", "G", "H", "I", "J"];
+
+/// Builds the ten-task example application.
+///
+/// Every task has a software estimate and a couple of hardware
+/// implementations so any of the paper's example moves is expressible.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_workloads::figure1_app;
+///
+/// let app = figure1_app();
+/// assert_eq!(app.n_tasks(), 10);
+/// assert!(app.validate().is_ok());
+/// ```
+pub fn figure1_app() -> TaskGraph {
+    let mut app = TaskGraph::new("figure1");
+    let sw = [3.0, 4.0, 5.0, 4.0, 3.0, 5.0, 4.0, 6.0, 5.0, 4.0];
+    let mut ids = Vec::new();
+    for (i, name) in NAMES.iter().enumerate() {
+        let sw_time = Micros::new(sw[i] * 1000.0);
+        let impls = vec![
+            HwImpl::new(Clbs::new(80), sw_time / 8.0),
+            HwImpl::new(Clbs::new(160), sw_time / 14.0),
+        ];
+        ids.push(
+            app.add_task(*name, "kernel", sw_time, impls)
+                .expect("example tasks are valid"),
+        );
+    }
+    // Edges with the figure's small data quantities (in kilobytes here
+    // so bus transfers are visible on the schedule).
+    let edges: [(usize, usize, u64); 12] = [
+        (0, 2, 4),  // A -> C
+        (0, 3, 3),  // A -> D
+        (1, 3, 1),  // B -> D
+        (1, 4, 3),  // B -> E
+        (2, 5, 4),  // C -> F
+        (3, 5, 5),  // D -> F
+        (3, 6, 6),  // D -> G
+        (4, 6, 5),  // E -> G
+        (5, 7, 6),  // F -> H
+        (6, 7, 5),  // G -> H
+        (7, 8, 4),  // H -> I
+        (7, 9, 3),  // H -> J
+    ];
+    for (a, b, kb) in edges {
+        app.add_data_edge(ids[a], ids[b], Bytes::new(kb * 1024))
+            .expect("example edges are acyclic");
+    }
+    app.validate().expect("figure-1 example is acyclic");
+    app
+}
+
+/// The task id of a named node (`"A"`…`"J"`).
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the example's node names.
+pub fn task_by_name(name: &str) -> TaskId {
+    let idx = NAMES
+        .iter()
+        .position(|n| *n == name)
+        .unwrap_or_else(|| panic!("unknown figure-1 task {name}"));
+    TaskId(idx as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_is_as_published() {
+        let app = figure1_app();
+        assert_eq!(app.n_tasks(), 10);
+        assert_eq!(app.edges().len(), 12);
+        // A and B are the sources; I and J the sinks.
+        let g = app.precedence_graph();
+        let sources: Vec<_> = g.sources().collect();
+        let sinks: Vec<_> = g.sinks().collect();
+        assert_eq!(sources.len(), 2);
+        assert_eq!(sinks.len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(task_by_name("A"), TaskId(0));
+        assert_eq!(task_by_name("J"), TaskId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown figure-1 task")]
+    fn unknown_name_panics() {
+        let _ = task_by_name("Z");
+    }
+}

@@ -1,0 +1,32 @@
+//! Benchmark workloads for the DATE'05 reproduction.
+//!
+//! * [`motion`] — the 28-task motion-detection application of §5, with
+//!   the precedence structure published in the paper (verified by its
+//!   linear-extension counts) and calibrated synthetic EPICURE-style
+//!   estimates (the original per-task numbers are proprietary; see
+//!   DESIGN.md for the substitution rationale);
+//! * [`figure1`] — a reconstruction of the ten-task example of Fig. 1;
+//! * [`random_dag`] — layered and series-parallel random DAG
+//!   generators for stress tests and ablations;
+//! * [`epicure`] — the synthetic area–time Pareto-point generator.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdse_workloads::motion;
+//!
+//! let app = motion::motion_detection_app();
+//! assert_eq!(app.n_tasks(), 28);
+//! // All-software execution on the ARM922 is 76.4 ms, as in the paper.
+//! assert!((app.total_sw_time().as_millis() - 76.4).abs() < 1e-6);
+//! ```
+
+pub mod epicure;
+pub mod figure1;
+pub mod motion;
+pub mod random_dag;
+
+pub use epicure::pareto_impls;
+pub use figure1::figure1_app;
+pub use motion::{epicure_architecture, motion_detection_app, MOTION_DEADLINE};
+pub use random_dag::{layered_dag, series_parallel_dag, LayeredDagConfig};

@@ -1,0 +1,169 @@
+//! Random DAG workload generators for stress tests and ablations.
+
+use crate::epicure::random_pareto_impls;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdse_model::units::{Bytes, Micros};
+use rdse_model::{TaskGraph, TaskId};
+
+/// Parameters of the layered generator.
+#[derive(Debug, Clone, Copy)]
+pub struct LayeredDagConfig {
+    /// Number of layers.
+    pub layers: usize,
+    /// Tasks per layer.
+    pub width: usize,
+    /// Probability (percent) of an edge between consecutive-layer pairs.
+    pub edge_percent: u8,
+    /// Fraction (percent) of tasks that receive hardware
+    /// implementations.
+    pub hw_percent: u8,
+}
+
+impl Default for LayeredDagConfig {
+    fn default() -> Self {
+        LayeredDagConfig {
+            layers: 5,
+            width: 4,
+            edge_percent: 40,
+            hw_percent: 70,
+        }
+    }
+}
+
+/// Generates a layered DAG: tasks arranged in layers, edges only from
+/// layer *k* to layer *k+1* (plus a guaranteed chain so the graph is
+/// connected top to bottom).
+///
+/// # Examples
+///
+/// ```
+/// use rdse_workloads::{layered_dag, LayeredDagConfig};
+///
+/// let app = layered_dag(&LayeredDagConfig::default(), 7);
+/// assert_eq!(app.n_tasks(), 20);
+/// assert!(app.validate().is_ok());
+/// ```
+pub fn layered_dag(cfg: &LayeredDagConfig, seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut app = TaskGraph::new(format!("layered-{}x{}", cfg.layers, cfg.width));
+    let mut ids: Vec<Vec<TaskId>> = Vec::new();
+    for l in 0..cfg.layers {
+        let mut layer = Vec::new();
+        for w in 0..cfg.width {
+            let sw = Micros::new(rng.random_range(100.0..2000.0));
+            let impls = if rng.random_range(0..100) < cfg.hw_percent as u32 {
+                random_pareto_impls(sw, 30, 150, &mut rng)
+            } else {
+                Vec::new()
+            };
+            layer.push(
+                app.add_task(format!("l{l}w{w}"), "kernel", sw, impls)
+                    .expect("generated tasks are valid"),
+            );
+        }
+        ids.push(layer);
+    }
+    for l in 1..cfg.layers {
+        for (wi, &to) in ids[l].iter().enumerate() {
+            let mut connected = false;
+            for &from in &ids[l - 1] {
+                if rng.random_range(0..100) < cfg.edge_percent as u32 {
+                    app.add_data_edge(from, to, Bytes::new(rng.random_range(64..8192)))
+                        .expect("layered edges are forward");
+                    connected = true;
+                }
+            }
+            if !connected {
+                // Guarantee at least one predecessor.
+                let from = ids[l - 1][wi % ids[l - 1].len()];
+                app.add_data_edge(from, to, Bytes::new(1024))
+                    .expect("layered edges are forward");
+            }
+        }
+    }
+    app.validate().expect("layered generation is acyclic");
+    app
+}
+
+/// Generates a series-parallel DAG by recursive composition: a chain of
+/// `sections` fork-join blocks, each with a random branch count.
+pub fn series_parallel_dag(sections: usize, max_branches: usize, seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut app = TaskGraph::new(format!("series-parallel-{sections}"));
+    let task = |app: &mut TaskGraph, label: String, rng: &mut StdRng| {
+        let sw = Micros::new(rng.random_range(200.0..3000.0));
+        let impls = if rng.random::<f64>() < 0.7 {
+            random_pareto_impls(sw, 30, 150, rng)
+        } else {
+            Vec::new()
+        };
+        app.add_task(label, "kernel", sw, impls)
+            .expect("generated tasks are valid")
+    };
+    let mut prev = task(&mut app, "src".into(), &mut rng);
+    for s in 0..sections {
+        let fork = prev;
+        let branches = rng.random_range(1..=max_branches.max(1));
+        let join = task(&mut app, format!("join{s}"), &mut rng);
+        for b in 0..branches {
+            let mid = task(&mut app, format!("s{s}b{b}"), &mut rng);
+            app.add_data_edge(fork, mid, Bytes::new(rng.random_range(64..4096)))
+                .expect("fork edge");
+            app.add_data_edge(mid, join, Bytes::new(rng.random_range(64..4096)))
+                .expect("join edge");
+        }
+        prev = join;
+    }
+    app.validate().expect("series-parallel generation is acyclic");
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layered_dag_has_expected_size_and_is_acyclic() {
+        let cfg = LayeredDagConfig {
+            layers: 6,
+            width: 5,
+            edge_percent: 30,
+            hw_percent: 50,
+        };
+        let app = layered_dag(&cfg, 1);
+        assert_eq!(app.n_tasks(), 30);
+        app.validate().unwrap();
+        // Every non-first-layer task has at least one predecessor.
+        let g = app.precedence_graph();
+        let n_sources = g.sources().count();
+        assert_eq!(n_sources, cfg.width);
+    }
+
+    #[test]
+    fn layered_dag_is_deterministic_per_seed() {
+        let cfg = LayeredDagConfig::default();
+        let a = layered_dag(&cfg, 9);
+        let b = layered_dag(&cfg, 9);
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+        let c = layered_dag(&cfg, 10);
+        assert_ne!(a.to_json().unwrap(), c.to_json().unwrap());
+    }
+
+    #[test]
+    fn series_parallel_is_single_source_single_sink() {
+        let app = series_parallel_dag(4, 3, 5);
+        app.validate().unwrap();
+        let g = app.precedence_graph();
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.sinks().count(), 1);
+    }
+
+    #[test]
+    fn generators_produce_hw_capable_tasks() {
+        let app = layered_dag(&LayeredDagConfig::default(), 2);
+        assert!(app.tasks().any(|(_, t)| t.is_hw_capable()));
+        let sp = series_parallel_dag(3, 4, 2);
+        assert!(sp.tasks().any(|(_, t)| t.is_hw_capable()));
+    }
+}

@@ -1,0 +1,81 @@
+//! The general method behind the paper (its reference [11]): let the
+//! annealer explore the *architecture itself* with the m3/m4
+//! resource-removal/creation moves, minimizing system cost under a
+//! performance constraint. The DATE'05 experiments fix the platform
+//! (probability of the moves set to zero); here they are switched on.
+//!
+//! Run with: `cargo run --release --example architecture_exploration`
+
+use rdse::mapping::{explore_architecture, ArchExploreOptions, ResourceCatalog};
+use rdse::model::units::{Clbs, Micros};
+use rdse::model::{Architecture, DrlcSpec, ProcessorSpec};
+use rdse::workloads::{motion_detection_app, MOTION_DEADLINE};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = motion_detection_app();
+
+    // Component library: one CPU class and three FPGA sizes with
+    // size-proportional cost.
+    let catalog = ResourceCatalog {
+        processors: vec![ProcessorSpec::new("arm922", 10.0)],
+        drlcs: vec![
+            DrlcSpec::new("virtex-500", Clbs::new(500), Micros::new(22.5), 12.0),
+            DrlcSpec::new("virtex-1000", Clbs::new(1000), Micros::new(22.5), 20.0),
+            DrlcSpec::new("virtex-2000", Clbs::new(2000), Micros::new(22.5), 35.0),
+        ],
+        asics: vec![],
+    };
+
+    // Start deliberately over-provisioned: the biggest FPGA.
+    let initial = Architecture::builder("over-provisioned")
+        .processor("arm922", 10.0)
+        .drlc("virtex-2000", Clbs::new(2000), Micros::new(22.5), 35.0)
+        .bus_rate(25.0)
+        .build()?;
+    println!(
+        "initial architecture: cost {:.0} ({} processors, {} DRLCs, {} ASICs)",
+        initial.total_cost(),
+        initial.processors().len(),
+        initial.drlcs().len(),
+        initial.asics().len()
+    );
+
+    for (label, deadline) in [
+        ("tight (40 ms, the paper's constraint)", MOTION_DEADLINE),
+        ("loose (80 ms, software almost suffices)", Micros::new(80_000.0)),
+    ] {
+        let out = explore_architecture(
+            &app,
+            initial.clone(),
+            &catalog,
+            &ArchExploreOptions {
+                max_iterations: 60_000,
+                warmup_iterations: 5_000,
+                lambda: 0.2,
+                deadline,
+                seed: 11,
+                ..ArchExploreOptions::default()
+            },
+        )?;
+        println!("\ndeadline {label}:");
+        println!(
+            "  selected: cost {:.0} — {} processor(s), {} DRLC(s) {:?}, {} ASIC(s)",
+            out.architecture.total_cost(),
+            out.architecture.processors().len(),
+            out.architecture.drlcs().len(),
+            out.architecture
+                .drlcs()
+                .iter()
+                .map(|d| d.n_clbs().value())
+                .collect::<Vec<_>>(),
+            out.architecture.asics().len()
+        );
+        println!(
+            "  makespan {} ({} contexts) -> constraint {}",
+            out.evaluation.makespan,
+            out.evaluation.n_contexts,
+            if out.evaluation.makespan <= deadline { "met" } else { "missed" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Device sizing: the §5 by-product question — what is the smallest
+//! FPGA for which the 40 ms constraint is attained? A miniature version
+//! of the Fig. 3 sweep (few sizes, few runs) answers it in seconds.
+//!
+//! Run with: `cargo run --release --example device_sizing`
+
+use rdse::mapping::{explore, ExploreOptions};
+use rdse::workloads::{epicure_architecture, motion_detection_app, MOTION_DEADLINE};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = motion_detection_app();
+    let sizes = [100u32, 200, 400, 600, 800, 1200, 2000, 4000];
+    let runs = 5u64;
+
+    println!("size(CLBs)  best(ms)  mean(ms)  contexts  deadline");
+    let mut smallest_ok = None;
+    for size in sizes {
+        let arch = epicure_architecture(size);
+        let mut best = f64::INFINITY;
+        let mut sum = 0.0;
+        let mut ctxs = 0usize;
+        for r in 0..runs {
+            let out = explore(
+                &app,
+                &arch,
+                &ExploreOptions {
+                    max_iterations: 5_000,
+                    warmup_iterations: 1_000,
+                    seed: 100 + r,
+                    ..ExploreOptions::default()
+                },
+            )?;
+            let ms = out.evaluation.makespan.as_millis();
+            sum += ms;
+            if ms < best {
+                best = ms;
+                ctxs = out.evaluation.n_contexts;
+            }
+        }
+        let mean = sum / runs as f64;
+        let ok = best * 1000.0 <= MOTION_DEADLINE.value();
+        if ok && smallest_ok.is_none() {
+            smallest_ok = Some(size);
+        }
+        println!(
+            "{size:>10}  {best:>8.1}  {mean:>8.1}  {ctxs:>8}  {}",
+            if ok { "met" } else { "missed" }
+        );
+    }
+    match smallest_ok {
+        Some(size) => println!(
+            "\nsmallest device meeting the {MOTION_DEADLINE} constraint: {size} CLBs"
+        ),
+        None => println!("\nno tested device meets the constraint"),
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Fig. 1 of the paper, reconstructed: the ten-task example graph, a
+//! spatio-temporal partitioning with A, C, B on the processor and two
+//! execution contexts on the DRLC, and its schedule.
+//!
+//! Run with: `cargo run --release --example figure1_schedule`
+
+use rdse::mapping::{evaluate, GanttChart, Mapping};
+use rdse::model::units::{Clbs, Micros};
+use rdse::model::Architecture;
+use rdse::workloads::figure1::{figure1_app, task_by_name};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = figure1_app();
+    let arch = Architecture::builder("figure1")
+        .processor("proc", 1.0)
+        .drlc("drc", Clbs::new(400), Micros::new(10.0), 1.0)
+        .bus_rate(32.0)
+        .build()?;
+
+    // The partitioning of Fig. 1(b): A, C, B on the processor in that
+    // total order; {D, E} in execution context 1; {F, G, H} in context
+    // 2; I and J on the processor after B.
+    let (a, b, c) = (task_by_name("A"), task_by_name("B"), task_by_name("C"));
+    let (i, j) = (task_by_name("I"), task_by_name("J"));
+    let mut mapping = Mapping::all_software(
+        &app,
+        &arch,
+        vec![
+            a,
+            c,
+            b,
+            task_by_name("D"),
+            task_by_name("E"),
+            task_by_name("F"),
+            task_by_name("G"),
+            task_by_name("H"),
+            i,
+            j,
+        ],
+    );
+    for (k, name) in ["D", "E"].iter().enumerate() {
+        let t = task_by_name(name);
+        mapping.detach(t);
+        if k == 0 {
+            mapping.insert_new_context(t, 0, 0, 0);
+        } else {
+            mapping.insert_hardware(t, 0, 0, 0);
+        }
+    }
+    for (k, name) in ["F", "G", "H"].iter().enumerate() {
+        let t = task_by_name(name);
+        mapping.detach(t);
+        if k == 0 {
+            mapping.insert_new_context(t, 0, 1, 0);
+        } else {
+            mapping.insert_hardware(t, 0, 1, 0);
+        }
+    }
+    mapping.validate(&app, &arch)?;
+
+    let eval = evaluate(&app, &arch, &mapping)?;
+    println!(
+        "makespan {} | contexts {} | reconfig {} + {}",
+        eval.makespan,
+        eval.n_contexts,
+        eval.breakdown.initial_reconfig,
+        eval.breakdown.dynamic_reconfig
+    );
+    println!(
+        "critical path: {}",
+        eval.critical_tasks
+            .iter()
+            .map(|t| app.task(*t).map(|x| x.name().to_string()).unwrap_or_default())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+    println!();
+    let chart = GanttChart::extract(&app, &arch, &mapping, &eval);
+    println!("{}", chart.render_ascii(&app, &arch, 90));
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Quickstart: build a small application and architecture in code,
+//! explore, and print the resulting schedule.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rdse::mapping::{explore, ExploreOptions, GanttChart};
+use rdse::model::units::{Bytes, Clbs, Micros};
+use rdse::model::{Architecture, HwImpl, TaskGraph};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A five-stage video pipeline. Each stage has a software estimate
+    // and a couple of synthesized hardware implementations
+    // (area in CLBs × execution time).
+    let mut app = TaskGraph::new("pipeline");
+    let stages = [
+        ("capture", 400.0, vec![]),
+        (
+            "denoise",
+            2_500.0,
+            vec![
+                HwImpl::new(Clbs::new(120), Micros::new(180.0)),
+                HwImpl::new(Clbs::new(220), Micros::new(110.0)),
+            ],
+        ),
+        (
+            "edge-detect",
+            3_000.0,
+            vec![
+                HwImpl::new(Clbs::new(150), Micros::new(200.0)),
+                HwImpl::new(Clbs::new(260), Micros::new(120.0)),
+            ],
+        ),
+        (
+            "segment",
+            2_200.0,
+            vec![HwImpl::new(Clbs::new(180), Micros::new(250.0))],
+        ),
+        ("classify", 600.0, vec![]),
+    ];
+    let mut prev = None;
+    for (name, sw_us, impls) in stages {
+        let t = app.add_task(name, name, Micros::new(sw_us), impls)?;
+        if let Some(p) = prev {
+            app.add_data_edge(p, t, Bytes::new(16_384))?;
+        }
+        prev = Some(t);
+    }
+    app.validate()?;
+
+    // A CPU plus a small partially reconfigurable FPGA.
+    let arch = Architecture::builder("demo-soc")
+        .processor("cpu", 1.0)
+        .drlc("fpga", Clbs::new(300), Micros::new(5.0), 2.0)
+        .bus_rate(64.0)
+        .build()?;
+
+    println!(
+        "all-software execution: {} (sum of software times)",
+        app.total_sw_time()
+    );
+
+    let outcome = explore(
+        &app,
+        &arch,
+        &ExploreOptions {
+            max_iterations: 4_000,
+            warmup_iterations: 800,
+            seed: 42,
+            ..ExploreOptions::default()
+        },
+    )?;
+
+    println!(
+        "optimized makespan    : {} ({} contexts, {} hardware tasks)",
+        outcome.evaluation.makespan, outcome.evaluation.n_contexts, outcome.evaluation.n_hw_tasks
+    );
+    println!(
+        "reconfiguration       : initial {} + dynamic {}",
+        outcome.evaluation.breakdown.initial_reconfig,
+        outcome.evaluation.breakdown.dynamic_reconfig
+    );
+    println!("search wall time      : {:?}\n", outcome.run.elapsed);
+
+    let chart = GanttChart::extract(&app, &arch, &outcome.mapping, &outcome.evaluation);
+    println!("{}", chart.render_ascii(&app, &arch, 90));
+    Ok(())
+}

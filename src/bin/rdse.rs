@@ -1,0 +1,225 @@
+//! The `rdse` command-line tool: generate benchmark models, explore
+//! mappings, render schedules, and validate them by simulation.
+//!
+//! ```text
+//! rdse generate <motion|figure1|layered> [--clbs N] [--seed N] [--dir D]
+//! rdse explore  --app F.json --arch F.json [--iters N] [--warmup N]
+//!               [--seed N] [--lambda X] [--gantt] [--save-mapping F]
+//! rdse simulate --app F.json --arch F.json --mapping F.json [--contention]
+//! rdse space    --app F.json
+//! ```
+
+use rdse::mapping::{evaluate, explore, ExploreOptions, GanttChart, Mapping};
+use rdse::model::{Architecture, TaskGraph};
+use rdse::sim::{simulate, SimConfig};
+use rdse::workloads::{
+    epicure_architecture, figure1_app, layered_dag, motion_detection_app, LayeredDagConfig,
+};
+use std::process::ExitCode;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    arg_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         rdse generate <motion|figure1|layered> [--clbs N] [--seed N] [--dir D]\n  \
+         rdse explore  --app F.json --arch F.json [--iters N] [--warmup N] [--seed N] [--lambda X] [--gantt] [--save-mapping F]\n  \
+         rdse simulate --app F.json --arch F.json --mapping F.json [--contention]\n  \
+         rdse space    --app F.json"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "generate" => generate(&args),
+        "explore" => run_explore(&args),
+        "simulate" => run_simulate(&args),
+        "space" => run_space(&args),
+        _ => usage(),
+    }
+}
+
+fn load_models(args: &[String]) -> Result<(TaskGraph, Architecture), String> {
+    let app_path = arg_value(args, "--app").ok_or("missing --app")?;
+    let arch_path = arg_value(args, "--arch").ok_or("missing --arch")?;
+    let app = TaskGraph::load(&app_path).map_err(|e| format!("{app_path}: {e}"))?;
+    let arch = Architecture::load(&arch_path).map_err(|e| format!("{arch_path}: {e}"))?;
+    Ok((app, arch))
+}
+
+fn generate(args: &[String]) -> ExitCode {
+    let kind = args.get(1).map(String::as_str).unwrap_or("motion");
+    let clbs: u32 = arg_num(args, "--clbs", 2000);
+    let seed: u64 = arg_num(args, "--seed", 1);
+    let dir = arg_value(args, "--dir").unwrap_or_else(|| ".".into());
+    let (app, name) = match kind {
+        "motion" => (motion_detection_app(), "motion"),
+        "figure1" => (figure1_app(), "figure1"),
+        "layered" => (
+            layered_dag(&LayeredDagConfig::default(), seed),
+            "layered",
+        ),
+        other => {
+            eprintln!("unknown workload '{other}'");
+            return usage();
+        }
+    };
+    let arch = epicure_architecture(clbs);
+    let app_path = format!("{dir}/{name}-app.json");
+    let arch_path = format!("{dir}/{name}-arch.json");
+    if let Err(e) = app.save(&app_path).and_then(|()| arch.save(&arch_path)) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {app_path} ({} tasks) and {arch_path} ({clbs} CLBs)", app.n_tasks());
+    ExitCode::SUCCESS
+}
+
+fn run_explore(args: &[String]) -> ExitCode {
+    let (app, arch) = match load_models(args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let opts = ExploreOptions {
+        max_iterations: arg_num(args, "--iters", 5_000),
+        warmup_iterations: arg_num(args, "--warmup", 1_200),
+        seed: arg_num(args, "--seed", 1),
+        lambda: arg_num(args, "--lambda", 0.5),
+        ..ExploreOptions::default()
+    };
+    let outcome = match explore(&app, &arch, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("exploration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "best makespan : {} ({} -> {:.1}% of initial)",
+        outcome.evaluation.makespan,
+        outcome.run.stop_description(),
+        100.0 * outcome.run.best_cost / outcome.run.initial_cost
+    );
+    println!(
+        "contexts      : {} | hardware tasks: {}/{}",
+        outcome.evaluation.n_contexts,
+        outcome.evaluation.n_hw_tasks,
+        app.n_tasks()
+    );
+    println!(
+        "breakdown     : reconfig {} + {} | comp/comm {}",
+        outcome.evaluation.breakdown.initial_reconfig,
+        outcome.evaluation.breakdown.dynamic_reconfig,
+        outcome.evaluation.breakdown.computation_communication
+    );
+    println!("wall time     : {:?}", outcome.run.elapsed);
+    if args.iter().any(|a| a == "--gantt") {
+        let chart = GanttChart::extract(&app, &arch, &outcome.mapping, &outcome.evaluation);
+        println!("{}", chart.render_ascii(&app, &arch, 100));
+    }
+    if let Some(path) = arg_value(args, "--save-mapping") {
+        match serde_json::to_string_pretty(&outcome.mapping) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("error writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("mapping saved : {path}");
+            }
+            Err(e) => {
+                eprintln!("error serializing mapping: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_simulate(args: &[String]) -> ExitCode {
+    let (app, arch) = match load_models(args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let Some(mapping_path) = arg_value(args, "--mapping") else {
+        eprintln!("missing --mapping");
+        return usage();
+    };
+    let mapping: Mapping = match std::fs::read_to_string(&mapping_path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error reading {mapping_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = if args.iter().any(|a| a == "--contention") {
+        SimConfig::with_contention()
+    } else {
+        SimConfig::contention_free()
+    };
+    match (evaluate(&app, &arch, &mapping), simulate(&app, &arch, &mapping, &cfg)) {
+        (Ok(analytic), Ok(report)) => {
+            println!("analytic makespan : {}", analytic.makespan);
+            println!("simulated makespan: {}", report.makespan);
+            println!(
+                "bus               : {} transfers, busy {}",
+                report.n_transfers, report.bus_busy
+            );
+            println!("reconfiguration   : {}", report.reconfig_total);
+            ExitCode::SUCCESS
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("simulation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_space(args: &[String]) -> ExitCode {
+    let Some(app_path) = arg_value(args, "--app") else {
+        eprintln!("missing --app");
+        return usage();
+    };
+    let app = match TaskGraph::load(&app_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let g = app.precedence_graph();
+    match rdse::graph::count_linear_extensions(&g, None) {
+        Some(count) => {
+            println!("{}: {} tasks, {} total orders", app.name(), app.n_tasks(), count);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("too many nodes/ideals to count exactly");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # rdse — design-space exploration for dynamically reconfigurable architectures
+//!
+//! A production-quality reproduction of *Miramond & Delosme, "Design
+//! space exploration for dynamically reconfigurable architectures",
+//! DATE 2005*: a tool that maps task-graph applications onto
+//! processor + FPGA systems by **simultaneously** exploring HW/SW
+//! spatial partitioning, temporal partitioning into run-time contexts,
+//! scheduling, and per-task implementation selection, with an adaptive
+//! (Lam-schedule) simulated annealing engine.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`graph`] | DAG substrate: transitive closure, longest path, (max,+) closure with Woodbury updates, linear-extension counting |
+//! | [`anneal`] | adaptive simulated annealing (Lam schedule), move-class controller, test problems |
+//! | [`model`] | task graphs with area–time Pareto implementations; architectures (processor / DRLC / ASIC / bus) |
+//! | [`mapping`] | the paper's core: solutions, search graph, moves m1–m5, evaluation, Gantt schedules, the explorer |
+//! | [`sim`] | discrete-event executor validating the analytic cost model |
+//! | [`baseline`] | GA (Ben Chehida & Auguin style), random search, hill climbing |
+//! | [`workloads`] | the 28-task motion-detection benchmark, Fig. 1 example, random DAG generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rdse::mapping::{explore, ExploreOptions};
+//! use rdse::workloads::{epicure_architecture, motion_detection_app, MOTION_DEADLINE};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let app = motion_detection_app();          // 28 tasks, 76.4 ms in software
+//! let arch = epicure_architecture(2000);     // ARM922 + 2000-CLB Virtex-E
+//!
+//! let outcome = explore(&app, &arch, &ExploreOptions {
+//!     max_iterations: 5_000,
+//!     warmup_iterations: 1_200,              // the Fig. 2 protocol
+//!     seed: 1,
+//!     ..ExploreOptions::default()
+//! })?;
+//!
+//! assert!(outcome.evaluation.makespan <= MOTION_DEADLINE);
+//! println!(
+//!     "{} in {} contexts",
+//!     outcome.evaluation.makespan,
+//!     outcome.evaluation.n_contexts
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `rdse-bench` for the
+//! binaries regenerating every figure and table of the paper.
+
+pub use rdse_anneal as anneal;
+pub use rdse_baseline as baseline;
+pub use rdse_graph as graph;
+pub use rdse_mapping as mapping;
+pub use rdse_model as model;
+pub use rdse_sim as sim;
+pub use rdse_workloads as workloads;
