@@ -165,10 +165,7 @@ impl Problem for Bipartition {
     }
 
     fn observables(&self) -> Vec<(&'static str, f64)> {
-        vec![
-            ("cut", self.cut),
-            ("imbalance", self.imbalance as f64),
-        ]
+        vec![("cut", self.cut), ("imbalance", self.imbalance as f64)]
     }
 }
 

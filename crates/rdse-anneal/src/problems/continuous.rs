@@ -39,7 +39,9 @@ impl Sphere {
         assert!(radius > 0.0, "radius must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         Sphere {
-            x: (0..dim).map(|_| rng.random_range(-radius..radius)).collect(),
+            x: (0..dim)
+                .map(|_| rng.random_range(-radius..radius))
+                .collect(),
             base_step: radius,
         }
     }
@@ -204,7 +206,12 @@ mod tests {
                 ..RunOptions::default()
             },
         );
-        assert!(r.best_cost < initial * 0.1, "{} -> {}", initial, r.best_cost);
+        assert!(
+            r.best_cost < initial * 0.1,
+            "{} -> {}",
+            initial,
+            r.best_cost
+        );
     }
 
     #[test]

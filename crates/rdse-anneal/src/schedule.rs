@@ -96,7 +96,10 @@ impl LamSchedule {
     ///
     /// Panics if `lambda` is not finite and positive.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive"
+        );
         LamSchedule {
             lambda,
             s: 0.0,
@@ -133,7 +136,8 @@ impl Schedule for LamSchedule {
 
     fn update(&mut self, outcome: IterationOutcome) -> f64 {
         if outcome.feasible {
-            self.acceptance.update(if outcome.accepted { 1.0 } else { 0.0 });
+            self.acceptance
+                .update(if outcome.accepted { 1.0 } else { 0.0 });
         }
         self.moments.update(outcome.cost);
         let sigma = self.moments.std_dev().max(self.sigma_floor);
@@ -212,7 +216,8 @@ impl Schedule for GeometricSchedule {
 
     fn update(&mut self, outcome: IterationOutcome) -> f64 {
         if outcome.feasible {
-            self.acceptance.update(if outcome.accepted { 1.0 } else { 0.0 });
+            self.acceptance
+                .update(if outcome.accepted { 1.0 } else { 0.0 });
         }
         self.iter += 1;
         if self.iter.is_multiple_of(self.plateau) {

@@ -33,7 +33,10 @@ impl Ewma {
     ///
     /// Panics if `weight` is not in `(0, 1)`.
     pub fn new(weight: f64) -> Self {
-        assert!(weight > 0.0 && weight < 1.0, "EWMA weight must lie in (0, 1)");
+        assert!(
+            weight > 0.0 && weight < 1.0,
+            "EWMA weight must lie in (0, 1)"
+        );
         Ewma {
             weight,
             value: 0.0,

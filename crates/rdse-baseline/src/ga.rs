@@ -234,7 +234,9 @@ mod tests {
     fn ga_meets_the_constraint_on_motion() {
         let app = motion_detection_app();
         let arch = epicure_architecture(2000);
-        let out = GeneticExplorer::new(&app, &arch, quick_opts(1)).run().unwrap();
+        let out = GeneticExplorer::new(&app, &arch, quick_opts(1))
+            .run()
+            .unwrap();
         assert!(
             out.evaluation.makespan.value() < 40_000.0,
             "GA best {} ms",
@@ -247,7 +249,9 @@ mod tests {
     fn ga_history_is_monotone() {
         let app = motion_detection_app();
         let arch = epicure_architecture(1500);
-        let out = GeneticExplorer::new(&app, &arch, quick_opts(3)).run().unwrap();
+        let out = GeneticExplorer::new(&app, &arch, quick_opts(3))
+            .run()
+            .unwrap();
         for w in out.history.windows(2) {
             assert!(w[1] <= w[0] + 1e-9);
         }
@@ -258,8 +262,12 @@ mod tests {
     fn ga_is_deterministic_per_seed() {
         let app = motion_detection_app();
         let arch = epicure_architecture(1000);
-        let a = GeneticExplorer::new(&app, &arch, quick_opts(7)).run().unwrap();
-        let b = GeneticExplorer::new(&app, &arch, quick_opts(7)).run().unwrap();
+        let a = GeneticExplorer::new(&app, &arch, quick_opts(7))
+            .run()
+            .unwrap();
+        let b = GeneticExplorer::new(&app, &arch, quick_opts(7))
+            .run()
+            .unwrap();
         assert_eq!(a.evaluation.makespan, b.evaluation.makespan);
     }
 }

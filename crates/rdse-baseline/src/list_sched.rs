@@ -67,7 +67,10 @@ pub fn realize_partition(
     partition: &SpatialPartition,
 ) -> Mapping {
     assert_eq!(partition.len(), app.n_tasks(), "partition length mismatch");
-    assert!(!arch.processors().is_empty(), "need a processor for software tasks");
+    assert!(
+        !arch.processors().is_empty(),
+        "need a processor for software tasks"
+    );
 
     // Sanitize: hardware requests must reference an existing
     // implementation that fits the (first) device.
@@ -127,7 +130,12 @@ pub fn realize_partition(
             .filter(|t| sanitized[t.index()].is_none())
             .collect::<Vec<_>>()
             .into_iter()
-            .chain(order.iter().copied().filter(|t| sanitized[t.index()].is_some()))
+            .chain(
+                order
+                    .iter()
+                    .copied()
+                    .filter(|t| sanitized[t.index()].is_some()),
+            )
             .collect(),
     );
     // `all_software` needs every task in the order; hardware tasks are

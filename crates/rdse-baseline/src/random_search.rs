@@ -25,10 +25,7 @@ pub fn random_search(
     for _ in 0..samples.max(1) {
         let m = random_initial(app, arch, &mut rng);
         let e = evaluate(app, arch, &m)?;
-        if best
-            .as_ref()
-            .is_none_or(|(_, be)| e.makespan < be.makespan)
-        {
+        if best.as_ref().is_none_or(|(_, be)| e.makespan < be.makespan) {
             best = Some((m, e));
         }
     }

@@ -83,15 +83,11 @@ fn bench_eval(c: &mut Criterion) {
         let (u, v) = find_insertable(&g);
         let n = g.n_nodes();
 
-        group.bench_with_input(
-            BenchmarkId::new("full_longest_path", n),
-            &n,
-            |b, _| {
-                let mut g2 = g.clone();
-                g2.add_edge(u, v, 1.0).expect("insertable edge");
-                b.iter(|| black_box(dag_longest_path(&g2, &w).expect("acyclic").makespan()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("full_longest_path", n), &n, |b, _| {
+            let mut g2 = g.clone();
+            g2.add_edge(u, v, 1.0).expect("insertable edge");
+            b.iter(|| black_box(dag_longest_path(&g2, &w).expect("acyclic").makespan()));
+        });
         group.bench_with_input(BenchmarkId::new("woodbury_insert", n), &n, |b, _| {
             let base = MaxPlusClosure::of(&g).expect("acyclic");
             b.iter(|| {

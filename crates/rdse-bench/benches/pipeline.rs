@@ -87,7 +87,13 @@ fn bench_simulate(c: &mut Criterion) {
             exclusive_bus: true,
             record_events: false,
         };
-        b.iter(|| black_box(simulate(&app, &arch, &mapping, &cfg).expect("simulates").makespan));
+        b.iter(|| {
+            black_box(
+                simulate(&app, &arch, &mapping, &cfg)
+                    .expect("simulates")
+                    .makespan,
+            )
+        });
     });
     group.finish();
 }

@@ -33,9 +33,8 @@ fn main() {
     let run_one = |schedule_name: &str, seed: u64, adaptive_moves: bool| -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let initial = random_initial(&app, &arch, &mut rng);
-        let mut problem =
-            MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan)
-                .expect("initial solution feasible");
+        let mut problem = MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan)
+            .expect("initial solution feasible");
         let opts = RunOptions {
             max_iterations: iters,
             warmup_iterations: iters / 5,
@@ -46,8 +45,12 @@ fn main() {
         let best = match schedule_name {
             "lam" => anneal(&mut problem, &mut LamSchedule::new(0.5), &opts).best_cost,
             "geometric" => {
-                anneal(&mut problem, &mut GeometricSchedule::new(5_000.0, 0.999, 10), &opts)
-                    .best_cost
+                anneal(
+                    &mut problem,
+                    &mut GeometricSchedule::new(5_000.0, 0.999, 10),
+                    &opts,
+                )
+                .best_cost
             }
             "random-walk" => anneal(&mut problem, &mut InfiniteTemperature::new(), &opts).best_cost,
             other => unreachable!("unknown schedule {other}"),
@@ -62,11 +65,16 @@ fn main() {
         ("geometric + adaptive moves", "geometric", true),
         ("random walk", "random-walk", true),
     ] {
-        let results: Vec<f64> = (0..runs).map(|r| run_one(schedule, 31 + r, adaptive)).collect();
+        let results: Vec<f64> = (0..runs)
+            .map(|r| run_one(schedule, 31 + r, adaptive))
+            .collect();
         table.push((label.to_string(), results));
     }
 
-    println!("configuration                best(ms)  mean(ms)  sd(ms)   ({} runs × {} iters)", runs, iters);
+    println!(
+        "configuration                best(ms)  mean(ms)  sd(ms)   ({} runs × {} iters)",
+        runs, iters
+    );
     for (label, results) in &table {
         println!(
             "{label:<28} {:>8.1}  {:>8.1}  {:>6.2}",
@@ -86,7 +94,13 @@ fn main() {
         .collect();
     write_csv(
         &out,
-        &["run", "lam_adaptive", "lam_uniform", "geometric", "random_walk"],
+        &[
+            "run",
+            "lam_adaptive",
+            "lam_uniform",
+            "geometric",
+            "random_walk",
+        ],
         &rows,
     );
 }

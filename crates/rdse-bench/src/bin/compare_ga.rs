@@ -131,19 +131,21 @@ fn main() {
     let rows: Vec<Vec<f64>> = (0..runs as usize)
         .map(|i| {
             vec![
-                i as f64,
-                sa_ms[i],
-                ga_ms[i],
-                rs_ms[i],
-                hc_ms[i],
-                sa_secs[i],
-                ga_secs[i],
+                i as f64, sa_ms[i], ga_ms[i], rs_ms[i], hc_ms[i], sa_secs[i], ga_secs[i],
             ]
         })
         .collect();
     write_csv(
         &out,
-        &["run", "sa_ms", "ga_ms", "random_ms", "hillclimb_ms", "sa_secs", "ga_secs"],
+        &[
+            "run",
+            "sa_ms",
+            "ga_ms",
+            "random_ms",
+            "hillclimb_ms",
+            "sa_secs",
+            "ga_secs",
+        ],
         &rows,
     );
 }

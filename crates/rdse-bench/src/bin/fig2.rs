@@ -61,11 +61,21 @@ fn main() {
 
     println!(
         "{}",
-        ascii_plot("Fig. 2a — execution time (ms) vs iteration", &[("exec ms", &exec)], 78, 18)
+        ascii_plot(
+            "Fig. 2a — execution time (ms) vs iteration",
+            &[("exec ms", &exec)],
+            78,
+            18
+        )
     );
     println!(
         "{}",
-        ascii_plot("Fig. 2b — number of contexts vs iteration", &[("contexts", &ctxs)], 78, 10)
+        ascii_plot(
+            "Fig. 2b — number of contexts vs iteration",
+            &[("contexts", &ctxs)],
+            78,
+            10
+        )
     );
 
     let initial_ms = outcome.run.initial_cost / 1000.0;

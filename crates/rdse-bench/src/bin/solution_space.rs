@@ -20,31 +20,50 @@ fn induced(app: &rdse_model::TaskGraph, keep: &[rdse_model::TaskId]) -> Digraph 
 }
 
 fn row(label: &str, computed: u128, paper: u128) {
-    let status = if computed == paper { "exact" } else { "MISMATCH" };
+    let status = if computed == paper {
+        "exact"
+    } else {
+        "MISMATCH"
+    };
     println!("{label:<58} {computed:>16}  {paper:>16}  {status}");
 }
 
 fn main() {
     let app = motion_detection_app();
-    println!("{:<58} {:>16}  {:>16}  match", "quantity", "computed", "paper");
+    println!(
+        "{:<58} {:>16}  {:>16}  match",
+        "quantity", "computed", "paper"
+    );
     println!("{}", "-".repeat(100));
 
     // Chain case: a 28-node chain with k changes of context.
     row("28-chain, 2 context changes: C(28,2)", binomial(28, 2), 378);
-    row("28-chain, 6 context changes: C(28,6)", binomial(28, 6), 376_740);
+    row(
+        "28-chain, 6 context changes: C(28,6)",
+        binomial(28, 6),
+        376_740,
+    );
 
     // Total orders of the first 20 nodes (7-chain ∥ 6-chain after a
     // 7-chain prefix), by DP over order ideals and by closed form.
-    let first20 = count_linear_extensions(&induced(&app, &first_twenty()), None)
-        .expect("small lattice");
+    let first20 =
+        count_linear_extensions(&induced(&app, &first_twenty()), None).expect("small lattice");
     row("total orders, first 20 nodes (DP)", first20, 1716);
-    row("total orders, first 20 nodes (C(13,6))", parallel_chain_orders(&[7, 6]), 1716);
+    row(
+        "total orders, first 20 nodes (C(13,6))",
+        parallel_chain_orders(&[7, 6]),
+        1716,
+    );
 
     // Total orders of the full graph.
     let all: Vec<rdse_model::TaskId> = app.task_ids().collect();
     let full = count_linear_extensions(&induced(&app, &all), None).expect("small lattice");
     row("total orders, 28 nodes (DP)", full, 348_840);
-    row("total orders, 28 nodes (3·C(21,7))", 3 * parallel_chain_orders(&[7, 14]), 348_840);
+    row(
+        "total orders, 28 nodes (3·C(21,7))",
+        3 * parallel_chain_orders(&[7, 14]),
+        348_840,
+    );
 
     // Combinations including context changes.
     row(

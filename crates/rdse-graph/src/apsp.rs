@@ -90,7 +90,10 @@ impl MaxPlusClosure {
     ///
     /// Panics if either node is out of bounds.
     pub fn dist(&self, from: NodeId, to: NodeId) -> f64 {
-        assert!(from.index() < self.n && to.index() < self.n, "node out of bounds");
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "node out of bounds"
+        );
         self.at(from.index(), to.index())
     }
 

@@ -68,7 +68,11 @@ impl TransitiveClosure {
     ///
     /// Returns [`GraphError::Cycle`] if `g` is not acyclic.
     pub fn recompute(&mut self, g: &Digraph) -> Result<(), GraphError> {
-        assert_eq!(g.n_nodes(), self.reach.n(), "node count changed under closure");
+        assert_eq!(
+            g.n_nodes(),
+            self.reach.n(),
+            "node count changed under closure"
+        );
         let order = crate::topo::topo_sort(g)?;
         self.reach.clear();
         for v in g.nodes() {
@@ -122,8 +126,7 @@ impl TransitiveClosure {
         let n = self.reach.n();
         // Collect ancestors of u (including u itself) first to avoid
         // aliasing row borrows.
-        let ancestors: Vec<usize> =
-            (0..n).filter(|&x| self.reach.get(x, u.index())).collect();
+        let ancestors: Vec<usize> = (0..n).filter(|&x| self.reach.get(x, u.index())).collect();
         for x in ancestors {
             self.reach.union_row_into(v.index(), x);
         }
@@ -132,7 +135,9 @@ impl TransitiveClosure {
     /// Number of reachable pairs (including the n self-pairs); useful in
     /// tests and as a cheap fingerprint.
     pub fn n_pairs(&self) -> usize {
-        (0..self.reach.n()).map(|i| self.reach.row(i).count_ones()).sum()
+        (0..self.reach.n())
+            .map(|i| self.reach.row(i).count_ones())
+            .sum()
     }
 }
 

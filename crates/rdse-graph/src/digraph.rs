@@ -172,13 +172,15 @@ impl Digraph {
 
     /// Maximum weight among parallel edges `from → to`, if any exist.
     pub fn edge_weight(&self, from: NodeId, to: NodeId) -> Option<f64> {
-        self.succ.get(from.index())?.iter().filter(|e| e.to == to).map(|e| e.weight).fold(
-            None,
-            |acc, w| match acc {
+        self.succ
+            .get(from.index())?
+            .iter()
+            .filter(|e| e.to == to)
+            .map(|e| e.weight)
+            .fold(None, |acc, w| match acc {
                 None => Some(w),
                 Some(a) => Some(a.max(w)),
-            },
-        )
+            })
     }
 
     /// Iterates over the out-edges of `node` as `(target, weight)`.
@@ -246,7 +248,12 @@ impl Digraph {
 
 impl fmt::Debug for Digraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Digraph({} nodes, {} edges)", self.n_nodes(), self.n_edges())?;
+        writeln!(
+            f,
+            "Digraph({} nodes, {} edges)",
+            self.n_nodes(),
+            self.n_edges()
+        )?;
         for e in self.edges() {
             writeln!(f, "  {} -> {} [{}]", e.from, e.to, e.weight)?;
         }
@@ -293,7 +300,10 @@ mod tests {
     #[test]
     fn remove_missing_edge_errors() {
         let mut g = Digraph::new(2);
-        assert_eq!(g.remove_edge(n(0), n(1)), Err(GraphError::NoSuchEdge(n(0), n(1))));
+        assert_eq!(
+            g.remove_edge(n(0), n(1)),
+            Err(GraphError::NoSuchEdge(n(0), n(1)))
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, n_nodes } => {
-                write!(f, "node {node} out of bounds for graph with {n_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {n_nodes} nodes"
+                )
             }
             GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
             GraphError::Cycle { on_cycle } => {

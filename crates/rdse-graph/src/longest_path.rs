@@ -219,10 +219,7 @@ mod tests {
             }
             best + w[v.index()]
         }
-        let brute = g
-            .nodes()
-            .map(|v| dfs(&g, &w, v))
-            .fold(0.0_f64, f64::max);
+        let brute = g.nodes().map(|v| dfs(&g, &w, v)).fold(0.0_f64, f64::max);
         let lp = dag_longest_path(&g, &w).unwrap();
         assert!((lp.makespan() - brute).abs() < 1e-12);
     }

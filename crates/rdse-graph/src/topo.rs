@@ -37,9 +37,8 @@ pub fn topo_sort(g: &Digraph) -> Result<Vec<NodeId>, GraphError> {
         for (s, _) in g.successors(v) {
             in_deg[s.index()] -= 1;
             if in_deg[s.index()] == 0 {
-                let pos = frontier.binary_search_by_key(&std::cmp::Reverse(s), |n| {
-                    std::cmp::Reverse(*n)
-                });
+                let pos =
+                    frontier.binary_search_by_key(&std::cmp::Reverse(s), |n| std::cmp::Reverse(*n));
                 let pos = pos.unwrap_or_else(|p| p);
                 frontier.insert(pos, s);
             }

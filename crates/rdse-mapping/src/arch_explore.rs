@@ -212,8 +212,9 @@ impl<'a> ArchProblem<'a> {
                 }
                 let t = candidates[rng.random_range(0..candidates.len())];
                 let impls = self.app.task(t).expect("task id in range").hw_impls();
-                let fitting: Vec<usize> =
-                    (0..impls.len()).filter(|&i| impls[i].clbs() <= cap).collect();
+                let fitting: Vec<usize> = (0..impls.len())
+                    .filter(|&i| impls[i].clbs() <= cap)
+                    .collect();
                 let choice = fitting[rng.random_range(0..fitting.len())];
                 self.mapping.detach(t);
                 self.mapping.insert_new_context(t, d, 0, choice);
@@ -267,8 +268,7 @@ impl<'a> ArchProblem<'a> {
                 options.push((2, a));
             }
         }
-        let Some(&(kind, idx)) = options.get(rng.random_range(0..options.len().max(1)))
-        else {
+        let Some(&(kind, idx)) = options.get(rng.random_range(0..options.len().max(1))) else {
             return false;
         };
 
@@ -298,7 +298,12 @@ impl<'a> ArchProblem<'a> {
         }
         for (i, d) in self.arch.drlcs().iter().enumerate() {
             if !(kind == 1 && i == idx) {
-                b = b.drlc(d.name().to_owned(), d.n_clbs(), d.reconfig_time_per_clb(), d.cost());
+                b = b.drlc(
+                    d.name().to_owned(),
+                    d.n_clbs(),
+                    d.reconfig_time_per_clb(),
+                    d.cost(),
+                );
             }
         }
         for (i, a) in self.arch.asics().iter().enumerate() {
@@ -330,7 +335,11 @@ impl Problem for ArchProblem<'_> {
     }
 
     fn try_move(&mut self, rng: &mut dyn RngCore, class: usize) -> Option<(Self::Move, f64)> {
-        let prev = (self.arch.clone(), self.mapping.clone(), self.current.clone());
+        let prev = (
+            self.arch.clone(),
+            self.mapping.clone(),
+            self.current.clone(),
+        );
         let changed = match class {
             0 => propose_pair_move(self.app, &self.arch, &mut self.mapping, rng).is_some(),
             1 => propose_impl_move(self.app, &self.arch, &mut self.mapping, rng).is_some(),
@@ -371,7 +380,11 @@ impl Problem for ArchProblem<'_> {
     }
 
     fn snapshot(&self) -> Self::Snapshot {
-        (self.arch.clone(), self.mapping.clone(), self.current.clone())
+        (
+            self.arch.clone(),
+            self.mapping.clone(),
+            self.current.clone(),
+        )
     }
 
     fn restore(&mut self, snapshot: &Self::Snapshot) {

@@ -76,7 +76,10 @@ pub fn evaluate(
     for (d, spec) in arch.drlcs().iter().enumerate() {
         for c in 0..mapping.contexts(d).len() {
             if mapping.context_clbs(app, d, c) > spec.n_clbs() {
-                return Err(MappingError::CapacityExceeded { drlc: d, context: c });
+                return Err(MappingError::CapacityExceeded {
+                    drlc: d,
+                    context: c,
+                });
             }
         }
     }
@@ -145,10 +148,20 @@ mod tests {
     fn fixture() -> (TaskGraph, Architecture) {
         let mut app = TaskGraph::new("fx");
         let a = app
-            .add_task("a", "F", us(10.0), vec![HwImpl::new(Clbs::new(100), us(2.0))])
+            .add_task(
+                "a",
+                "F",
+                us(10.0),
+                vec![HwImpl::new(Clbs::new(100), us(2.0))],
+            )
             .unwrap();
         let b = app
-            .add_task("b", "G", us(20.0), vec![HwImpl::new(Clbs::new(150), us(3.0))])
+            .add_task(
+                "b",
+                "G",
+                us(20.0),
+                vec![HwImpl::new(Clbs::new(150), us(3.0))],
+            )
             .unwrap();
         let c = app.add_task("c", "H", us(5.0), vec![]).unwrap();
         app.add_data_edge(a, b, Bytes::new(1000)).unwrap();
@@ -183,10 +196,7 @@ mod tests {
         assert_eq!(e.breakdown.dynamic_reconfig, us(15.0));
         assert_eq!(e.n_contexts, 2);
         assert_eq!(e.n_hw_tasks, 2);
-        assert_eq!(
-            e.breakdown.computation_communication,
-            e.makespan - us(25.0)
-        );
+        assert_eq!(e.breakdown.computation_communication, e.makespan - us(25.0));
     }
 
     #[test]
@@ -212,7 +222,10 @@ mod tests {
         m.insert_hardware(TaskId(1), 0, 0, 0); // 250 > 200 CLBs
         assert_eq!(
             evaluate(&app, &arch, &m),
-            Err(MappingError::CapacityExceeded { drlc: 0, context: 0 })
+            Err(MappingError::CapacityExceeded {
+                drlc: 0,
+                context: 0
+            })
         );
     }
 

@@ -379,8 +379,7 @@ mod tests {
         let (app, arch) = fixture();
         let mut rng = StdRng::seed_from_u64(5);
         let initial = random_initial(&app, &arch, &mut rng);
-        let mut p =
-            MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan).unwrap();
+        let mut p = MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan).unwrap();
         for _ in 0..300 {
             let before_cost = p.cost();
             let before_map = p.mapping().clone();

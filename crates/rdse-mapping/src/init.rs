@@ -160,7 +160,8 @@ mod tests {
         }
         // Diamond-ish precedence.
         for i in 1..10 {
-            app.add_data_edge(ids[(i - 1) / 2], ids[i], Bytes::new(64)).unwrap();
+            app.add_data_edge(ids[(i - 1) / 2], ids[i], Bytes::new(64))
+                .unwrap();
         }
         let arch = Architecture::builder("soc")
             .processor("cpu", 1.0)

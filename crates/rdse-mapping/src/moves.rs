@@ -103,7 +103,10 @@ pub fn propose_pair_move(
             .expect("vd still on processor after detaching vs");
         mapping.insert_software(vs, p, pos);
         return Some(MoveOutcome {
-            kind: MoveKind::ReorderSoftware { task: vs, before: vd },
+            kind: MoveKind::ReorderSoftware {
+                task: vs,
+                before: vd,
+            },
         });
     }
 
@@ -195,7 +198,12 @@ pub fn propose_pair_move(
             }
         }
         ResourceRef::Asic(a) => {
-            if app.task(vs).expect("task id in range").hw_impls().is_empty() {
+            if app
+                .task(vs)
+                .expect("task id in range")
+                .hw_impls()
+                .is_empty()
+            {
                 return None;
             }
             mapping.detach(vs);
@@ -307,10 +315,23 @@ fn propose_hw_seed(
 /// back verbatim if a proposal must bail out.
 #[derive(Debug, Clone, Copy)]
 enum RestorePoint {
-    Software { processor: usize, position: usize },
-    HardwareShared { drlc: usize, context: usize, hw_impl: usize },
-    HardwareAlone { drlc: usize, context: usize, hw_impl: usize },
-    Asic { asic: usize },
+    Software {
+        processor: usize,
+        position: usize,
+    },
+    HardwareShared {
+        drlc: usize,
+        context: usize,
+        hw_impl: usize,
+    },
+    HardwareAlone {
+        drlc: usize,
+        context: usize,
+        hw_impl: usize,
+    },
+    Asic {
+        asic: usize,
+    },
 }
 
 impl RestorePoint {

@@ -93,14 +93,24 @@ mod tests {
         assert!(sw.is_software() && !sw.is_hardware());
         assert!(hw.is_hardware() && !hw.is_software());
         assert_eq!(sw.resource(), ResourceRef::Processor(0));
-        assert_eq!(hw.resource(), ResourceRef::Context { drlc: 0, context: 2 });
+        assert_eq!(
+            hw.resource(),
+            ResourceRef::Context {
+                drlc: 0,
+                context: 2
+            }
+        );
     }
 
     #[test]
     fn display_forms() {
         assert_eq!(ResourceRef::Processor(1).to_string(), "proc1");
         assert_eq!(
-            ResourceRef::Context { drlc: 0, context: 3 }.to_string(),
+            ResourceRef::Context {
+                drlc: 0,
+                context: 3
+            }
+            .to_string(),
             "drlc0/ctx3"
         );
         assert_eq!(ResourceRef::Asic(2).to_string(), "asic2");

@@ -161,7 +161,11 @@ impl GanttChart {
 
         for p in 0..arch.processors().len() {
             let mut row = vec![b'.'; width];
-            for slot in self.tasks.iter().filter(|s| s.resource == ResourceRef::Processor(p)) {
+            for slot in self
+                .tasks
+                .iter()
+                .filter(|s| s.resource == ResourceRef::Processor(p))
+            {
                 let (a, b) = (col(slot.start), col(slot.end));
                 let label = app
                     .task(slot.task)
@@ -185,11 +189,7 @@ impl GanttChart {
                 if let ResourceRef::Context { drlc, context } = slot.resource {
                     if drlc == d {
                         let digit = b'0' + (context % 10) as u8;
-                        for c in row
-                            .iter_mut()
-                            .take(col(slot.end) + 1)
-                            .skip(col(slot.start))
-                        {
+                        for c in row.iter_mut().take(col(slot.end) + 1).skip(col(slot.start)) {
                             *c = digit;
                         }
                     }
@@ -200,12 +200,12 @@ impl GanttChart {
 
         for a in 0..arch.asics().len() {
             let mut row = vec![b'.'; width];
-            for slot in self.tasks.iter().filter(|s| s.resource == ResourceRef::Asic(a)) {
-                for c in row
-                    .iter_mut()
-                    .take(col(slot.end) + 1)
-                    .skip(col(slot.start))
-                {
+            for slot in self
+                .tasks
+                .iter()
+                .filter(|s| s.resource == ResourceRef::Asic(a))
+            {
+                for c in row.iter_mut().take(col(slot.end) + 1).skip(col(slot.start)) {
                     *c = b'a';
                 }
             }
@@ -238,10 +238,20 @@ mod tests {
     fn fixture() -> (TaskGraph, Architecture, Mapping) {
         let mut app = TaskGraph::new("fx");
         let a = app
-            .add_task("alpha", "F", us(10.0), vec![HwImpl::new(Clbs::new(100), us(2.0))])
+            .add_task(
+                "alpha",
+                "F",
+                us(10.0),
+                vec![HwImpl::new(Clbs::new(100), us(2.0))],
+            )
             .unwrap();
         let b = app
-            .add_task("beta", "G", us(20.0), vec![HwImpl::new(Clbs::new(150), us(3.0))])
+            .add_task(
+                "beta",
+                "G",
+                us(20.0),
+                vec![HwImpl::new(Clbs::new(150), us(3.0))],
+            )
             .unwrap();
         let c = app.add_task("gamma", "H", us(5.0), vec![]).unwrap();
         app.add_data_edge(a, b, Bytes::new(1000)).unwrap();
@@ -252,11 +262,7 @@ mod tests {
             .bus_rate(100.0)
             .build()
             .unwrap();
-        let mut m = Mapping::all_software(
-            &app,
-            &arch,
-            vec![TaskId(0), TaskId(1), TaskId(2)],
-        );
+        let mut m = Mapping::all_software(&app, &arch, vec![TaskId(0), TaskId(1), TaskId(2)]);
         m.detach(TaskId(1));
         m.insert_new_context(TaskId(1), 0, 0, 0);
         (app, arch, m)

@@ -147,8 +147,7 @@ impl SearchGraph {
     /// Returns [`MappingError::CyclicSchedule`] if the sequentialization
     /// edges close a cycle (an infeasible order).
     pub fn longest_path(&self) -> Result<LongestPath, MappingError> {
-        dag_longest_path(&self.graph, &self.node_weights)
-            .map_err(|_| MappingError::CyclicSchedule)
+        dag_longest_path(&self.graph, &self.node_weights).map_err(|_| MappingError::CyclicSchedule)
     }
 }
 
@@ -159,11 +158,7 @@ pub fn context_initials(app: &TaskGraph, tasks: &[TaskId]) -> Vec<TaskId> {
     tasks
         .iter()
         .copied()
-        .filter(|&t| {
-            !app.edges()
-                .iter()
-                .any(|e| e.to == t && inside(e.from))
-        })
+        .filter(|&t| !app.edges().iter().any(|e| e.to == t && inside(e.from)))
         .collect()
 }
 
@@ -174,11 +169,7 @@ pub fn context_terminals(app: &TaskGraph, tasks: &[TaskId]) -> Vec<TaskId> {
     tasks
         .iter()
         .copied()
-        .filter(|&t| {
-            !app.edges()
-                .iter()
-                .any(|e| e.from == t && inside(e.to))
-        })
+        .filter(|&t| !app.edges().iter().any(|e| e.from == t && inside(e.to)))
         .collect()
 }
 
@@ -196,10 +187,20 @@ mod tests {
     fn fixture() -> (TaskGraph, Architecture) {
         let mut app = TaskGraph::new("fx");
         let a = app
-            .add_task("a", "F", us(10.0), vec![HwImpl::new(Clbs::new(100), us(2.0))])
+            .add_task(
+                "a",
+                "F",
+                us(10.0),
+                vec![HwImpl::new(Clbs::new(100), us(2.0))],
+            )
             .unwrap();
         let b = app
-            .add_task("b", "G", us(20.0), vec![HwImpl::new(Clbs::new(150), us(3.0))])
+            .add_task(
+                "b",
+                "G",
+                us(20.0),
+                vec![HwImpl::new(Clbs::new(150), us(3.0))],
+            )
             .unwrap();
         let c = app.add_task("c", "H", us(5.0), vec![]).unwrap();
         app.add_data_edge(a, b, Bytes::new(1000)).unwrap();
@@ -282,11 +283,7 @@ mod tests {
     fn infeasible_order_detected_as_cycle() {
         let (app, arch) = fixture();
         // Order c before a on the processor although a ⇝ c.
-        let m = Mapping::all_software(
-            &app,
-            &arch,
-            vec![TaskId(2), TaskId(0), TaskId(1)],
-        );
+        let m = Mapping::all_software(&app, &arch, vec![TaskId(2), TaskId(0), TaskId(1)]);
         let sg = SearchGraph::build(&app, &arch, &m);
         assert_eq!(sg.longest_path(), Err(MappingError::CyclicSchedule));
     }
@@ -322,12 +319,24 @@ mod tests {
         assert!(same_device(Processor(0), Processor(0)));
         assert!(!same_device(Processor(0), Processor(1)));
         assert!(same_device(
-            Context { drlc: 0, context: 1 },
-            Context { drlc: 0, context: 5 }
+            Context {
+                drlc: 0,
+                context: 1
+            },
+            Context {
+                drlc: 0,
+                context: 5
+            }
         ));
         assert!(!same_device(
-            Context { drlc: 0, context: 1 },
-            Context { drlc: 1, context: 1 }
+            Context {
+                drlc: 0,
+                context: 1
+            },
+            Context {
+                drlc: 1,
+                context: 1
+            }
         ));
         assert!(!same_device(Processor(0), Asic(0)));
         assert!(same_device(Asic(1), Asic(1)));

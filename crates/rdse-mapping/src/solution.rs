@@ -224,13 +224,7 @@ impl Mapping {
     }
 
     /// Adds `task` to an existing context with implementation `hw_impl`.
-    pub fn insert_hardware(
-        &mut self,
-        task: TaskId,
-        drlc: usize,
-        context: usize,
-        hw_impl: usize,
-    ) {
+    pub fn insert_hardware(&mut self, task: TaskId, drlc: usize, context: usize, hw_impl: usize) {
         self.contexts[drlc][context].tasks.push(task);
         self.placement[task.index()] = Placement::Hardware {
             drlc,
@@ -252,7 +246,10 @@ impl Mapping {
         self.contexts[drlc].insert(position, Context::singleton(task));
         // Re-number placements for contexts displaced by the insertion.
         for p in &mut self.placement {
-            if let Placement::Hardware { drlc: d, context, .. } = p {
+            if let Placement::Hardware {
+                drlc: d, context, ..
+            } = p
+            {
                 if *d == drlc && *context >= position {
                     *context += 1;
                 }
@@ -304,7 +301,10 @@ impl Mapping {
     ///
     /// Panics if the order is non-empty or `p` is out of range.
     pub fn remove_processor_slot(&mut self, p: usize) {
-        assert!(self.proc_order[p].is_empty(), "processor {p} still has tasks");
+        assert!(
+            self.proc_order[p].is_empty(),
+            "processor {p} still has tasks"
+        );
         self.proc_order.remove(p);
         for place in &mut self.placement {
             if let Placement::Software { processor } = place {
@@ -355,7 +355,12 @@ impl Mapping {
     fn remove_context(&mut self, drlc: usize, context: usize) {
         self.contexts[drlc].remove(context);
         for p in &mut self.placement {
-            if let Placement::Hardware { drlc: d, context: c, .. } = p {
+            if let Placement::Hardware {
+                drlc: d,
+                context: c,
+                ..
+            } = p
+            {
                 if *d == drlc && *c > context {
                     *c -= 1;
                 }
@@ -384,7 +389,9 @@ impl Mapping {
             ));
         }
         if self.contexts.len() != arch.drlcs().len() {
-            return Err(MappingError::Inconsistent("context list count mismatch".into()));
+            return Err(MappingError::Inconsistent(
+                "context list count mismatch".into(),
+            ));
         }
         let mut seen = vec![false; app.n_tasks()];
         for (p, order) in self.proc_order.iter().enumerate() {
@@ -393,7 +400,9 @@ impl Mapping {
                     return Err(MappingError::Inconsistent(format!("unknown task {t}")));
                 }
                 if seen[t.index()] {
-                    return Err(MappingError::Inconsistent(format!("task {t} scheduled twice")));
+                    return Err(MappingError::Inconsistent(format!(
+                        "task {t} scheduled twice"
+                    )));
                 }
                 seen[t.index()] = true;
                 if self.placement(t) != (Placement::Software { processor: p }) {
@@ -446,7 +455,10 @@ impl Mapping {
                     }
                 }
                 if self.context_clbs(app, d, c) > spec.n_clbs() {
-                    return Err(MappingError::CapacityExceeded { drlc: d, context: c });
+                    return Err(MappingError::CapacityExceeded {
+                        drlc: d,
+                        context: c,
+                    });
                 }
             }
         }
@@ -487,7 +499,12 @@ mod tests {
     fn fixture() -> (TaskGraph, Architecture) {
         let mut app = TaskGraph::new("fx");
         let a = app
-            .add_task("a", "F", us(10.0), vec![HwImpl::new(Clbs::new(100), us(2.0))])
+            .add_task(
+                "a",
+                "F",
+                us(10.0),
+                vec![HwImpl::new(Clbs::new(100), us(2.0))],
+            )
             .unwrap();
         let b = app
             .add_task(
@@ -613,7 +630,10 @@ mod tests {
         m.insert_hardware(TaskId(1), 0, 0, 1); // +150 CLBs > 200
         assert_eq!(
             m.validate(&app, &arch),
-            Err(MappingError::CapacityExceeded { drlc: 0, context: 0 })
+            Err(MappingError::CapacityExceeded {
+                drlc: 0,
+                context: 0
+            })
         );
     }
 

@@ -316,7 +316,12 @@ mod tests {
     fn build_simple_graph() {
         let mut g = TaskGraph::new("app");
         let a = g
-            .add_task("a", "FFT", us(10.0), vec![HwImpl::new(Clbs::new(50), us(2.0))])
+            .add_task(
+                "a",
+                "FFT",
+                us(10.0),
+                vec![HwImpl::new(Clbs::new(50), us(2.0))],
+            )
             .unwrap();
         let b = g.add_task("b", "DCT", us(20.0), vec![]).unwrap();
         g.add_data_edge(a, b, Bytes::new(128)).unwrap();

@@ -302,7 +302,10 @@ mod tests {
     fn reconfiguration_time_scales_with_clbs() {
         let a = reference_arch();
         let d = &a.drlcs()[0];
-        assert_eq!(d.reconfiguration_time(Clbs::new(1000)), Micros::new(22_500.0));
+        assert_eq!(
+            d.reconfiguration_time(Clbs::new(1000)),
+            Micros::new(22_500.0)
+        );
         assert_eq!(d.reconfiguration_time(Clbs::ZERO), Micros::ZERO);
     }
 

@@ -24,8 +24,7 @@ impl TaskGraph {
     /// Returns [`ModelError::Io`] on parse failure or any validation
     /// error (e.g. [`ModelError::CyclicPrecedence`]).
     pub fn from_json(json: &str) -> Result<Self, ModelError> {
-        let g: TaskGraph =
-            serde_json::from_str(json).map_err(|e| ModelError::Io(e.to_string()))?;
+        let g: TaskGraph = serde_json::from_str(json).map_err(|e| ModelError::Io(e.to_string()))?;
         g.validate()?;
         Ok(g)
     }

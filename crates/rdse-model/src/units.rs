@@ -260,7 +260,10 @@ mod tests {
         let total: Clbs = [Clbs::new(100), Clbs::new(250)].into_iter().sum();
         assert_eq!(total, Clbs::new(350));
         assert_eq!(Clbs::new(100).saturating_sub(Clbs::new(300)), Clbs::ZERO);
-        assert_eq!(Clbs::new(300).saturating_sub(Clbs::new(100)), Clbs::new(200));
+        assert_eq!(
+            Clbs::new(300).saturating_sub(Clbs::new(100)),
+            Clbs::new(200)
+        );
     }
 
     #[test]

@@ -47,18 +47,18 @@ pub fn figure1_app() -> TaskGraph {
     // Edges with the figure's small data quantities (in kilobytes here
     // so bus transfers are visible on the schedule).
     let edges: [(usize, usize, u64); 12] = [
-        (0, 2, 4),  // A -> C
-        (0, 3, 3),  // A -> D
-        (1, 3, 1),  // B -> D
-        (1, 4, 3),  // B -> E
-        (2, 5, 4),  // C -> F
-        (3, 5, 5),  // D -> F
-        (3, 6, 6),  // D -> G
-        (4, 6, 5),  // E -> G
-        (5, 7, 6),  // F -> H
-        (6, 7, 5),  // G -> H
-        (7, 8, 4),  // H -> I
-        (7, 9, 3),  // H -> J
+        (0, 2, 4), // A -> C
+        (0, 3, 3), // A -> D
+        (1, 3, 1), // B -> D
+        (1, 4, 3), // B -> E
+        (2, 5, 4), // C -> F
+        (3, 5, 5), // D -> F
+        (3, 6, 6), // D -> G
+        (4, 6, 5), // E -> G
+        (5, 7, 6), // F -> H
+        (6, 7, 5), // G -> H
+        (7, 8, 4), // H -> I
+        (7, 9, 3), // H -> J
     ];
     for (a, b, kb) in edges {
         app.add_data_edge(ids[a], ids[b], Bytes::new(kb * 1024))

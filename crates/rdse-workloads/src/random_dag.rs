@@ -115,7 +115,8 @@ pub fn series_parallel_dag(sections: usize, max_branches: usize, seed: u64) -> T
         }
         prev = join;
     }
-    app.validate().expect("series-parallel generation is acyclic");
+    app.validate()
+        .expect("series-parallel generation is acyclic");
     app
 }
 

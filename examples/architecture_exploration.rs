@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, deadline) in [
         ("tight (40 ms, the paper's constraint)", MOTION_DEADLINE),
-        ("loose (80 ms, software almost suffices)", Micros::new(80_000.0)),
+        (
+            "loose (80 ms, software almost suffices)",
+            Micros::new(80_000.0),
+        ),
     ] {
         let out = explore_architecture(
             &app,
@@ -74,7 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  makespan {} ({} contexts) -> constraint {}",
             out.evaluation.makespan,
             out.evaluation.n_contexts,
-            if out.evaluation.makespan <= deadline { "met" } else { "missed" }
+            if out.evaluation.makespan <= deadline {
+                "met"
+            } else {
+                "missed"
+            }
         );
     }
     Ok(())

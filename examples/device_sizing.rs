@@ -48,9 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     match smallest_ok {
-        Some(size) => println!(
-            "\nsmallest device meeting the {MOTION_DEADLINE} constraint: {size} CLBs"
-        ),
+        Some(size) => {
+            println!("\nsmallest device meeting the {MOTION_DEADLINE} constraint: {size} CLBs")
+        }
         None => println!("\nno tested device meets the constraint"),
     }
     Ok(())

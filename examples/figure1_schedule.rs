@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "critical path: {}",
         eval.critical_tasks
             .iter()
-            .map(|t| app.task(*t).map(|x| x.name().to_string()).unwrap_or_default())
+            .map(|t| app
+                .task(*t)
+                .map(|x| x.name().to_string())
+                .unwrap_or_default())
             .collect::<Vec<_>>()
             .join(" -> ")
     );

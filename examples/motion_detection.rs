@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         e.makespan,
         e.n_contexts,
         e.n_hw_tasks,
-        if e.makespan <= MOTION_DEADLINE { "MET" } else { "MISSED" }
+        if e.makespan <= MOTION_DEADLINE {
+            "MET"
+        } else {
+            "MISSED"
+        }
     );
     println!(
         "breakdown   : reconfig {} + {}, computation/communication {}",
@@ -52,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Validate the static estimate dynamically, with an exclusive bus.
     let free = simulate(&app, &arch, &outcome.mapping, &SimConfig::contention_free())?;
     let contended = simulate(&app, &arch, &outcome.mapping, &SimConfig::with_contention())?;
-    println!("DES (no contention) : {} — must equal the analytic value", free.makespan);
+    println!(
+        "DES (no contention) : {} — must equal the analytic value",
+        free.makespan
+    );
     println!(
         "DES (exclusive bus) : {} — {} transfers, bus busy {}",
         contended.makespan, contended.n_transfers, contended.bus_busy

@@ -71,10 +71,7 @@ fn generate(args: &[String]) -> ExitCode {
     let (app, name) = match kind {
         "motion" => (motion_detection_app(), "motion"),
         "figure1" => (figure1_app(), "figure1"),
-        "layered" => (
-            layered_dag(&LayeredDagConfig::default(), seed),
-            "layered",
-        ),
+        "layered" => (layered_dag(&LayeredDagConfig::default(), seed), "layered"),
         other => {
             eprintln!("unknown workload '{other}'");
             return usage();
@@ -87,7 +84,10 @@ fn generate(args: &[String]) -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote {app_path} ({} tasks) and {arch_path} ({clbs} CLBs)", app.n_tasks());
+    println!(
+        "wrote {app_path} ({} tasks) and {arch_path} ({clbs} CLBs)",
+        app.n_tasks()
+    );
     ExitCode::SUCCESS
 }
 
@@ -181,7 +181,10 @@ fn run_simulate(args: &[String]) -> ExitCode {
     } else {
         SimConfig::contention_free()
     };
-    match (evaluate(&app, &arch, &mapping), simulate(&app, &arch, &mapping, &cfg)) {
+    match (
+        evaluate(&app, &arch, &mapping),
+        simulate(&app, &arch, &mapping, &cfg),
+    ) {
         (Ok(analytic), Ok(report)) => {
             println!("analytic makespan : {}", analytic.makespan);
             println!("simulated makespan: {}", report.makespan);
@@ -214,7 +217,12 @@ fn run_space(args: &[String]) -> ExitCode {
     let g = app.precedence_graph();
     match rdse::graph::count_linear_extensions(&g, None) {
         Some(count) => {
-            println!("{}: {} tasks, {} total orders", app.name(), app.n_tasks(), count);
+            println!(
+                "{}: {} tasks, {} total orders",
+                app.name(),
+                app.n_tasks(),
+                count
+            );
             ExitCode::SUCCESS
         }
         None => {

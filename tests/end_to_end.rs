@@ -88,7 +88,9 @@ fn model_roundtrip_through_files_preserves_exploration() {
     let app_path = dir.join("app.json");
     let arch_path = dir.join("arch.json");
     motion_detection_app().save(&app_path).expect("save app");
-    epicure_architecture(1500).save(&arch_path).expect("save arch");
+    epicure_architecture(1500)
+        .save(&arch_path)
+        .expect("save arch");
 
     let app = TaskGraph::load(&app_path).expect("load app");
     let arch = Architecture::load(&arch_path).expect("load arch");
@@ -141,7 +143,33 @@ fn runs_are_fast_enough_for_the_interactive_claim() {
     // well under the paper's budget.
     let start = std::time::Instant::now();
     let _ = explore_motion(2000, 11);
-    assert!(start.elapsed().as_secs() < 10, "run took {:?}", start.elapsed());
+    assert!(
+        start.elapsed().as_secs() < 10,
+        "run took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    // Determinism regression: the entire pipeline (initialization,
+    // annealing schedule, move selection, evaluation) must be a pure
+    // function of the seed. Compare makespans at the bit level — an
+    // "approximately equal" determinism test would mask RNG drift.
+    let a = explore_motion(2000, 17);
+    let b = explore_motion(2000, 17);
+    assert_eq!(
+        a.evaluation.makespan.value().to_bits(),
+        b.evaluation.makespan.value().to_bits(),
+        "makespan differs between identical runs: {} vs {}",
+        a.evaluation.makespan,
+        b.evaluation.makespan
+    );
+    assert_eq!(a.evaluation.n_contexts, b.evaluation.n_contexts);
+    assert_eq!(
+        a.mapping, b.mapping,
+        "mapping differs between identical runs"
+    );
 }
 
 #[test]

@@ -31,10 +31,20 @@ fn dual_proc_dual_drlc() -> Architecture {
 /// Independent two-task app for hand-built placements.
 fn two_task_app() -> TaskGraph {
     let mut app = TaskGraph::new("two");
-    app.add_task("a", "F", us(100.0), vec![HwImpl::new(Clbs::new(50), us(10.0))])
-        .unwrap();
-    app.add_task("b", "G", us(200.0), vec![HwImpl::new(Clbs::new(60), us(20.0))])
-        .unwrap();
+    app.add_task(
+        "a",
+        "F",
+        us(100.0),
+        vec![HwImpl::new(Clbs::new(50), us(10.0))],
+    )
+    .unwrap();
+    app.add_task(
+        "b",
+        "G",
+        us(200.0),
+        vec![HwImpl::new(Clbs::new(60), us(20.0))],
+    )
+    .unwrap();
     app
 }
 
@@ -92,10 +102,7 @@ fn asic_placement_executes_with_maximal_parallelism() {
     // no reconfiguration: makespan = max(10, 20).
     assert_eq!(eval.makespan, us(20.0));
     assert_eq!(eval.breakdown.initial_reconfig, Micros::ZERO);
-    assert_eq!(
-        m.placement(TaskId(0)),
-        Placement::Asic { asic: 0 }
-    );
+    assert_eq!(m.placement(TaskId(0)), Placement::Asic { asic: 0 });
     let sim = simulate(&app, &arch, &m, &SimConfig::contention_free()).unwrap();
     assert_eq!(sim.makespan, us(20.0));
 }
@@ -104,10 +111,20 @@ fn asic_placement_executes_with_maximal_parallelism() {
 fn cross_drlc_communication_uses_the_bus() {
     let mut app = TaskGraph::new("xfer");
     let a = app
-        .add_task("a", "F", us(100.0), vec![HwImpl::new(Clbs::new(50), us(10.0))])
+        .add_task(
+            "a",
+            "F",
+            us(100.0),
+            vec![HwImpl::new(Clbs::new(50), us(10.0))],
+        )
         .unwrap();
     let b = app
-        .add_task("b", "G", us(200.0), vec![HwImpl::new(Clbs::new(60), us(20.0))])
+        .add_task(
+            "b",
+            "G",
+            us(200.0),
+            vec![HwImpl::new(Clbs::new(60), us(20.0))],
+        )
         .unwrap();
     app.add_data_edge(a, b, Bytes::new(6400)).unwrap(); // 100 µs at 64 B/µs
     let arch = dual_proc_dual_drlc();
