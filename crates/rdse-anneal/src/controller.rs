@@ -7,7 +7,7 @@
 //! the classic range-limiter; for the combinatorial mapping problem the
 //! analogue is choosing *which kind* of move to draw. The paper's
 //! refinement of the selection process lives in an unavailable thesis
-//! ([11]); [`MoveClassController`] approximates it by tracking a
+//! (\[11\]); [`MoveClassController`] approximates it by tracking a
 //! per-class acceptance EWMA and weighting classes by Lam's rate factor
 //! `f(ρ_c)`, so classes running close to the optimal 0.44 acceptance are
 //! drawn more often than classes that are either always rejected (too

@@ -41,6 +41,6 @@ pub mod stats;
 
 pub use controller::MoveClassController;
 pub use problem::Problem;
-pub use runner::{anneal, RunOptions, RunResult, StopReason, TracePoint};
+pub use runner::{anneal, Annealer, RunOptions, RunResult, StopReason, TracePoint};
 pub use schedule::{GeometricSchedule, InfiniteTemperature, LamSchedule, Schedule};
 pub use stats::{Ewma, EwmaMoments, OnlineStats};

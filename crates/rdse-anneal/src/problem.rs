@@ -60,3 +60,39 @@ pub trait Problem {
         Vec::new()
     }
 }
+
+/// A mutable reference anneals as the problem it points to. This lets
+/// the borrowing [`anneal`](crate::anneal) entry point drive the
+/// owning [`Annealer`](crate::Annealer) state machine.
+impl<P: Problem + ?Sized> Problem for &mut P {
+    type Move = P::Move;
+    type Snapshot = P::Snapshot;
+
+    fn cost(&self) -> f64 {
+        (**self).cost()
+    }
+
+    fn n_move_classes(&self) -> usize {
+        (**self).n_move_classes()
+    }
+
+    fn try_move(&mut self, rng: &mut dyn RngCore, class: usize) -> Option<(Self::Move, f64)> {
+        (**self).try_move(rng, class)
+    }
+
+    fn undo(&mut self, mv: Self::Move) {
+        (**self).undo(mv)
+    }
+
+    fn snapshot(&self) -> Self::Snapshot {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &Self::Snapshot) {
+        (**self).restore(snapshot)
+    }
+
+    fn observables(&self) -> Vec<(&'static str, f64)> {
+        (**self).observables()
+    }
+}

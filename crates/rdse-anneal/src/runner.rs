@@ -6,6 +6,18 @@
 //! exhausted, the run freezes, or the caller's deadline passes. The
 //! method is iterative and interruptible — it always returns the best
 //! solution seen so far.
+//!
+//! Two entry points are provided. [`anneal`] drives a run to completion
+//! in one call. [`Annealer`] exposes the same loop as a resumable state
+//! machine — construct it, advance it in segments with
+//! [`Annealer::run_segment`], inspect or replace the incumbent between
+//! segments with [`Annealer::adopt`], and extract the final
+//! [`RunResult`] with [`Annealer::finish`]. Pausing at a segment
+//! boundary and resuming is bit-identical to an uninterrupted run: the
+//! RNG, the schedule (including the Lam statistics), the move-class
+//! controller and the warm-up accumulator all live inside the
+//! `Annealer`. Multi-chain portfolio searches are built on exactly this
+//! property.
 
 use crate::controller::MoveClassController;
 use crate::problem::Problem;
@@ -83,6 +95,11 @@ pub enum StopReason {
     TargetReached,
     /// No improvement within the freeze window at near-zero acceptance.
     Frozen,
+    /// The caller ended the run ([`Annealer::finish`]) before the
+    /// budget was exhausted or any stop condition fired — e.g. a
+    /// portfolio aborting its remaining chains once one chain reached
+    /// the target.
+    Interrupted,
 }
 
 impl StopReason {
@@ -93,6 +110,7 @@ impl StopReason {
             StopReason::TimeBudget => "time budget exhausted",
             StopReason::TargetReached => "target cost reached",
             StopReason::Frozen => "frozen",
+            StopReason::Interrupted => "interrupted by caller",
         }
     }
 }
@@ -154,70 +172,246 @@ pub fn anneal<P: Problem, S: Schedule>(
     schedule: &mut S,
     opts: &RunOptions,
 ) -> RunResult {
-    let start = Instant::now();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    schedule.reset();
-    let controller = if opts.adaptive_moves {
-        MoveClassController::new(problem.n_move_classes().max(1))
-    } else {
-        MoveClassController::uniform(problem.n_move_classes().max(1))
-    };
-    let mut controller = controller;
+    let mut annealer = Annealer::new(&mut *problem, &mut *schedule, opts.clone());
+    annealer.run_segment(u64::MAX);
+    annealer.finish().2
+}
 
-    let initial_cost = problem.cost();
-    let mut cost = initial_cost;
-    let mut best_cost = cost;
-    let mut best_snapshot = problem.snapshot();
-    let mut last_improvement: u64 = 0;
+/// The annealing loop as a resumable state machine.
+///
+/// An `Annealer` owns the problem, the schedule, the RNG, the
+/// move-class controller, the warm-up statistics and the best-so-far
+/// snapshot, so a run can be paused at any iteration boundary and
+/// resumed later — by the same thread or another — without perturbing
+/// the random walk. [`anneal`] is a thin wrapper that constructs one
+/// and drives it to completion, so segmented execution is bit-identical
+/// to a monolithic run for equal options.
+///
+/// Between segments the caller may inspect [`best_cost`] /
+/// [`best_snapshot`] and replace the incumbent with [`adopt`]; this is
+/// the exchange primitive of multi-chain portfolio annealing.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_anneal::{Annealer, LamSchedule, RunOptions};
+/// use rdse_anneal::problems::bipartition::Bipartition;
+///
+/// let opts = RunOptions { max_iterations: 20_000, warmup_iterations: 500, seed: 1,
+///                         ..RunOptions::default() };
+/// let mut a = Annealer::new(Bipartition::two_cliques(6, 42), LamSchedule::new(1.0), opts);
+/// while a.run_segment(1_000) {
+///     // exchange point: inspect a.best_cost(), adopt a better incumbent, ...
+/// }
+/// let (_problem, _schedule, result) = a.finish();
+/// assert_eq!(result.best_cost, 1.0); // single bridge edge cut
+/// ```
+///
+/// [`best_cost`]: Annealer::best_cost
+/// [`best_snapshot`]: Annealer::best_snapshot
+/// [`adopt`]: Annealer::adopt
+#[derive(Debug)]
+pub struct Annealer<P: Problem, S: Schedule> {
+    problem: P,
+    schedule: S,
+    opts: RunOptions,
+    rng: StdRng,
+    controller: MoveClassController,
+    initial_cost: f64,
+    cost: f64,
+    best_cost: f64,
+    best_snapshot: P::Snapshot,
+    last_improvement: u64,
+    accepted: u64,
+    rejected: u64,
+    infeasible: u64,
+    warmup: OnlineStats,
+    trace: Vec<TracePoint>,
+    stop: Option<StopReason>,
+    /// Inverse temperature; 0 during warm-up.
+    s: f64,
+    iter: u64,
+    /// Wall-clock time accumulated over completed segments.
+    elapsed: Duration,
+}
 
-    let mut accepted = 0u64;
-    let mut rejected = 0u64;
-    let mut infeasible = 0u64;
-    let mut warmup = OnlineStats::new();
-    let mut trace = Vec::new();
-    let mut stop = StopReason::IterationBudget;
-
-    let mut s = 0.0_f64; // inverse temperature; 0 during warm-up
-    let mut iter = 0u64;
-    while iter < opts.max_iterations {
-        if iter == opts.warmup_iterations && iter > 0 {
-            schedule.begin(warmup.mean(), warmup.std_dev());
+impl<P: Problem, S: Schedule> Annealer<P, S> {
+    /// Prepares a run over `problem` under `schedule`: resets the
+    /// schedule, builds the move-class controller and snapshots the
+    /// initial solution as the incumbent best.
+    pub fn new(problem: P, mut schedule: S, opts: RunOptions) -> Self {
+        let rng = StdRng::seed_from_u64(opts.seed);
+        schedule.reset();
+        let controller = if opts.adaptive_moves {
+            MoveClassController::new(problem.n_move_classes().max(1))
+        } else {
+            MoveClassController::uniform(problem.n_move_classes().max(1))
+        };
+        let initial_cost = problem.cost();
+        let best_snapshot = problem.snapshot();
+        Annealer {
+            problem,
+            schedule,
+            opts,
+            rng,
+            controller,
+            initial_cost,
+            cost: initial_cost,
+            best_cost: initial_cost,
+            best_snapshot,
+            last_improvement: 0,
+            accepted: 0,
+            rejected: 0,
+            infeasible: 0,
+            warmup: OnlineStats::new(),
+            trace: Vec::new(),
+            stop: None,
+            s: 0.0,
+            iter: 0,
+            elapsed: Duration::ZERO,
         }
-        let in_warmup = iter < opts.warmup_iterations;
+    }
 
-        let class = controller.pick(&mut rng);
-        let outcome = match problem.try_move(&mut rng, class) {
+    /// Whether the run has ended (budget exhausted or a stop condition
+    /// fired). A finished annealer ignores further `run_segment` calls.
+    pub fn is_finished(&self) -> bool {
+        self.stop.is_some() || self.iter >= self.opts.max_iterations
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iter
+    }
+
+    /// Cost of the current (not necessarily best) solution.
+    pub fn current_cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Best cost seen so far.
+    pub fn best_cost(&self) -> f64 {
+        self.best_cost
+    }
+
+    /// Snapshot of the best solution seen so far.
+    pub fn best_snapshot(&self) -> &P::Snapshot {
+        &self.best_snapshot
+    }
+
+    /// The problem in its *current* state (walk position, not the best).
+    pub fn problem(&self) -> &P {
+        &self.problem
+    }
+
+    /// Why the run stopped, if it has.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        if let Some(stop) = self.stop {
+            Some(stop)
+        } else if self.iter >= self.opts.max_iterations {
+            Some(StopReason::IterationBudget)
+        } else {
+            None
+        }
+    }
+
+    /// Replaces the current solution with an externally supplied
+    /// incumbent of the given cost — the best-solution exchange of a
+    /// portfolio run. Updates the best-so-far if the incumbent improves
+    /// on it. Schedule statistics and the RNG stream are untouched, so
+    /// the subsequent walk stays deterministic.
+    pub fn adopt(&mut self, snapshot: P::Snapshot, cost: f64) {
+        self.problem.restore(&snapshot);
+        self.cost = cost;
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best_snapshot = snapshot;
+            self.last_improvement = self.iter;
+        }
+    }
+
+    /// Runs up to `steps` iterations (fewer if the run ends first) and
+    /// returns `true` while the run can continue.
+    pub fn run_segment(&mut self, steps: u64) -> bool {
+        let segment_start = Instant::now();
+        let mut n = 0u64;
+        while n < steps && !self.is_finished() {
+            self.step_inner(segment_start);
+            n += 1;
+        }
+        self.elapsed += segment_start.elapsed();
+        !self.is_finished()
+    }
+
+    /// Runs a single iteration; returns `true` while the run can
+    /// continue.
+    pub fn step(&mut self) -> bool {
+        self.run_segment(1)
+    }
+
+    /// Ends the run: restores the problem to the best solution found
+    /// and returns problem, schedule and the [`RunResult`]. A run
+    /// finished before its budget was exhausted (and before any stop
+    /// condition fired) reports [`StopReason::Interrupted`].
+    pub fn finish(mut self) -> (P, S, RunResult) {
+        self.problem.restore(&self.best_snapshot);
+        let stop = self.stop_reason().unwrap_or(StopReason::Interrupted);
+        let result = RunResult {
+            best_cost: self.best_cost,
+            initial_cost: self.initial_cost,
+            iterations: self.iter,
+            accepted: self.accepted,
+            rejected: self.rejected,
+            infeasible: self.infeasible,
+            stop,
+            elapsed: self.elapsed,
+            trace: self.trace,
+            warmup: self.warmup,
+        };
+        (self.problem, self.schedule, result)
+    }
+
+    /// One iteration of the loop; mirrors the paper's Fig. 2 structure.
+    fn step_inner(&mut self, segment_start: Instant) {
+        let iter = self.iter;
+        if iter == self.opts.warmup_iterations && iter > 0 {
+            self.schedule
+                .begin(self.warmup.mean(), self.warmup.std_dev());
+        }
+        let in_warmup = iter < self.opts.warmup_iterations;
+
+        let class = self.controller.pick(&mut self.rng);
+        let outcome = match self.problem.try_move(&mut self.rng, class) {
             None => {
-                infeasible += 1;
-                controller.record(class, false, false);
+                self.infeasible += 1;
+                self.controller.record(class, false, false);
                 IterationOutcome {
-                    cost,
+                    cost: self.cost,
                     accepted: false,
                     feasible: false,
                 }
             }
             Some((mv, new_cost)) => {
-                let delta = new_cost - cost;
+                let delta = new_cost - self.cost;
                 let accept = delta <= 0.0 || {
-                    let s_eff = if in_warmup { 0.0 } else { s };
+                    let s_eff = if in_warmup { 0.0 } else { self.s };
                     // s_eff == 0 means infinite temperature: accept all.
-                    s_eff == 0.0 || rng.random::<f64>() < (-delta * s_eff).exp()
+                    s_eff == 0.0 || self.rng.random::<f64>() < (-delta * s_eff).exp()
                 };
                 if accept {
-                    cost = new_cost;
-                    accepted += 1;
-                    if cost < best_cost {
-                        best_cost = cost;
-                        best_snapshot = problem.snapshot();
-                        last_improvement = iter;
+                    self.cost = new_cost;
+                    self.accepted += 1;
+                    if self.cost < self.best_cost {
+                        self.best_cost = self.cost;
+                        self.best_snapshot = self.problem.snapshot();
+                        self.last_improvement = iter;
                     }
                 } else {
-                    problem.undo(mv);
-                    rejected += 1;
+                    self.problem.undo(mv);
+                    self.rejected += 1;
                 }
-                controller.record(class, true, accept);
+                self.controller.record(class, true, accept);
                 IterationOutcome {
-                    cost,
+                    cost: self.cost,
                     accepted: accept,
                     feasible: true,
                 }
@@ -225,59 +419,44 @@ pub fn anneal<P: Problem, S: Schedule>(
         };
 
         if in_warmup {
-            warmup.update(cost);
+            self.warmup.update(self.cost);
         } else {
-            s = schedule.update(outcome);
+            self.s = self.schedule.update(outcome);
         }
 
-        if opts.trace_every > 0 && iter.is_multiple_of(opts.trace_every) {
-            trace.push(TracePoint {
+        if self.opts.trace_every > 0 && iter.is_multiple_of(self.opts.trace_every) {
+            self.trace.push(TracePoint {
                 iteration: iter,
-                cost,
-                best_cost,
-                inverse_temperature: if in_warmup { 0.0 } else { s },
-                observables: problem.observables(),
+                cost: self.cost,
+                best_cost: self.best_cost,
+                inverse_temperature: if in_warmup { 0.0 } else { self.s },
+                observables: self.problem.observables(),
             });
         }
 
-        iter += 1;
+        self.iter += 1;
 
-        if let Some(target) = opts.target_cost {
-            if best_cost <= target {
-                stop = StopReason::TargetReached;
-                break;
+        if let Some(target) = self.opts.target_cost {
+            if self.best_cost <= target {
+                self.stop = Some(StopReason::TargetReached);
+                return;
             }
         }
-        if opts.freeze_window > 0
+        if self.opts.freeze_window > 0
             && !in_warmup
-            && iter - last_improvement > opts.freeze_window
-            && schedule.acceptance().is_some_and(|a| a < 0.01)
+            && self.iter - self.last_improvement > self.opts.freeze_window
+            && self.schedule.acceptance().is_some_and(|a| a < 0.01)
         {
-            stop = StopReason::Frozen;
-            break;
+            self.stop = Some(StopReason::Frozen);
+            return;
         }
-        if iter.is_multiple_of(256) {
-            if let Some(budget) = opts.time_budget {
-                if start.elapsed() >= budget {
-                    stop = StopReason::TimeBudget;
-                    break;
+        if self.iter.is_multiple_of(256) {
+            if let Some(budget) = self.opts.time_budget {
+                if self.elapsed + segment_start.elapsed() >= budget {
+                    self.stop = Some(StopReason::TimeBudget);
                 }
             }
         }
-    }
-
-    problem.restore(&best_snapshot);
-    RunResult {
-        best_cost,
-        initial_cost,
-        iterations: iter,
-        accepted,
-        rejected,
-        infeasible,
-        stop,
-        elapsed: start.elapsed(),
-        trace,
-        warmup,
     }
 }
 
@@ -376,6 +555,70 @@ mod tests {
         let r = anneal(&mut p, &mut s, &quick_opts(1000, 3));
         assert_eq!(r.warmup.count(), 100);
         assert!(r.warmup.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn segmented_run_is_bit_identical_to_monolithic() {
+        let opts = quick_opts(4000, 13);
+        let mut p1 = Bipartition::two_cliques(8, 9);
+        let mut s1 = LamSchedule::new(0.7);
+        let whole = anneal(&mut p1, &mut s1, &opts);
+
+        let mut a = Annealer::new(Bipartition::two_cliques(8, 9), LamSchedule::new(0.7), opts);
+        // Ragged segment sizes: pausing must not perturb the walk.
+        for seg in [1u64, 7, 100, 250, 999, 10_000] {
+            if !a.run_segment(seg) {
+                break;
+            }
+        }
+        let (p2, _, segmented) = a.finish();
+        assert_eq!(whole.best_cost.to_bits(), segmented.best_cost.to_bits());
+        assert_eq!(whole.iterations, segmented.iterations);
+        assert_eq!(whole.accepted, segmented.accepted);
+        assert_eq!(whole.rejected, segmented.rejected);
+        assert_eq!(p1.cost().to_bits(), p2.cost().to_bits());
+    }
+
+    #[test]
+    fn adopt_installs_a_better_incumbent() {
+        let mut a = Annealer::new(
+            Sphere::new(4, 5.0, 3),
+            InfiniteTemperature::new(),
+            RunOptions {
+                max_iterations: 100,
+                seed: 5,
+                ..RunOptions::default()
+            },
+        );
+        a.run_segment(10);
+        // A Sphere snapshot is the coordinate vector; the origin costs 0.
+        a.adopt(vec![0.0; 4], 0.0);
+        assert_eq!(a.best_cost(), 0.0);
+        assert_eq!(a.current_cost(), 0.0);
+        a.run_segment(u64::MAX);
+        let (_, _, r) = a.finish();
+        assert_eq!(r.best_cost, 0.0);
+        assert_eq!(r.iterations, 100);
+    }
+
+    #[test]
+    fn annealer_reports_stop_reason_progressively() {
+        let mut a = Annealer::new(
+            Sphere::new(3, 1.0, 0),
+            LamSchedule::new(1.0),
+            RunOptions {
+                max_iterations: 50,
+                seed: 0,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(a.stop_reason(), None);
+        assert!(!a.is_finished());
+        let more = a.run_segment(50);
+        assert!(!more);
+        assert!(a.is_finished());
+        assert_eq!(a.stop_reason(), Some(StopReason::IterationBudget));
+        assert_eq!(a.iterations(), 50);
     }
 
     #[test]

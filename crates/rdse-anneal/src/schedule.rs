@@ -1,6 +1,6 @@
 //! Cooling schedules.
 //!
-//! The adaptive [`LamSchedule`] follows J. Lam's thesis (reference [9]
+//! The adaptive [`LamSchedule`] follows J. Lam's thesis (reference \[9\]
 //! of the paper): view the cost as the energy of a dynamical system and
 //! raise the inverse temperature `s = 1/T` at the maximal rate that
 //! keeps the system in quasi-equilibrium. The practical form of the
@@ -57,6 +57,35 @@ pub trait Schedule {
 
     /// Short human-readable name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// A mutable reference schedules as the schedule it points to. This
+/// lets the borrowing [`anneal`](crate::anneal) entry point drive the
+/// owning [`Annealer`](crate::Annealer) state machine.
+impl<S: Schedule + ?Sized> Schedule for &mut S {
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn begin(&mut self, warmup_mean: f64, warmup_std_dev: f64) {
+        (**self).begin(warmup_mean, warmup_std_dev)
+    }
+
+    fn update(&mut self, outcome: IterationOutcome) -> f64 {
+        (**self).update(outcome)
+    }
+
+    fn inverse_temperature(&self) -> f64 {
+        (**self).inverse_temperature()
+    }
+
+    fn acceptance(&self) -> Option<f64> {
+        (**self).acceptance()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }
 
 /// Lam's adaptive schedule (see module docs).

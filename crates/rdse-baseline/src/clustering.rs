@@ -1,4 +1,4 @@
-//! Deterministic temporal clustering (the [6] baseline's second stage).
+//! Deterministic temporal clustering (the \[6\] baseline's second stage).
 //!
 //! Hardware tasks are packed into contexts greedily, following the
 //! global list order: each task joins the current (last) context if its

@@ -1,4 +1,4 @@
-//! The genetic-algorithm baseline of Ben Chehida & Auguin [6].
+//! The genetic-algorithm baseline of Ben Chehida & Auguin \[6\].
 //!
 //! Chromosome: one gene per task — software, or hardware with an
 //! implementation index. Fitness: makespan of the deterministic
@@ -14,10 +14,10 @@ use rdse_mapping::{evaluate, Evaluation, Mapping, MappingError};
 use rdse_model::{Architecture, TaskGraph};
 use std::time::{Duration, Instant};
 
-/// GA parameters (defaults follow [6] where published).
+/// GA parameters (defaults follow \[6\] where published).
 #[derive(Debug, Clone)]
 pub struct GaOptions {
-    /// Population size (300 in [6]).
+    /// Population size (300 in \[6\]).
     pub population: usize,
     /// Maximum generations.
     pub generations: usize,

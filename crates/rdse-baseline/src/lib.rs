@@ -1,6 +1,6 @@
 //! Baseline explorers for the DATE'05 comparison (§5).
 //!
-//! The paper compares against the approach of Ben Chehida & Auguin [6]:
+//! The paper compares against the approach of Ben Chehida & Auguin \[6\]:
 //! a **genetic algorithm** explores the HW/SW spatial partitioning; for
 //! each individual a *deterministic* temporal clustering packs the
 //! hardware tasks into contexts and a list scheduler fixes the software

@@ -2,11 +2,11 @@
 //! list scheduling plus greedy temporal clustering.
 //!
 //! Given a HW/SW assignment (the GA's chromosome), this module builds
-//! the unique mapping the baseline of [6] would evaluate: tasks are
+//! the unique mapping the baseline of \[6\] would evaluate: tasks are
 //! linearized by a critical-path (upward-rank) list scheduler, software
 //! tasks take that order on the processor, and hardware tasks are
 //! packed into contexts in the same order by
-//! [`pack_contexts`](crate::clustering::pack_contexts).
+//! [`pack_contexts`].
 
 use crate::clustering::pack_contexts;
 use rdse_mapping::Mapping;

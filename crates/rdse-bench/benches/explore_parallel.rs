@@ -1,0 +1,80 @@
+//! Fixed-seed smoke benchmark of the exploration engines: single-chain
+//! [`explore`], the resumable [`Explorer`] driven in segments, and the
+//! multi-chain [`explore_parallel`] portfolio at 1 and 4 worker
+//! threads. Budgets are deliberately small — this is the perf
+//! trajectory probe CI uploads on every PR (`BENCH_pr.json`), not a
+//! quality experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdse_mapping::{explore, explore_parallel, ExploreOptions, Explorer, ParallelOptions};
+use rdse_workloads::{epicure_architecture, motion_detection_app};
+use std::hint::black_box;
+
+const ITERS: u64 = 1_500;
+const SEED: u64 = 7;
+
+fn base_opts() -> ExploreOptions {
+    ExploreOptions {
+        max_iterations: ITERS,
+        warmup_iterations: ITERS / 5,
+        seed: SEED,
+        ..ExploreOptions::default()
+    }
+}
+
+fn bench_single_chain(c: &mut Criterion) {
+    let app = motion_detection_app();
+    let arch = epicure_architecture(2000);
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(10);
+    group.bench_function("single_chain", |b| {
+        b.iter(|| black_box(explore(&app, &arch, &base_opts()).expect("explores cleanly")));
+    });
+    group.bench_function("segmented_chain", |b| {
+        b.iter(|| {
+            let mut chain =
+                Explorer::new(&app, &arch, &base_opts()).expect("initial solution exists");
+            while chain.run_segment(250) {}
+            black_box(chain.into_outcome())
+        });
+    });
+    group.finish();
+}
+
+fn bench_portfolio(c: &mut Criterion) {
+    let app = motion_detection_app();
+    let arch = epicure_architecture(2000);
+    let mut group = c.benchmark_group("explore_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("chains4", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        explore_parallel(
+                            &app,
+                            &arch,
+                            &ParallelOptions {
+                                base: ExploreOptions {
+                                    max_iterations: 4 * ITERS,
+                                    warmup_iterations: 4 * (ITERS / 5),
+                                    ..base_opts()
+                                },
+                                chains: 4,
+                                threads,
+                                exchange_every: 250,
+                            },
+                        )
+                        .expect("explores cleanly"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_chain, bench_portfolio);
+criterion_main!(benches);

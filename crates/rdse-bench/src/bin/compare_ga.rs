@@ -1,4 +1,4 @@
-//! Reproduction of the **§5 comparison against [6]** (Ben Chehida &
+//! Reproduction of the **§5 comparison against \[6\]** (Ben Chehida &
 //! Auguin's genetic algorithm):
 //!
 //! * quality — the paper's best solutions reach 18.1 ms where the GA's
@@ -15,7 +15,7 @@
 
 use rdse_baseline::{hill_climb, random_search, GaOptions, GeneticExplorer, HillClimbOptions};
 use rdse_bench::{arg_num, arg_value, mean, std_dev, write_csv};
-use rdse_mapping::{explore, ExploreOptions};
+use rdse_mapping::{explore, explore_parallel, ExploreOptions, ParallelOptions};
 use rdse_workloads::{epicure_architecture, motion_detection_app};
 use std::time::Instant;
 
@@ -46,6 +46,34 @@ fn main() {
         .expect("motion benchmark explores cleanly");
         sa_secs.push(t0.elapsed().as_secs_f64());
         sa_ms.push(outcome.evaluation.makespan.as_millis());
+    }
+
+    // The same total budget spread over an 8-chain portfolio with
+    // periodic best-solution exchange — the scale-out story of the new
+    // engine at iteration-for-iteration parity with single-chain SA.
+    let chains: usize = arg_num(&args, "--chains", 8);
+    let mut psa_ms = Vec::new();
+    let mut psa_secs = Vec::new();
+    for r in 0..runs {
+        let t0 = Instant::now();
+        let outcome = explore_parallel(
+            &app,
+            &arch,
+            &ParallelOptions {
+                base: ExploreOptions {
+                    max_iterations: 5_000,
+                    warmup_iterations: 1_200,
+                    seed: seed0 + r,
+                    ..ExploreOptions::default()
+                },
+                chains,
+                threads: 0,
+                exchange_every: 250,
+            },
+        )
+        .expect("motion benchmark explores cleanly");
+        psa_secs.push(t0.elapsed().as_secs_f64());
+        psa_ms.push(outcome.evaluation.makespan.as_millis());
     }
 
     let mut ga_ms = Vec::new();
@@ -98,6 +126,13 @@ fn main() {
         mean(&sa_secs)
     );
     println!(
+        "portfolio SA x{chains:<4}   {:>8.1}  {:>8.1}  {:>6.2}  {:>9.3} s",
+        best(&psa_ms),
+        mean(&psa_ms),
+        std_dev(&psa_ms),
+        mean(&psa_secs)
+    );
+    println!(
         "GA pop=300 [6]       {:>8.1}  {:>8.1}  {:>6.2}  {:>9.3} s",
         best(&ga_ms),
         mean(&ga_ms),
@@ -131,7 +166,15 @@ fn main() {
     let rows: Vec<Vec<f64>> = (0..runs as usize)
         .map(|i| {
             vec![
-                i as f64, sa_ms[i], ga_ms[i], rs_ms[i], hc_ms[i], sa_secs[i], ga_secs[i],
+                i as f64,
+                sa_ms[i],
+                psa_ms[i],
+                ga_ms[i],
+                rs_ms[i],
+                hc_ms[i],
+                sa_secs[i],
+                psa_secs[i],
+                ga_secs[i],
             ]
         })
         .collect();
@@ -140,10 +183,12 @@ fn main() {
         &[
             "run",
             "sa_ms",
+            "portfolio_sa_ms",
             "ga_ms",
             "random_ms",
             "hillclimb_ms",
             "sa_secs",
+            "portfolio_sa_secs",
             "ga_secs",
         ],
         &rows,

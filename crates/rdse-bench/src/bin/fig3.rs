@@ -10,12 +10,16 @@
 //! with size; total reconfiguration time stays roughly constant because
 //! context count and context size compensate.
 //!
-//! Usage: `fig3 [--runs N] [--iters N] [--seed N] [--out F]`
+//! The many runs per size are the independent chains of one
+//! [`explore_parallel`] portfolio (exchange disabled, so the chains are
+//! statistically independent samples), which also parallelizes the
+//! sweep across cores deterministically.
+//!
+//! Usage: `fig3 [--runs N] [--iters N] [--seed N] [--threads T] [--out F]`
 
 use rdse_bench::{arg_num, arg_value, ascii_plot, mean, write_csv};
-use rdse_mapping::{explore, ExploreOptions};
+use rdse_mapping::{explore_parallel, ExploreOptions, ParallelOptions};
 use rdse_workloads::{epicure_architecture, motion_detection_app};
-use std::sync::Mutex;
 
 /// Device sizes swept (CLBs), as in the paper's 100..10000 range.
 const SIZES: [u32; 16] = [
@@ -32,69 +36,63 @@ fn main() {
     let iters: u64 = arg_num(&args, "--iters", 5_000);
     let seed0: u64 = arg_num(&args, "--seed", 1);
     let lambda: f64 = arg_num(&args, "--lambda", 0.5);
+    let threads: usize = arg_num(&args, "--threads", 0);
     let out = arg_value(&args, "--out").unwrap_or_else(|| "results/fig3.csv".into());
 
     let app = motion_detection_app();
-    let results: Mutex<Vec<SweepRow>> = Mutex::new(Vec::new());
-
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(SIZES.len());
-    let work: Mutex<Vec<u32>> = Mutex::new(SIZES.to_vec());
-    std::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|| loop {
-                let size = {
-                    let mut w = work.lock().expect("work queue lock");
-                    match w.pop() {
-                        Some(s) => s,
-                        None => break,
-                    }
-                };
-                let arch = epicure_architecture(size);
-                let mut exec = Vec::new();
-                let mut init_r = Vec::new();
-                let mut dyn_r = Vec::new();
-                let mut ctxs = Vec::new();
-                for r in 0..runs {
-                    let outcome = explore(
-                        &app,
-                        &arch,
-                        &ExploreOptions {
-                            max_iterations: iters,
-                            warmup_iterations: iters / 5,
-                            seed: seed0 + r * 1000 + size as u64,
-                            lambda,
-                            ..ExploreOptions::default()
-                        },
-                    )
-                    .expect("motion benchmark explores cleanly");
-                    exec.push(outcome.evaluation.makespan.as_millis());
-                    init_r.push(outcome.evaluation.breakdown.initial_reconfig.as_millis());
-                    dyn_r.push(outcome.evaluation.breakdown.dynamic_reconfig.as_millis());
-                    ctxs.push(outcome.evaluation.n_contexts as f64);
-                }
-                results.lock().expect("results lock").push((
-                    size,
-                    mean(&exec),
-                    mean(&init_r),
-                    mean(&dyn_r),
-                    mean(&ctxs),
-                ));
-                eprintln!(
-                    "size {size:>5}: exec {:.1} ms, reconfig {:.1}+{:.1} ms, contexts {:.1}",
-                    mean(&exec),
-                    mean(&init_r),
-                    mean(&dyn_r),
-                    mean(&ctxs)
-                );
-            });
-        }
-    });
-
-    let mut rows = results.into_inner().expect("results lock");
-    rows.sort_by_key(|r| r.0);
+    let mut rows: Vec<SweepRow> = Vec::with_capacity(SIZES.len());
+    for size in SIZES {
+        let arch = epicure_architecture(size);
+        // `runs` independent annealing chains: the total budget is
+        // `iters` per chain, exchange disabled so each chain is one
+        // Fig. 3 sample.
+        let portfolio = explore_parallel(
+            &app,
+            &arch,
+            &ParallelOptions {
+                base: ExploreOptions {
+                    max_iterations: iters * runs,
+                    warmup_iterations: (iters / 5) * runs,
+                    seed: seed0 + size as u64,
+                    lambda,
+                    ..ExploreOptions::default()
+                },
+                chains: runs as usize,
+                threads,
+                exchange_every: 0,
+            },
+        )
+        .expect("motion benchmark explores cleanly");
+        let exec: Vec<f64> = portfolio
+            .chains
+            .iter()
+            .map(|c| c.evaluation.makespan.as_millis())
+            .collect();
+        let init_r: Vec<f64> = portfolio
+            .chains
+            .iter()
+            .map(|c| c.evaluation.breakdown.initial_reconfig.as_millis())
+            .collect();
+        let dyn_r: Vec<f64> = portfolio
+            .chains
+            .iter()
+            .map(|c| c.evaluation.breakdown.dynamic_reconfig.as_millis())
+            .collect();
+        let ctxs: Vec<f64> = portfolio
+            .chains
+            .iter()
+            .map(|c| c.evaluation.n_contexts as f64)
+            .collect();
+        rows.push((size, mean(&exec), mean(&init_r), mean(&dyn_r), mean(&ctxs)));
+        eprintln!(
+            "size {size:>5}: exec {:.1} ms, reconfig {:.1}+{:.1} ms, contexts {:.1} ({:?})",
+            mean(&exec),
+            mean(&init_r),
+            mean(&dyn_r),
+            mean(&ctxs),
+            portfolio.elapsed,
+        );
+    }
 
     let exec_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0 as f64, r.1)).collect();
     let init_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0 as f64, r.2)).collect();

@@ -7,7 +7,7 @@
 //! for the destination requests *resource creation* (m4 — a new
 //! processor, ASIC or DRLC is added and the source task assigned to
 //! it). The paper's experiments set the probability of 0 to zero; this
-//! module implements the general method of [11], where the objective is
+//! module implements the general method of \[11\], where the objective is
 //! the system **cost** under a performance constraint.
 //!
 //! New resources are drawn from a [`ResourceCatalog`] (the component

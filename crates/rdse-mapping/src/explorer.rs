@@ -5,6 +5,19 @@
 //! and the §5 implementation-selection moves); [`explore`] wires it to
 //! the Lam adaptive schedule with the warm-up phase of Fig. 2 and
 //! returns the best mapping found together with run statistics.
+//!
+//! Three granularities are exposed:
+//!
+//! * [`explore`] — one annealing chain, driven to completion;
+//! * [`Explorer`] — the same chain as a resumable state machine
+//!   ([`Explorer::new`] / [`Explorer::step`] /
+//!   [`Explorer::run_segment`] / [`Explorer::best`]), pausable at any
+//!   iteration boundary with bit-identical resumption;
+//! * [`explore_parallel`] — a portfolio of K chains on independent
+//!   per-chain RNG streams, run across threads in lock-step segments
+//!   with periodic best-solution exchange. Results are a pure function
+//!   of `(seed, chains)` — the worker-thread count only changes
+//!   wall-clock time, never the answer.
 
 use crate::error::MappingError;
 use crate::eval::{evaluate, Evaluation};
@@ -13,9 +26,10 @@ use crate::moves::{propose_impl_move, propose_pair_move};
 use crate::solution::Mapping;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use rdse_anneal::{anneal, LamSchedule, Problem, RunOptions, RunResult};
+use rdse_anneal::{Annealer, LamSchedule, Problem, RunOptions, RunResult};
 use rdse_model::units::Micros;
 use rdse_model::{Architecture, TaskGraph};
+use std::time::{Duration, Instant};
 
 /// What the annealer minimizes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -241,29 +255,408 @@ pub fn explore(
     arch: &Architecture,
     opts: &ExploreOptions,
 ) -> Result<ExploreOutcome, MappingError> {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let initial = random_initial(app, arch, &mut rng);
-    let mut problem = MappingProblem::new(app, arch, initial, opts.objective)?;
-    let mut schedule = LamSchedule::new(opts.lambda);
-    let run = anneal(
-        &mut problem,
-        &mut schedule,
-        &RunOptions {
-            max_iterations: opts.max_iterations,
-            warmup_iterations: opts.warmup_iterations,
-            seed: opts.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
-            trace_every: opts.trace_every,
-            adaptive_moves: opts.adaptive_moves,
-            target_cost: opts.target_cost,
-            ..RunOptions::default()
-        },
-    );
-    let (mapping, evaluation) = problem.into_parts();
-    Ok(ExploreOutcome {
+    let mut explorer = Explorer::new(app, arch, opts)?;
+    explorer.run_segment(u64::MAX);
+    Ok(explorer.into_outcome())
+}
+
+/// A single annealing chain as a resumable state machine.
+///
+/// Construction performs the full setup of [`explore`] (random initial
+/// solution, warm-up configuration, Lam schedule); the chain then
+/// advances one iteration at a time ([`step`]) or in segments
+/// ([`run_segment`]). Pausing at a segment boundary is invisible to the
+/// walk: driving an `Explorer` to completion is bit-identical to
+/// [`explore`] with equal options. Between segments the incumbent best
+/// is readable via [`best`] and replaceable via [`adopt_best`] — the
+/// exchange primitive used by [`explore_parallel`].
+///
+/// [`step`]: Explorer::step
+/// [`run_segment`]: Explorer::run_segment
+/// [`best`]: Explorer::best
+/// [`adopt_best`]: Explorer::adopt_best
+///
+/// # Examples
+///
+/// ```
+/// use rdse_mapping::{Explorer, ExploreOptions};
+/// use rdse_workloads::{epicure_architecture, motion_detection_app};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let app = motion_detection_app();
+/// let arch = epicure_architecture(2000);
+/// let mut chain = Explorer::new(&app, &arch, &ExploreOptions {
+///     max_iterations: 2_000,
+///     warmup_iterations: 400,
+///     seed: 1,
+///     ..ExploreOptions::default()
+/// })?;
+/// while chain.run_segment(500) {
+///     // exchange point: inspect chain.best(), adopt an incumbent, ...
+/// }
+/// let outcome = chain.into_outcome();
+/// assert!(outcome.evaluation.makespan.value() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Explorer<'a> {
+    annealer: Annealer<MappingProblem<'a>, LamSchedule>,
+    objective: Objective,
+    seed: u64,
+}
+
+impl<'a> Explorer<'a> {
+    /// Sets up a chain: draws the random initial solution from
+    /// `opts.seed` and prepares the annealer exactly as [`explore`]
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError`] if no feasible initial solution can be
+    /// constructed (e.g. the models are inconsistent).
+    pub fn new(
+        app: &'a TaskGraph,
+        arch: &'a Architecture,
+        opts: &ExploreOptions,
+    ) -> Result<Self, MappingError> {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let initial = random_initial(app, arch, &mut rng);
+        let problem = MappingProblem::new(app, arch, initial, opts.objective)?;
+        let schedule = LamSchedule::new(opts.lambda);
+        let annealer = Annealer::new(
+            problem,
+            schedule,
+            RunOptions {
+                max_iterations: opts.max_iterations,
+                warmup_iterations: opts.warmup_iterations,
+                seed: opts.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+                trace_every: opts.trace_every,
+                adaptive_moves: opts.adaptive_moves,
+                target_cost: opts.target_cost,
+                ..RunOptions::default()
+            },
+        );
+        Ok(Explorer {
+            annealer,
+            objective: opts.objective,
+            seed: opts.seed,
+        })
+    }
+
+    /// Runs one annealing iteration; returns `true` while the chain can
+    /// continue.
+    pub fn step(&mut self) -> bool {
+        self.annealer.step()
+    }
+
+    /// Runs up to `steps` iterations (fewer if the chain ends first);
+    /// returns `true` while the chain can continue.
+    pub fn run_segment(&mut self, steps: u64) -> bool {
+        self.annealer.run_segment(steps)
+    }
+
+    /// Whether the chain has exhausted its budget or hit a stop
+    /// condition.
+    pub fn is_finished(&self) -> bool {
+        self.annealer.is_finished()
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> u64 {
+        self.annealer.iterations()
+    }
+
+    /// Objective cost of the best solution seen so far.
+    pub fn best_cost(&self) -> f64 {
+        self.annealer.best_cost()
+    }
+
+    /// The best mapping and evaluation seen so far.
+    pub fn best(&self) -> (&Mapping, &Evaluation) {
+        let snapshot = self.annealer.best_snapshot();
+        (&snapshot.0, &snapshot.1)
+    }
+
+    /// The RNG seed this chain was constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The objective this chain minimizes.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Replaces the chain's current solution with an external incumbent
+    /// (portfolio exchange). The chain's RNG stream and schedule state
+    /// are untouched, so determinism is preserved.
+    pub fn adopt_best(&mut self, mapping: Mapping, evaluation: Evaluation) {
+        let cost = self.objective.cost(&evaluation);
+        self.annealer.adopt((mapping, evaluation), cost);
+    }
+
+    /// Ends the chain: the problem is restored to the best solution and
+    /// packed into an [`ExploreOutcome`].
+    pub fn into_outcome(self) -> ExploreOutcome {
+        let (problem, _schedule, run) = self.annealer.finish();
+        let (mapping, evaluation) = problem.into_parts();
+        ExploreOutcome {
+            mapping,
+            evaluation,
+            run,
+        }
+    }
+}
+
+/// SplitMix64 finalizer — decorrelates per-chain RNG streams derived
+/// from one master seed (Steele, Lea & Flood, OOPSLA'14).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of chain `chain` in a portfolio run with master seed
+/// `seed`. Chain 0 uses the master seed unchanged, so a 1-chain
+/// portfolio reproduces [`explore`] exactly; later chains draw
+/// decorrelated streams via SplitMix64 on `seed ^ chain`.
+pub fn chain_seed(seed: u64, chain: usize) -> u64 {
+    if chain == 0 {
+        seed
+    } else {
+        splitmix64(seed ^ chain as u64)
+    }
+}
+
+/// Options of a parallel portfolio exploration.
+#[derive(Debug, Clone)]
+pub struct ParallelOptions {
+    /// Per-chain options. `base.max_iterations` is the **total**
+    /// iteration budget of the portfolio — it is divided evenly across
+    /// chains (remainder to the lowest chain ids) so that
+    /// [`explore_parallel`] and [`explore`] are comparable at equal
+    /// budget; `base.warmup_iterations` scales down proportionally.
+    /// `base.seed` is the master seed — see [`chain_seed`].
+    pub base: ExploreOptions,
+    /// Number of annealing chains (≥ 1). Results depend on this value.
+    pub chains: usize,
+    /// Worker threads; `0` uses the machine's available parallelism.
+    /// Never affects results, only wall-clock time.
+    pub threads: usize,
+    /// Per-chain iterations between best-solution exchanges (`0` = the
+    /// chains run fully independently).
+    pub exchange_every: u64,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            base: ExploreOptions::default(),
+            chains: 8,
+            threads: 0,
+            exchange_every: 500,
+        }
+    }
+}
+
+/// Per-chain statistics of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct ChainStats {
+    /// Chain index (0-based).
+    pub chain: usize,
+    /// The chain's RNG seed (see [`chain_seed`]).
+    pub seed: u64,
+    /// Evaluation of the chain's best solution.
+    pub evaluation: Evaluation,
+    /// The chain's annealer statistics.
+    pub run: RunResult,
+}
+
+/// Result of [`explore_parallel`].
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// Best mapping across all chains.
+    pub mapping: Mapping,
+    /// Its evaluation.
+    pub evaluation: Evaluation,
+    /// Index of the winning chain.
+    pub winner: usize,
+    /// Per-chain statistics, indexed by chain id.
+    pub chains: Vec<ChainStats>,
+    /// Wall-clock duration of the whole portfolio run.
+    pub elapsed: Duration,
+}
+
+/// Runs a portfolio of `opts.chains` annealing chains over `app` ×
+/// `arch`, splitting `opts.base.max_iterations` evenly across chains
+/// and exchanging the incumbent best every `opts.exchange_every`
+/// per-chain iterations.
+///
+/// Chains advance in lock-step segments: all chains complete a segment
+/// (in parallel across up to `opts.threads` workers), then the
+/// portfolio winner — lowest objective cost, ties broken by lowest
+/// chain id — is adopted by every strictly worse chain, and the next
+/// segment starts. Because each chain walks its own RNG stream and
+/// exchanges happen only at these deterministic barriers, the outcome
+/// is **bit-identical for a given `(seed, chains)` regardless of the
+/// thread count**.
+///
+/// # Errors
+///
+/// Returns [`MappingError`] if any chain fails to construct a feasible
+/// initial solution.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_mapping::{explore, explore_parallel, ExploreOptions, ParallelOptions};
+/// use rdse_workloads::{epicure_architecture, motion_detection_app};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let app = motion_detection_app();
+/// let arch = epicure_architecture(2000);
+/// let opts = ParallelOptions {
+///     base: ExploreOptions { max_iterations: 2_000, warmup_iterations: 400, seed: 1,
+///                            ..ExploreOptions::default() },
+///     chains: 4,
+///     threads: 2,
+///     exchange_every: 250,
+/// };
+/// let portfolio = explore_parallel(&app, &arch, &opts)?;
+/// assert_eq!(portfolio.chains.len(), 4);
+/// // The winner is the best of all chains.
+/// assert!(portfolio.chains.iter().all(|c| portfolio.evaluation.makespan.value()
+///     <= c.evaluation.makespan.value() + 1e-9));
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore_parallel(
+    app: &TaskGraph,
+    arch: &Architecture,
+    opts: &ParallelOptions,
+) -> Result<ParallelOutcome, MappingError> {
+    let start = Instant::now();
+    let chains = opts.chains.max(1);
+    let total = opts.base.max_iterations;
+
+    let mut explorers = Vec::with_capacity(chains);
+    for c in 0..chains {
+        let per_chain = total / chains as u64 + u64::from((c as u64) < total % chains as u64);
+        // Scale the warm-up with the chain's share of the budget (u128
+        // so huge budgets cannot overflow the product).
+        let warmup = if total == 0 {
+            0
+        } else {
+            ((opts.base.warmup_iterations as u128 * per_chain as u128) / total as u128) as u64
+        };
+        let chain_opts = ExploreOptions {
+            max_iterations: per_chain,
+            warmup_iterations: warmup,
+            seed: chain_seed(opts.base.seed, c),
+            ..opts.base.clone()
+        };
+        explorers.push(Explorer::new(app, arch, &chain_opts)?);
+    }
+
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    }
+    .clamp(1, chains);
+    let segment = if opts.exchange_every == 0 {
+        u64::MAX
+    } else {
+        opts.exchange_every
+    };
+
+    loop {
+        // One lock-step segment. Chains are data-parallel within a
+        // segment; splitting them into contiguous per-worker chunks
+        // keeps the result independent of the thread count.
+        if threads == 1 {
+            for chain in &mut explorers {
+                chain.run_segment(segment);
+            }
+        } else {
+            let chunk = explorers.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for part in explorers.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for chain in part {
+                            chain.run_segment(segment);
+                        }
+                    });
+                }
+            });
+        }
+
+        let target_hit = opts
+            .base
+            .target_cost
+            .is_some_and(|t| explorers.iter().any(|c| c.best_cost() <= t));
+        if target_hit || explorers.iter().all(Explorer::is_finished) {
+            break;
+        }
+
+        // Exchange at the barrier: strictly worse chains adopt the
+        // portfolio winner (ties keep their own solution — and the
+        // winner is picked by lowest chain id, so the exchange is a
+        // deterministic function of the chain states).
+        let winner = portfolio_winner(&explorers);
+        let winner_cost = explorers[winner].best_cost();
+        let (best_mapping, best_eval) = {
+            let (m, e) = explorers[winner].best();
+            (m.clone(), e.clone())
+        };
+        for (i, chain) in explorers.iter_mut().enumerate() {
+            if i != winner && chain.best_cost() > winner_cost && !chain.is_finished() {
+                chain.adopt_best(best_mapping.clone(), best_eval.clone());
+            }
+        }
+    }
+
+    let winner = portfolio_winner(&explorers);
+    let mut chain_stats = Vec::with_capacity(chains);
+    let mut winner_solution = None;
+    for (i, chain) in explorers.into_iter().enumerate() {
+        let seed = chain.seed();
+        let outcome = chain.into_outcome();
+        if i == winner {
+            winner_solution = Some((outcome.mapping.clone(), outcome.evaluation.clone()));
+        }
+        chain_stats.push(ChainStats {
+            chain: i,
+            seed,
+            evaluation: outcome.evaluation,
+            run: outcome.run,
+        });
+    }
+    let (mapping, evaluation) = winner_solution.expect("portfolio has at least one chain");
+    Ok(ParallelOutcome {
         mapping,
         evaluation,
-        run,
+        winner,
+        chains: chain_stats,
+        elapsed: start.elapsed(),
     })
+}
+
+/// Index of the chain with the lowest best cost, ties to the lowest id.
+fn portfolio_winner(explorers: &[Explorer<'_>]) -> usize {
+    explorers
+        .iter()
+        .enumerate()
+        // The explicit id tie-break makes "lowest chain id wins" part
+        // of the comparison itself rather than a side effect of
+        // min_by's first-of-equals behavior.
+        .min_by(|(ia, a), (ib, b)| a.best_cost().total_cmp(&b.best_cost()).then(ia.cmp(ib)))
+        .map(|(i, _)| i)
+        .expect("portfolio has at least one chain")
 }
 
 #[cfg(test)]
@@ -390,6 +783,197 @@ mod tests {
                 assert_eq!(p.mapping(), &before_map);
             }
         }
+    }
+
+    #[test]
+    fn explorer_segments_match_one_shot_explore() {
+        let (app, arch) = fixture();
+        let opts = ExploreOptions {
+            max_iterations: 2_000,
+            warmup_iterations: 400,
+            seed: 11,
+            ..ExploreOptions::default()
+        };
+        let whole = explore(&app, &arch, &opts).unwrap();
+        let mut chain = Explorer::new(&app, &arch, &opts).unwrap();
+        for seg in [1u64, 13, 200, 700, 5_000] {
+            if !chain.run_segment(seg) {
+                break;
+            }
+        }
+        let segmented = chain.into_outcome();
+        assert_eq!(
+            whole.evaluation.makespan.value().to_bits(),
+            segmented.evaluation.makespan.value().to_bits()
+        );
+        assert_eq!(whole.mapping, segmented.mapping);
+        assert_eq!(whole.run.accepted, segmented.run.accepted);
+    }
+
+    #[test]
+    fn single_chain_portfolio_reproduces_explore() {
+        let (app, arch) = fixture();
+        let base = ExploreOptions {
+            max_iterations: 2_000,
+            warmup_iterations: 400,
+            seed: 21,
+            ..ExploreOptions::default()
+        };
+        let single = explore(&app, &arch, &base).unwrap();
+        let portfolio = explore_parallel(
+            &app,
+            &arch,
+            &ParallelOptions {
+                base,
+                chains: 1,
+                threads: 4,
+                exchange_every: 300,
+            },
+        )
+        .unwrap();
+        assert_eq!(portfolio.winner, 0);
+        assert_eq!(portfolio.mapping, single.mapping);
+        assert_eq!(
+            portfolio.evaluation.makespan.value().to_bits(),
+            single.evaluation.makespan.value().to_bits()
+        );
+        assert_eq!(portfolio.chains[0].seed, 21);
+    }
+
+    #[test]
+    fn portfolio_is_thread_count_invariant() {
+        let (app, arch) = fixture();
+        let run = |threads: usize| {
+            explore_parallel(
+                &app,
+                &arch,
+                &ParallelOptions {
+                    base: ExploreOptions {
+                        max_iterations: 3_000,
+                        warmup_iterations: 600,
+                        seed: 5,
+                        ..ExploreOptions::default()
+                    },
+                    chains: 5,
+                    threads,
+                    exchange_every: 200,
+                },
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(8);
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(b.mapping, c.mapping);
+        assert_eq!(a.winner, c.winner);
+        assert_eq!(
+            a.evaluation.makespan.value().to_bits(),
+            c.evaluation.makespan.value().to_bits()
+        );
+        for (x, y) in a.chains.iter().zip(&c.chains) {
+            assert_eq!(x.run.best_cost.to_bits(), y.run.best_cost.to_bits());
+            assert_eq!(x.run.accepted, y.run.accepted);
+        }
+    }
+
+    #[test]
+    fn portfolio_budget_is_split_across_chains() {
+        let (app, arch) = fixture();
+        let portfolio = explore_parallel(
+            &app,
+            &arch,
+            &ParallelOptions {
+                base: ExploreOptions {
+                    max_iterations: 1_001,
+                    warmup_iterations: 200,
+                    seed: 2,
+                    ..ExploreOptions::default()
+                },
+                chains: 4,
+                threads: 2,
+                exchange_every: 0,
+            },
+        )
+        .unwrap();
+        let iters: u64 = portfolio.chains.iter().map(|c| c.run.iterations).sum();
+        assert_eq!(iters, 1_001); // 251 + 250 + 250 + 250
+        assert_eq!(portfolio.chains[0].run.iterations, 251);
+    }
+
+    #[test]
+    fn exchange_spreads_the_incumbent() {
+        // With an aggressive exchange period every chain should end at
+        // least as good as the worst independent chain would.
+        let (app, arch) = fixture();
+        let base = ExploreOptions {
+            max_iterations: 4_000,
+            warmup_iterations: 400,
+            seed: 33,
+            ..ExploreOptions::default()
+        };
+        let exchanged = explore_parallel(
+            &app,
+            &arch,
+            &ParallelOptions {
+                base: base.clone(),
+                chains: 4,
+                threads: 2,
+                exchange_every: 100,
+            },
+        )
+        .unwrap();
+        let independent = explore_parallel(
+            &app,
+            &arch,
+            &ParallelOptions {
+                base,
+                chains: 4,
+                threads: 2,
+                exchange_every: 0,
+            },
+        )
+        .unwrap();
+        exchanged.mapping.validate(&app, &arch).unwrap();
+        independent.mapping.validate(&app, &arch).unwrap();
+        // Adoption pulls every laggard to the incumbent: no exchanged
+        // chain may end worse than the worst independent chain, and at
+        // least one must end strictly better (the chain that would
+        // have stayed stuck on its own stream).
+        let worst = |p: &ParallelOutcome| {
+            p.chains
+                .iter()
+                .map(|c| c.run.best_cost)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        assert!(worst(&exchanged) <= worst(&independent));
+        assert!(
+            exchanged
+                .chains
+                .iter()
+                .zip(&independent.chains)
+                .any(|(e, i)| e.run.best_cost < i.run.best_cost),
+            "exchange never improved any chain: {:?} vs {:?}",
+            exchanged
+                .chains
+                .iter()
+                .map(|c| c.run.best_cost)
+                .collect::<Vec<_>>(),
+            independent
+                .chains
+                .iter()
+                .map(|c| c.run.best_cost)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chain_seed_is_master_for_chain_zero_and_decorrelated_after() {
+        assert_eq!(chain_seed(99, 0), 99);
+        assert_ne!(chain_seed(99, 1), chain_seed(99, 2));
+        assert_ne!(chain_seed(99, 1), 99);
+        // Different masters give different streams for the same chain.
+        assert_ne!(chain_seed(1, 3), chain_seed(2, 3));
     }
 
     #[test]

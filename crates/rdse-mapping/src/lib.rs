@@ -71,7 +71,10 @@ pub use arch_explore::{
 };
 pub use error::MappingError;
 pub use eval::{evaluate, EvalBreakdown, Evaluation};
-pub use explorer::{explore, ExploreOptions, ExploreOutcome, MappingProblem, Objective};
+pub use explorer::{
+    chain_seed, explore, explore_parallel, ChainStats, ExploreOptions, ExploreOutcome, Explorer,
+    MappingProblem, Objective, ParallelOptions, ParallelOutcome,
+};
 pub use init::random_initial;
 pub use moves::{MoveKind, MoveOutcome};
 pub use placement::{Placement, ResourceRef};

@@ -4,7 +4,7 @@
 //! of the search graph with communication latencies "statically
 //! evaluated as ordered transactions", §3.2). This crate provides the
 //! dynamic counterpart the original authors ran on their testbed: an
-//! event-driven simulator that executes a [`Mapping`] cycle-accurately
+//! event-driven simulator that executes a [`Mapping`](rdse_mapping::Mapping) cycle-accurately
 //! at the task level —
 //!
 //! * each processor runs its tasks sequentially in the imposed total

@@ -1,21 +1,32 @@
 //! The `rdse` command-line tool: generate benchmark models, explore
-//! mappings, render schedules, and validate them by simulation.
+//! mappings (single-chain or parallel portfolio), sweep architecture
+//! grids, render schedules, and validate them by simulation.
 //!
 //! ```text
 //! rdse generate <motion|figure1|layered> [--clbs N] [--seed N] [--dir D]
 //! rdse explore  --app F.json --arch F.json [--iters N] [--warmup N]
-//!               [--seed N] [--lambda X] [--gantt] [--save-mapping F]
+//!               [--seed N] [--lambda X] [--chains K] [--threads T]
+//!               [--exchange-every E] [--gantt] [--save-mapping F]
+//! rdse sweep    [--app F.json] [--clbs A,B,...] [--bus A,B,...]
+//!               [--iters N] [--seed N] [--chains K] [--threads T]
+//!               [--out F.json] [--csv F.csv]
 //! rdse simulate --app F.json --arch F.json --mapping F.json [--contention]
 //! rdse space    --app F.json
 //! ```
 
-use rdse::mapping::{evaluate, explore, ExploreOptions, GanttChart, Mapping};
+use rdse::mapping::{
+    chain_seed, evaluate, explore, explore_parallel, ExploreOptions, GanttChart, Mapping,
+    ParallelOptions,
+};
+use rdse::model::units::{Clbs, Micros};
 use rdse::model::{Architecture, TaskGraph};
 use rdse::sim::{simulate, SimConfig};
 use rdse::workloads::{
     epicure_architecture, figure1_app, layered_dag, motion_detection_app, LayeredDagConfig,
 };
+use serde::Serialize;
 use std::process::ExitCode;
+use std::sync::Mutex;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -34,7 +45,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          rdse generate <motion|figure1|layered> [--clbs N] [--seed N] [--dir D]\n  \
-         rdse explore  --app F.json --arch F.json [--iters N] [--warmup N] [--seed N] [--lambda X] [--gantt] [--save-mapping F]\n  \
+         rdse explore  --app F.json --arch F.json [--iters N] [--warmup N] [--seed N] [--lambda X]\n                [--chains K] [--threads T] [--exchange-every E] [--gantt] [--save-mapping F]\n  \
+         rdse sweep    [--app F.json] [--clbs A,B,...] [--bus A,B,...] [--iters N] [--seed N]\n                [--chains K] [--threads T] [--exchange-every E] [--out F.json] [--csv F.csv]\n  \
          rdse simulate --app F.json --arch F.json --mapping F.json [--contention]\n  \
          rdse space    --app F.json"
     );
@@ -49,6 +61,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "generate" => generate(&args),
         "explore" => run_explore(&args),
+        "sweep" => run_sweep(&args),
         "simulate" => run_simulate(&args),
         "space" => run_space(&args),
         _ => usage(),
@@ -106,13 +119,44 @@ fn run_explore(args: &[String]) -> ExitCode {
         lambda: arg_num(args, "--lambda", 0.5),
         ..ExploreOptions::default()
     };
-    let outcome = match explore(&app, &arch, &opts) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("exploration failed: {e}");
-            return ExitCode::FAILURE;
+    let chains: usize = arg_num(args, "--chains", 1);
+
+    let (outcome, portfolio) = if chains > 1 {
+        let popts = ParallelOptions {
+            base: opts,
+            chains,
+            threads: arg_num(args, "--threads", 0),
+            exchange_every: arg_num(args, "--exchange-every", 500),
+        };
+        match explore_parallel(&app, &arch, &popts) {
+            Ok(p) => {
+                let mapping = p.mapping.clone();
+                let evaluation = p.evaluation.clone();
+                let run = p.chains[p.winner].run.clone();
+                (
+                    rdse::mapping::ExploreOutcome {
+                        mapping,
+                        evaluation,
+                        run,
+                    },
+                    Some(p),
+                )
+            }
+            Err(e) => {
+                eprintln!("exploration failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match explore(&app, &arch, &opts) {
+            Ok(o) => (o, None),
+            Err(e) => {
+                eprintln!("exploration failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
+
     println!(
         "best makespan : {} ({} -> {:.1}% of initial)",
         outcome.evaluation.makespan,
@@ -131,25 +175,341 @@ fn run_explore(args: &[String]) -> ExitCode {
         outcome.evaluation.breakdown.dynamic_reconfig,
         outcome.evaluation.breakdown.computation_communication
     );
-    println!("wall time     : {:?}", outcome.run.elapsed);
+    if let Some(p) = &portfolio {
+        println!(
+            "portfolio     : {} chains, winner {} | wall time {:?}",
+            p.chains.len(),
+            p.winner,
+            p.elapsed
+        );
+        for c in &p.chains {
+            println!(
+                "  chain {:>2} (seed {:>20}): {} after {} iters, {} accepted",
+                c.chain, c.seed, c.evaluation.makespan, c.run.iterations, c.run.accepted
+            );
+        }
+    } else {
+        println!("wall time     : {:?}", outcome.run.elapsed);
+    }
     if args.iter().any(|a| a == "--gantt") {
         let chart = GanttChart::extract(&app, &arch, &outcome.mapping, &outcome.evaluation);
         println!("{}", chart.render_ascii(&app, &arch, 100));
     }
     if let Some(path) = arg_value(args, "--save-mapping") {
-        match serde_json::to_string_pretty(&outcome.mapping) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("error writing {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                println!("mapping saved : {path}");
-            }
+        match save_json(&path, &outcome.mapping) {
+            Ok(()) => println!("mapping saved : {path}"),
             Err(e) => {
-                eprintln!("error serializing mapping: {e}");
+                eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Serializes `value` to `path`, with an actionable message when the
+/// target directory is missing or not writable.
+fn save_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialize: {e}"))?;
+    let parent = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = parent {
+        if !dir.is_dir() {
+            return Err(format!(
+                "cannot write '{path}': directory '{}' does not exist",
+                dir.display()
+            ));
+        }
+    }
+    std::fs::write(path, json)
+        .map_err(|e| format!("cannot write '{path}': {e} (is the directory writable?)"))
+}
+
+/// One grid point of a sweep report.
+#[derive(Debug, Clone, Serialize)]
+struct SweepPoint {
+    clbs: u32,
+    bus_bytes_per_micro: f64,
+    makespan_ms: f64,
+    n_contexts: usize,
+    n_hw_tasks: usize,
+    initial_reconfig_ms: f64,
+    dynamic_reconfig_ms: f64,
+    winner_chain: usize,
+    iterations: u64,
+    /// `true` when no other grid point has ≤ CLBs, ≤ bus rate *and*
+    /// ≤ makespan with at least one strict inequality.
+    pareto: bool,
+}
+
+/// The full sweep report serialized to `--out`.
+#[derive(Debug, Clone, Serialize)]
+struct SweepReport {
+    workload: String,
+    seed: u64,
+    chains: usize,
+    iterations_per_point: u64,
+    points: Vec<SweepPoint>,
+}
+
+/// Parses a comma-separated `--flag a,b,c` list. Unlike the scalar
+/// [`arg_num`] fallback, a malformed entry is an error — silently
+/// dropping it would shrink the sweep grid behind the user's back.
+fn parse_list<T: std::str::FromStr + Copy>(
+    args: &[String],
+    flag: &str,
+    default: &[T],
+) -> Result<Vec<T>, String> {
+    match arg_value(args, flag) {
+        None => Ok(default.to_vec()),
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                let s = s.trim();
+                s.parse().map_err(|_| format!("invalid {flag} entry '{s}'"))
+            })
+            .collect(),
+    }
+}
+
+/// Creates `path`'s parent directory (and ancestors) if missing, so
+/// report flags like `--out results/sweep.json` work from a fresh
+/// checkout.
+fn ensure_parent_dir(path: &str) -> Result<(), String> {
+    match std::path::Path::new(path).parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create '{}': {e}", dir.display())),
+        _ => Ok(()),
+    }
+}
+
+/// Fans the workload out over a CLB-count × bus-width grid, exploring
+/// every point in parallel, and reports the Pareto-optimal
+/// (area, bus, makespan) corners.
+fn run_sweep(args: &[String]) -> ExitCode {
+    let app = match arg_value(args, "--app") {
+        Some(path) => match TaskGraph::load(&path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => motion_detection_app(),
+    };
+    let grids = parse_list(args, "--clbs", &[400u32, 800, 1500, 2000, 3000, 5000])
+        .and_then(|c| parse_list(args, "--bus", &[25.0f64, 50.0, 100.0]).map(|b| (c, b)));
+    let (clbs_grid, bus_grid) = match grids {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if clbs_grid.is_empty() || bus_grid.is_empty() {
+        eprintln!("error: empty --clbs or --bus grid");
+        return ExitCode::FAILURE;
+    }
+    let iters: u64 = arg_num(args, "--iters", 5_000);
+    let warmup: u64 = arg_num(args, "--warmup", iters / 5);
+    let seed: u64 = arg_num(args, "--seed", 1);
+    let lambda: f64 = arg_num(args, "--lambda", 0.5);
+    let chains: usize = arg_num(args, "--chains", 1);
+    let exchange_every: u64 = arg_num(args, "--exchange-every", 500);
+    let threads: usize = arg_num(args, "--threads", 0);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+
+    // The grid, in deterministic order; each point gets its own master
+    // seed so results do not depend on which worker picks it up.
+    let mut grid: Vec<(usize, u32, f64)> = Vec::new();
+    for &c in &clbs_grid {
+        for &b in &bus_grid {
+            grid.push((grid.len(), c, b));
+        }
+    }
+    let n_points = grid.len();
+    // Grid points are the primary unit of parallelism; threads left
+    // over by a small grid go to each point's chains (harmless for
+    // determinism — explore_parallel is thread-count invariant).
+    let pool = threads.min(n_points).max(1);
+    let inner_threads = (threads / pool).max(1);
+    let work: Mutex<Vec<(usize, u32, f64)>> = Mutex::new(grid);
+    let results: Mutex<Vec<(usize, SweepPoint)>> = Mutex::new(Vec::with_capacity(n_points));
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..pool {
+            scope.spawn(|| loop {
+                // A failure anywhere aborts the remaining grid instead
+                // of burning cores on a report that will be discarded.
+                if failure.lock().expect("failure lock").is_some() {
+                    break;
+                }
+                let Some((idx, clbs, bus)) = work.lock().expect("work queue lock").pop() else {
+                    break;
+                };
+                let arch = match Architecture::builder("epicure-sweep")
+                    .processor("arm922", 10.0)
+                    .drlc("virtex-e", Clbs::new(clbs), Micros::new(22.5), 25.0)
+                    .bus_rate(bus)
+                    .build()
+                {
+                    Ok(a) => a,
+                    Err(e) => {
+                        *failure.lock().expect("failure lock") = Some(format!(
+                            "invalid architecture ({clbs} CLBs, bus {bus}): {e}"
+                        ));
+                        break;
+                    }
+                };
+                let popts = ParallelOptions {
+                    base: ExploreOptions {
+                        max_iterations: iters,
+                        warmup_iterations: warmup,
+                        seed: chain_seed(seed, idx + 1),
+                        lambda,
+                        ..ExploreOptions::default()
+                    },
+                    chains,
+                    threads: inner_threads,
+                    exchange_every,
+                };
+                match explore_parallel(&app, &arch, &popts) {
+                    Ok(p) => {
+                        let point = SweepPoint {
+                            clbs,
+                            bus_bytes_per_micro: bus,
+                            makespan_ms: p.evaluation.makespan.as_millis(),
+                            n_contexts: p.evaluation.n_contexts,
+                            n_hw_tasks: p.evaluation.n_hw_tasks,
+                            initial_reconfig_ms: p
+                                .evaluation
+                                .breakdown
+                                .initial_reconfig
+                                .as_millis(),
+                            dynamic_reconfig_ms: p
+                                .evaluation
+                                .breakdown
+                                .dynamic_reconfig
+                                .as_millis(),
+                            winner_chain: p.winner,
+                            iterations: p.chains.iter().map(|c| c.run.iterations).sum(),
+                            pareto: false,
+                        };
+                        results.lock().expect("results lock").push((idx, point));
+                        eprintln!(
+                            "point {clbs:>5} CLBs x bus {bus:>6.1}: {:.1} ms",
+                            p.evaluation.makespan.as_millis()
+                        );
+                    }
+                    Err(e) => {
+                        *failure.lock().expect("failure lock") =
+                            Some(format!("exploration failed at {clbs} CLBs, bus {bus}: {e}"));
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = failure.into_inner().expect("failure lock") {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut rows = results.into_inner().expect("results lock");
+    rows.sort_by_key(|(idx, _)| *idx);
+    let mut points: Vec<SweepPoint> = rows.into_iter().map(|(_, p)| p).collect();
+
+    // Pareto front over minimized (clbs, bus, makespan).
+    for i in 0..points.len() {
+        let dominated = points.iter().enumerate().any(|(j, q)| {
+            let p = &points[i];
+            j != i
+                && q.clbs <= p.clbs
+                && q.bus_bytes_per_micro <= p.bus_bytes_per_micro
+                && q.makespan_ms <= p.makespan_ms
+                && (q.clbs < p.clbs
+                    || q.bus_bytes_per_micro < p.bus_bytes_per_micro
+                    || q.makespan_ms < p.makespan_ms)
+        });
+        points[i].pareto = !dominated;
+    }
+
+    println!("clbs   bus_B_per_us  makespan_ms  contexts  hw_tasks  pareto");
+    for p in &points {
+        println!(
+            "{:>5}  {:>12.1}  {:>11.2}  {:>8}  {:>8}  {}",
+            p.clbs,
+            p.bus_bytes_per_micro,
+            p.makespan_ms,
+            p.n_contexts,
+            p.n_hw_tasks,
+            if p.pareto { "*" } else { "" }
+        );
+    }
+    let front: Vec<String> = points
+        .iter()
+        .filter(|p| p.pareto)
+        .map(|p| {
+            format!(
+                "({} CLBs, {} B/us, {:.1} ms)",
+                p.clbs, p.bus_bytes_per_micro, p.makespan_ms
+            )
+        })
+        .collect();
+    println!("pareto front : {}", front.join(" "));
+
+    let report = SweepReport {
+        workload: app.name().to_owned(),
+        seed,
+        chains,
+        iterations_per_point: iters,
+        points,
+    };
+    let out = arg_value(args, "--out").unwrap_or_else(|| "results/sweep.json".into());
+    if let Err(e) = ensure_parent_dir(&out) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = save_json(&out, &report) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("report saved : {out}");
+    if let Some(csv) = arg_value(args, "--csv") {
+        let mut text = String::from(
+            "clbs,bus_bytes_per_micro,makespan_ms,n_contexts,n_hw_tasks,\
+             initial_reconfig_ms,dynamic_reconfig_ms,winner_chain,iterations,pareto\n",
+        );
+        for p in &report.points {
+            text.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                p.clbs,
+                p.bus_bytes_per_micro,
+                p.makespan_ms,
+                p.n_contexts,
+                p.n_hw_tasks,
+                p.initial_reconfig_ms,
+                p.dynamic_reconfig_ms,
+                p.winner_chain,
+                p.iterations,
+                p.pareto
+            ));
+        }
+        if let Err(e) = ensure_parent_dir(&csv).and_then(|()| {
+            std::fs::write(&csv, text).map_err(|e| format!("cannot write '{csv}': {e}"))
+        }) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("csv saved    : {csv}");
     }
     ExitCode::SUCCESS
 }

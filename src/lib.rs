@@ -15,7 +15,7 @@
 //! | [`graph`] | DAG substrate: transitive closure, longest path, (max,+) closure with Woodbury updates, linear-extension counting |
 //! | [`anneal`] | adaptive simulated annealing (Lam schedule), move-class controller, test problems |
 //! | [`model`] | task graphs with area–time Pareto implementations; architectures (processor / DRLC / ASIC / bus) |
-//! | [`mapping`] | the paper's core: solutions, search graph, moves m1–m5, evaluation, Gantt schedules, the explorer |
+//! | [`mapping`] | the paper's core: solutions, search graph, moves m1–m5, evaluation, Gantt schedules, the resumable explorer and the parallel portfolio engine (`Explorer`, `explore_parallel`) |
 //! | [`sim`] | discrete-event executor validating the analytic cost model |
 //! | [`baseline`] | GA (Ben Chehida & Auguin style), random search, hill climbing |
 //! | [`workloads`] | the 28-task motion-detection benchmark, Fig. 1 example, random DAG generators |
@@ -43,6 +43,35 @@
 //!     outcome.evaluation.makespan,
 //!     outcome.evaluation.n_contexts
 //! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Parallel portfolio exploration
+//!
+//! [`mapping::explore_parallel`] runs K annealing chains across worker
+//! threads with per-chain RNG streams (SplitMix64 on `seed ^ chain`)
+//! and periodic best-solution exchange at deterministic segment
+//! barriers. For a fixed `(seed, chains)` the result is bit-identical
+//! regardless of the thread count; the total iteration budget is split
+//! evenly across chains so portfolio and single-chain runs compare at
+//! equal cost:
+//!
+//! ```
+//! use rdse::mapping::{explore_parallel, ExploreOptions, ParallelOptions};
+//! use rdse::workloads::{epicure_architecture, motion_detection_app};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let app = motion_detection_app();
+//! let arch = epicure_architecture(2000);
+//! let portfolio = explore_parallel(&app, &arch, &ParallelOptions {
+//!     base: ExploreOptions { max_iterations: 2_000, warmup_iterations: 400,
+//!                            seed: 1, ..ExploreOptions::default() },
+//!     chains: 4,
+//!     threads: 0, // all cores; never changes the result
+//!     exchange_every: 250,
+//! })?;
+//! assert_eq!(portfolio.chains.len(), 4);
 //! # Ok(())
 //! # }
 //! ```

@@ -9,8 +9,18 @@
 //! benchmark to stdout. No statistical analysis, plots, or baseline
 //! comparison; the point is that `cargo bench` compiles and produces
 //! honest relative numbers offline.
+//!
+//! Two environment knobs support CI perf tracking:
+//!
+//! * `RDSE_BENCH_JSON=<path>` — append one JSON object per completed
+//!   benchmark (name, min/median/mean in ns, sample count, iterations
+//!   per sample) to `<path>`, newline-delimited, so a workflow can
+//!   upload the run as an artifact;
+//! * `RDSE_BENCH_SAMPLES=<n>` — override every benchmark's sample
+//!   count (floor 2), to trade precision for wall-clock in smoke runs.
 
 use std::fmt;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver.
@@ -162,6 +172,11 @@ fn run_benchmark<F>(label: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let sample_size = std::env::var("RDSE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(sample_size, |n| n.max(2));
+
     // Warm-up: find an iteration count taking roughly >= 1 ms, capped
     // so very slow benchmarks still complete in reasonable time.
     let mut bencher = Bencher {
@@ -193,6 +208,37 @@ where
         samples.len(),
         bencher.iters,
     );
+    append_json_record(label, min, median, mean, samples.len(), bencher.iters);
+}
+
+/// When `RDSE_BENCH_JSON` names a file, appends this benchmark's result
+/// as one newline-delimited JSON object, so separate bench binaries of
+/// one `cargo bench` invocation accumulate into a single artifact.
+fn append_json_record(label: &str, min: f64, median: f64, mean: f64, samples: usize, iters: u64) {
+    let Ok(path) = std::env::var("RDSE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    // Labels are ASCII identifiers with separators; escape the two JSON
+    // specials anyway so the record can never be malformed.
+    let name = label.replace('\\', "\\\\").replace('"', "\\\"");
+    let record = format!(
+        "{{\"name\":\"{name}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1},\
+         \"samples\":{samples},\"iters_per_sample\":{iters}}}\n",
+        min * 1e9,
+        median * 1e9,
+        mean * 1e9,
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(record.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: cannot append bench record to {path}: {e}");
+    }
 }
 
 fn format_time(seconds: f64) -> String {

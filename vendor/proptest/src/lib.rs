@@ -222,7 +222,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Lengths acceptable to [`vec`]: a fixed size or a range.
+    /// Lengths acceptable to [`vec()`]: a fixed size or a range.
     pub trait IntoSizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -251,7 +251,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         size: L,
