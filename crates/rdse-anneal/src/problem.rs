@@ -13,12 +13,50 @@ use rand::RngCore;
 /// Implementations hold the *current* solution state. A move is
 /// proposed and tentatively applied by [`try_move`]; the engine then
 /// either keeps it or calls [`undo`]. Implementations must guarantee
-/// that `undo` restores the state (and cost) exactly.
+/// that `undo` restores the state (and cost) exactly — bit-identically,
+/// since the engine's acceptance decisions feed back into the RNG
+/// stream and any drift would fork the walk.
 ///
+/// # Moves are deltas, snapshots are copies
+///
+/// The two associated types have sharply different cost profiles and
+/// should not be conflated:
+///
+/// * [`Move`] travels on the **hot path** — it is created on every
+///   proposal and consumed on every rejection. Make it a *compact
+///   reverse delta*: just the touched assignment plus whatever scalar
+///   state `undo` must put back, ideally `Copy`. It must **not** be a
+///   clone of the solution.
+/// * [`Snapshot`] is **cold** — taken only when the incumbent best
+///   improves, restored at most once per exchange or at the end of a
+///   run. A full copy of the solution is expected here.
+///
+/// ## Worked delta example
+///
+/// For the mapping problem of `rdse-mapping`, a §4.2 pair move
+/// relocates one task `vs`. The delta records only where `vs` came
+/// from — e.g. *"`vs` sat at slot 2 of context 1 on device 0 with
+/// implementation 3"* — so `undo` is one detach plus one positional
+/// re-insert, O(touched), regardless of how many tasks the mapping
+/// holds:
+///
+/// ```text
+/// try_move:  capture PrevSlot(vs)  →  mutate in place  →  re-score
+///            Move = { delta: (vs, PrevSlot), prev_cost_summary }
+/// undo:      detach(vs); reinstate vs at PrevSlot; restore summary
+/// ```
+///
+/// The snapshot for the same problem is `(Mapping, EvalSummary)`:
+/// the full solution clone plus the `Copy` scalar summary.
+///
+/// [`Move`]: Problem::Move
+/// [`Snapshot`]: Problem::Snapshot
 /// [`try_move`]: Problem::try_move
 /// [`undo`]: Problem::undo
 pub trait Problem {
-    /// A reversible move, carrying whatever the problem needs to undo it.
+    /// A reversible move: a compact delta carrying whatever the problem
+    /// needs to undo it in O(touched). Created per proposal — keep it
+    /// small (ideally `Copy`), never a clone of the solution.
     type Move;
     /// A full copy of the solution, used to keep the best-so-far.
     type Snapshot;
@@ -51,8 +89,21 @@ pub trait Problem {
     /// Captures the current solution.
     fn snapshot(&self) -> Self::Snapshot;
 
-    /// Restores a previously captured solution.
+    /// Restores a previously captured solution. The snapshot is
+    /// borrowed because the engine retains it (it is the incumbent
+    /// best); problems owning heap state must copy it back in.
     fn restore(&mut self, snapshot: &Self::Snapshot);
+
+    /// Restores a solution from a snapshot the engine no longer needs,
+    /// e.g. the final restore-to-best when a run finishes. Problems
+    /// whose snapshots own heap state should override this to move the
+    /// state back in without the clone [`restore`] requires; the
+    /// default delegates to [`restore`].
+    ///
+    /// [`restore`]: Problem::restore
+    fn restore_owned(&mut self, snapshot: Self::Snapshot) {
+        self.restore(&snapshot);
+    }
 
     /// Problem-specific observables recorded in run traces (e.g. the
     /// number of FPGA contexts plotted in Fig. 2 of the paper).
@@ -90,6 +141,10 @@ impl<P: Problem + ?Sized> Problem for &mut P {
 
     fn restore(&mut self, snapshot: &Self::Snapshot) {
         (**self).restore(snapshot)
+    }
+
+    fn restore_owned(&mut self, snapshot: Self::Snapshot) {
+        (**self).restore_owned(snapshot)
     }
 
     fn observables(&self) -> Vec<(&'static str, f64)> {

@@ -320,13 +320,19 @@ impl<P: Problem, S: Schedule> Annealer<P, S> {
     /// on it. Schedule statistics and the RNG stream are untouched, so
     /// the subsequent walk stays deterministic.
     pub fn adopt(&mut self, snapshot: P::Snapshot, cost: f64) {
-        self.problem.restore(&snapshot);
-        self.cost = cost;
         if cost < self.best_cost {
+            // The snapshot doubles as the new best: borrow it for the
+            // restore, then retain it.
+            self.problem.restore(&snapshot);
             self.best_cost = cost;
             self.best_snapshot = snapshot;
             self.last_improvement = self.iter;
+        } else {
+            // Not retained — hand it to the problem by value so the
+            // restore can move the state in without cloning.
+            self.problem.restore_owned(snapshot);
         }
+        self.cost = cost;
     }
 
     /// Runs up to `steps` iterations (fewer if the run ends first) and
@@ -352,9 +358,14 @@ impl<P: Problem, S: Schedule> Annealer<P, S> {
     /// and returns problem, schedule and the [`RunResult`]. A run
     /// finished before its budget was exhausted (and before any stop
     /// condition fired) reports [`StopReason::Interrupted`].
-    pub fn finish(mut self) -> (P, S, RunResult) {
-        self.problem.restore(&self.best_snapshot);
+    ///
+    /// The best snapshot is consumed here, so the restore moves the
+    /// solution back into the problem without a final clone
+    /// ([`Problem::restore_owned`]).
+    pub fn finish(self) -> (P, S, RunResult) {
         let stop = self.stop_reason().unwrap_or(StopReason::Interrupted);
+        let mut problem = self.problem;
+        problem.restore_owned(self.best_snapshot);
         let result = RunResult {
             best_cost: self.best_cost,
             initial_cost: self.initial_cost,
@@ -367,7 +378,7 @@ impl<P: Problem, S: Schedule> Annealer<P, S> {
             trace: self.trace,
             warmup: self.warmup,
         };
-        (self.problem, self.schedule, result)
+        (problem, self.schedule, result)
     }
 
     /// One iteration of the loop; mirrors the paper's Fig. 2 structure.

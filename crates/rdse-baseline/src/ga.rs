@@ -10,7 +10,7 @@
 use crate::list_sched::{realize_partition, SpatialPartition};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rdse_mapping::{evaluate, Evaluation, Mapping, MappingError};
+use rdse_mapping::{evaluate, Evaluation, Evaluator, Mapping, MappingError};
 use rdse_model::{Architecture, TaskGraph};
 use std::time::{Duration, Instant};
 
@@ -127,11 +127,16 @@ impl<'a> GeneticExplorer<'a> {
         a[..cut].iter().chain(&b[cut..]).copied().collect()
     }
 
-    fn fitness(&self, ind: &SpatialPartition) -> (f64, Mapping) {
+    /// Scores one individual through the shared arena-backed evaluator
+    /// (summary only — the GA never needs the per-task trace while
+    /// evolving).
+    fn fitness(&self, ind: &SpatialPartition, evaluator: &mut Evaluator<'_>) -> f64 {
         let mapping = realize_partition(self.app, self.arch, ind);
-        let eval = evaluate(self.app, self.arch, &mapping)
-            .expect("realized partitions are feasible by construction");
-        (eval.makespan.value(), mapping)
+        evaluator
+            .evaluate(&mapping)
+            .expect("realized partitions are feasible by construction")
+            .makespan
+            .value()
     }
 
     /// Runs the GA to completion.
@@ -143,6 +148,7 @@ impl<'a> GeneticExplorer<'a> {
     pub fn run(&self) -> Result<GaOutcome, MappingError> {
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        let mut evaluator = Evaluator::new(self.app, self.arch);
         let mut population: Vec<SpatialPartition> = (0..self.opts.population)
             .map(|_| self.random_individual(&mut rng))
             .collect();
@@ -151,7 +157,7 @@ impl<'a> GeneticExplorer<'a> {
             .drain(..)
             .map(|ind| {
                 evaluations += 1;
-                (self.fitness(&ind).0, ind)
+                (self.fitness(&ind, &mut evaluator), ind)
             })
             .collect();
         scored.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -189,7 +195,7 @@ impl<'a> GeneticExplorer<'a> {
                 .drain(..)
                 .map(|ind| {
                     evaluations += 1;
-                    (self.fitness(&ind).0, ind)
+                    (self.fitness(&ind, &mut evaluator), ind)
                 })
                 .collect();
             scored.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -202,7 +208,7 @@ impl<'a> GeneticExplorer<'a> {
             history.push(best.0);
         }
 
-        let (_, mapping) = self.fitness(&best.1);
+        let mapping = realize_partition(self.app, self.arch, &best.1);
         let evaluation = evaluate(self.app, self.arch, &mapping)?;
         Ok(GaOutcome {
             mapping,

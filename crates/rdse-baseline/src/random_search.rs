@@ -1,7 +1,7 @@
 //! Pure random sampling — the weakest baseline, calibrating how much
 //! structure the annealer and the GA actually exploit.
 
-use rdse_mapping::{evaluate, random_initial, Evaluation, Mapping, MappingError};
+use rdse_mapping::{random_initial, Evaluation, Evaluator, Mapping, MappingError};
 use rdse_model::{Architecture, TaskGraph};
 
 use rand::rngs::StdRng;
@@ -9,6 +9,10 @@ use rand::SeedableRng;
 
 /// Draws `samples` random solutions (the §5 initial-solution generator)
 /// and returns the best.
+///
+/// Sampling is scored through the arena-backed [`Evaluator`] (cheap
+/// scalar summaries, no per-sample trace allocation); the winner's full
+/// [`Evaluation`] is computed once at the end.
 ///
 /// # Errors
 ///
@@ -21,15 +25,18 @@ pub fn random_search(
     seed: u64,
 ) -> Result<(Mapping, Evaluation), MappingError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut best: Option<(Mapping, Evaluation)> = None;
+    let mut evaluator = Evaluator::new(app, arch);
+    let mut best: Option<(Mapping, rdse_mapping::EvalSummary)> = None;
     for _ in 0..samples.max(1) {
         let m = random_initial(app, arch, &mut rng);
-        let e = evaluate(app, arch, &m)?;
-        if best.as_ref().is_none_or(|(_, be)| e.makespan < be.makespan) {
-            best = Some((m, e));
+        let s = evaluator.evaluate(&m)?;
+        if best.as_ref().is_none_or(|(_, bs)| s.makespan < bs.makespan) {
+            best = Some((m, s));
         }
     }
-    Ok(best.expect("at least one sample was drawn"))
+    let (mapping, _) = best.expect("at least one sample was drawn");
+    let evaluation = evaluator.evaluate_full(&mapping)?;
+    Ok((mapping, evaluation))
 }
 
 #[cfg(test)]

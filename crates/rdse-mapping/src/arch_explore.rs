@@ -17,7 +17,7 @@
 use crate::error::MappingError;
 use crate::eval::{evaluate, Evaluation};
 use crate::init::random_initial;
-use crate::moves::{propose_impl_move, propose_pair_move};
+use crate::moves::{propose_impl_move, propose_pair_move, MoveScratch};
 use crate::placement::Placement;
 use crate::solution::Mapping;
 use rand::rngs::StdRng;
@@ -101,6 +101,7 @@ pub struct ArchProblem<'a> {
     arch: Architecture,
     mapping: Mapping,
     current: Evaluation,
+    scratch: MoveScratch,
     opts: ArchExploreOptions,
 }
 
@@ -125,6 +126,7 @@ impl<'a> ArchProblem<'a> {
             arch: initial_arch,
             mapping,
             current,
+            scratch: MoveScratch::default(),
             opts,
         })
     }
@@ -341,8 +343,22 @@ impl Problem for ArchProblem<'_> {
             self.current.clone(),
         );
         let changed = match class {
-            0 => propose_pair_move(self.app, &self.arch, &mut self.mapping, rng).is_some(),
-            1 => propose_impl_move(self.app, &self.arch, &mut self.mapping, rng).is_some(),
+            0 => propose_pair_move(
+                self.app,
+                &self.arch,
+                &mut self.mapping,
+                rng,
+                &mut self.scratch,
+            )
+            .is_some(),
+            1 => propose_impl_move(
+                self.app,
+                &self.arch,
+                &mut self.mapping,
+                rng,
+                &mut self.scratch,
+            )
+            .is_some(),
             _ => {
                 // m3/m4, drawn with equal probability.
                 if rng.random::<bool>() {

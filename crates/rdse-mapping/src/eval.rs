@@ -21,6 +21,26 @@ pub struct EvalBreakdown {
     pub computation_communication: Micros,
 }
 
+/// The cheap scalar summary of an evaluation — everything the
+/// annealing hot path needs (cost, observables), nothing it does not.
+///
+/// `Copy`: keeping, undoing or snapshotting a summary is a register
+/// move, unlike the heavyweight per-task trace of [`Evaluation`]
+/// (starts, completions, critical path) which is computed on demand
+/// for reports via [`evaluate`] /
+/// [`Evaluator::evaluate_full`](crate::Evaluator::evaluate_full).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalSummary {
+    /// Longest path of the search graph — the system execution time.
+    pub makespan: Micros,
+    /// Total number of contexts allocated (Fig. 2/3 series).
+    pub n_contexts: usize,
+    /// Number of tasks placed in hardware.
+    pub n_hw_tasks: usize,
+    /// Cost decomposition for the Fig. 3 series.
+    pub breakdown: EvalBreakdown,
+}
+
 /// Full evaluation of one mapping.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
@@ -38,6 +58,19 @@ pub struct Evaluation {
     pub n_hw_tasks: usize,
     /// Cost decomposition for the Fig. 3 series.
     pub breakdown: EvalBreakdown,
+}
+
+impl Evaluation {
+    /// The scalar summary of this evaluation (drops the per-task
+    /// trace).
+    pub fn summary(&self) -> EvalSummary {
+        EvalSummary {
+            makespan: self.makespan,
+            n_contexts: self.n_contexts,
+            n_hw_tasks: self.n_hw_tasks,
+            breakdown: self.breakdown,
+        }
+    }
 }
 
 /// Evaluates `mapping`: checks capacity, builds the search graph and

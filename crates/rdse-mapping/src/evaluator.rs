@@ -1,0 +1,510 @@
+//! The incremental evaluation engine: an arena-backed, allocation-free
+//! re-implementation of [`evaluate`] for the annealing
+//! hot path.
+//!
+//! Simulated annealing scores thousands of candidate mappings per run
+//! (§4.3–4.4), and a portfolio run multiplies that by the chain count.
+//! The from-scratch [`evaluate`] allocates a fresh
+//! search graph, topological order and label vectors on every call;
+//! [`Evaluator`] instead owns all of that state as reusable scratch
+//! arenas (node weights, adjacency lists, in-degrees, the Kahn
+//! frontier, completion labels, context-boundary buffers), so that in
+//! steady state one evaluation touches no allocator at all.
+//!
+//! **Determinism contract.** `Evaluator::evaluate` returns *bit-
+//! identical* makespans and breakdowns to the from-scratch
+//! [`evaluate`]: the longest-path labels are maxima
+//! over the same finite candidate sets and IEEE-754 `max` is
+//! order-independent in value, so the forward-relaxation order used
+//! here cannot diverge from the predecessor-scan order used there.
+//! Property tests (`tests/proptests.rs`) and the golden-seed end-to-end
+//! tests enforce this.
+
+use crate::error::MappingError;
+use crate::eval::{evaluate, EvalBreakdown, EvalSummary, Evaluation};
+use crate::searchgraph::same_device;
+use crate::solution::Mapping;
+use rdse_model::units::Micros;
+use rdse_model::{Architecture, TaskGraph, TaskId};
+
+/// Counters describing an [`Evaluator`]'s arena behaviour, used by the
+/// CLI's `--profile` report to confirm steady-state evaluations are
+/// allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvaluatorStats {
+    /// Evaluations performed.
+    pub evaluations: u64,
+    /// Evaluations during which at least one scratch arena grew (i.e.
+    /// went through the allocator).
+    pub arena_growths: u64,
+    /// 1-based index of the last evaluation that grew an arena (0 if
+    /// none ever did). Once `evaluations` is well past this, every
+    /// subsequent step runs entirely in the warm arenas.
+    pub last_growth_eval: u64,
+}
+
+impl EvaluatorStats {
+    /// `true` once the arenas have stopped growing: every evaluation
+    /// after `last_growth_eval` ran without touching the allocator.
+    pub fn arenas_warm(&self) -> bool {
+        self.evaluations > self.last_growth_eval
+    }
+}
+
+/// Reusable evaluation engine bound to one `app` × `arch` pair.
+///
+/// Construct once per search (or per chain) and call
+/// [`evaluate`](Evaluator::evaluate) per candidate; the heavyweight
+/// per-task trace is available on demand via
+/// [`evaluate_full`](Evaluator::evaluate_full).
+///
+/// # Examples
+///
+/// ```
+/// use rdse_mapping::{random_initial, evaluate, Evaluator};
+/// use rdse_workloads::{epicure_architecture, motion_detection_app};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let app = motion_detection_app();
+/// let arch = epicure_architecture(2000);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mapping = random_initial(&app, &arch, &mut rng);
+///
+/// let mut evaluator = Evaluator::new(&app, &arch);
+/// let summary = evaluator.evaluate(&mapping)?;
+/// // Bit-identical to the from-scratch reference evaluation.
+/// let reference = evaluate(&app, &arch, &mapping)?;
+/// assert_eq!(summary.makespan, reference.makespan);
+/// assert_eq!(summary, reference.summary());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    app: &'a TaskGraph,
+    arch: &'a Architecture,
+    n: usize,
+    /// Immediate predecessor tasks per task (application edges only),
+    /// fixed for the lifetime of the evaluator.
+    preds: Vec<Vec<TaskId>>,
+    /// Immediate successor tasks per task.
+    succs: Vec<Vec<TaskId>>,
+    // --- scratch arenas, reused across evaluations ---
+    /// Node weights (task execution times; index `n` = virtual source).
+    weights: Vec<f64>,
+    /// Successor adjacency of the search graph `(target, edge weight)`.
+    adj: Vec<Vec<(u32, f64)>>,
+    /// Residual in-degrees for Kahn's algorithm.
+    indeg: Vec<u32>,
+    /// Completion labels of the longest-path DP.
+    comp: Vec<f64>,
+    /// Kahn frontier (order-free: label values are order-independent).
+    frontier: Vec<u32>,
+    /// Initial nodes of the context under construction.
+    initials: Vec<TaskId>,
+    /// Terminal nodes of the preceding context.
+    terminals: Vec<TaskId>,
+    /// Generation-stamped context membership (avoids clearing).
+    membership: Vec<u64>,
+    generation: u64,
+    stats: EvaluatorStats,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Prepares arenas for `app` × `arch`. All per-evaluation buffers
+    /// are pre-sized to the task count; adjacency capacity warms up
+    /// over the first few evaluations.
+    pub fn new(app: &'a TaskGraph, arch: &'a Architecture) -> Self {
+        let n = app.n_tasks();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for e in app.edges() {
+            preds[e.to.index()].push(e.from);
+            succs[e.from.index()].push(e.to);
+        }
+        Evaluator {
+            app,
+            arch,
+            n,
+            preds,
+            succs,
+            weights: vec![0.0; n + 1],
+            adj: vec![Vec::new(); n + 1],
+            indeg: vec![0; n + 1],
+            comp: vec![0.0; n + 1],
+            frontier: Vec::with_capacity(n + 1),
+            initials: Vec::with_capacity(n),
+            terminals: Vec::with_capacity(n),
+            membership: vec![0; n],
+            generation: 0,
+            stats: EvaluatorStats::default(),
+        }
+    }
+
+    /// The application this evaluator is bound to.
+    pub fn app(&self) -> &'a TaskGraph {
+        self.app
+    }
+
+    /// The architecture this evaluator is bound to.
+    pub fn arch(&self) -> &'a Architecture {
+        self.arch
+    }
+
+    /// Arena counters (see [`EvaluatorStats`]).
+    pub fn stats(&self) -> EvaluatorStats {
+        self.stats
+    }
+
+    /// Scores `mapping` without allocating (in steady state): checks
+    /// capacity, rebuilds the search graph *G′* into the arenas and
+    /// runs the longest-path DP.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`evaluate`]:
+    /// [`MappingError::CapacityExceeded`] when a context overflows its
+    /// device, [`MappingError::CyclicSchedule`] when the imposed orders
+    /// contradict the precedence graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` does not belong to this evaluator's `app` ×
+    /// `arch` (index out of range).
+    pub fn evaluate(&mut self, mapping: &Mapping) -> Result<EvalSummary, MappingError> {
+        let (app, arch, n) = (self.app, self.arch, self.n);
+        self.stats.evaluations += 1;
+
+        // Capacity check first: a context overflow is infeasible
+        // regardless of ordering (same order as `evaluate`).
+        for (d, spec) in arch.drlcs().iter().enumerate() {
+            for c in 0..mapping.contexts(d).len() {
+                if mapping.context_clbs(app, d, c) > spec.n_clbs() {
+                    return Err(MappingError::CapacityExceeded {
+                        drlc: d,
+                        context: c,
+                    });
+                }
+            }
+        }
+
+        let capacity_before = self.arena_capacity();
+
+        // Reset arenas (keeps capacity: no deallocation, no allocation
+        // until a larger graph shape is seen).
+        for out in &mut self.adj {
+            out.clear();
+        }
+        self.indeg.fill(0);
+        self.comp.fill(0.0);
+
+        // Node weights under the mapping's placements/implementations.
+        for t in app.task_ids() {
+            self.weights[t.index()] = mapping.exec_time(app, t).value();
+        }
+        self.weights[n] = 0.0;
+
+        // Base precedence edges with communication weights.
+        let bus = arch.bus();
+        for e in app.edges() {
+            let w = if same_device(mapping.resource(e.from), mapping.resource(e.to)) {
+                0.0
+            } else {
+                bus.transfer_time(e.bytes).value()
+            };
+            self.adj[e.from.index()].push((e.to.0, w));
+            self.indeg[e.to.index()] += 1;
+        }
+
+        // Esw: processor total orders.
+        for p in 0..arch.processors().len() {
+            for pair in mapping.proc_order(p).windows(2) {
+                self.adj[pair[0].index()].push((pair[1].0, 0.0));
+                self.indeg[pair[1].index()] += 1;
+            }
+        }
+
+        // Ehw: context sequentialization, accumulating the
+        // reconfiguration breakdown in the same (device, context) order
+        // as `evaluate` so the sums are bit-identical.
+        let mut initial_reconfig = Micros::ZERO;
+        let mut dynamic_reconfig = Micros::ZERO;
+        for (d, spec) in arch.drlcs().iter().enumerate() {
+            let n_ctxs = mapping.contexts(d).len();
+            for k in 0..n_ctxs {
+                let reconfig_time = spec.reconfiguration_time(mapping.context_clbs(app, d, k));
+                if k == 0 {
+                    initial_reconfig += reconfig_time;
+                } else {
+                    dynamic_reconfig += reconfig_time;
+                }
+                let reconfig = reconfig_time.value();
+                if k > 0 {
+                    self.collect_terminals(mapping.contexts(d)[k - 1].tasks());
+                }
+                self.collect_initials(mapping.contexts(d)[k].tasks());
+                if k == 0 {
+                    for i in 0..self.initials.len() {
+                        let to = self.initials[i];
+                        self.adj[n].push((to.0, reconfig));
+                        self.indeg[to.index()] += 1;
+                    }
+                } else {
+                    for i in 0..self.terminals.len() {
+                        let from = self.terminals[i];
+                        for j in 0..self.initials.len() {
+                            let to = self.initials[j];
+                            self.adj[from.index()].push((to.0, reconfig));
+                            self.indeg[to.index()] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Longest path by forward relaxation over a Kahn traversal.
+        // `comp[v]` accumulates max(0, max incoming completion + w)
+        // until v is popped, then becomes v's completion label. Label
+        // values are independent of the pop order, so the frontier
+        // needs no tie-breaking to stay bit-identical to the
+        // reference's predecessor-scan DP.
+        self.frontier.clear();
+        for v in 0..=n {
+            if self.indeg[v] == 0 {
+                self.frontier.push(v as u32);
+            }
+        }
+        let mut processed = 0usize;
+        let mut makespan = 0.0f64;
+        while let Some(v) = self.frontier.pop() {
+            processed += 1;
+            let v = v as usize;
+            let completion = self.comp[v] + self.weights[v];
+            self.comp[v] = completion;
+            if completion > makespan {
+                makespan = completion;
+            }
+            for i in 0..self.adj[v].len() {
+                let (s, w) = self.adj[v][i];
+                let s = s as usize;
+                let candidate = completion + w;
+                if candidate > self.comp[s] {
+                    self.comp[s] = candidate;
+                }
+                self.indeg[s] -= 1;
+                if self.indeg[s] == 0 {
+                    self.frontier.push(s as u32);
+                }
+            }
+        }
+        if processed != n + 1 {
+            return Err(MappingError::CyclicSchedule);
+        }
+
+        if self.arena_capacity() != capacity_before {
+            self.stats.arena_growths += 1;
+            self.stats.last_growth_eval = self.stats.evaluations;
+        }
+
+        let comp_comm =
+            Micros::new((makespan - initial_reconfig.value() - dynamic_reconfig.value()).max(0.0));
+        Ok(EvalSummary {
+            makespan: Micros::new(makespan),
+            n_contexts: mapping.n_contexts(),
+            n_hw_tasks: mapping.hw_tasks().count(),
+            breakdown: EvalBreakdown {
+                initial_reconfig,
+                dynamic_reconfig,
+                computation_communication: comp_comm,
+            },
+        })
+    }
+
+    /// Full evaluation with the per-task trace (starts, completions,
+    /// critical path) — the report path. Allocates; use
+    /// [`evaluate`](Evaluator::evaluate) on the hot path.
+    ///
+    /// # Errors
+    ///
+    /// As [`evaluate`].
+    pub fn evaluate_full(&self, mapping: &Mapping) -> Result<Evaluation, MappingError> {
+        evaluate(self.app, self.arch, mapping)
+    }
+
+    /// Initial nodes of `tasks` (all immediate predecessors outside the
+    /// context), into `self.initials`, in context order.
+    fn collect_initials(&mut self, tasks: &[TaskId]) {
+        self.generation += 1;
+        let generation = self.generation;
+        for &t in tasks {
+            self.membership[t.index()] = generation;
+        }
+        self.initials.clear();
+        for &t in tasks {
+            if self.preds[t.index()]
+                .iter()
+                .all(|p| self.membership[p.index()] != generation)
+            {
+                self.initials.push(t);
+            }
+        }
+    }
+
+    /// Terminal nodes of `tasks` (all immediate successors outside the
+    /// context), into `self.terminals`, in context order.
+    fn collect_terminals(&mut self, tasks: &[TaskId]) {
+        self.generation += 1;
+        let generation = self.generation;
+        for &t in tasks {
+            self.membership[t.index()] = generation;
+        }
+        self.terminals.clear();
+        for &t in tasks {
+            if self.succs[t.index()]
+                .iter()
+                .all(|s| self.membership[s.index()] != generation)
+            {
+                self.terminals.push(t);
+            }
+        }
+    }
+
+    /// Total capacity across growable arenas, compared before/after an
+    /// evaluation to detect allocator traffic.
+    fn arena_capacity(&self) -> usize {
+        self.adj.iter().map(Vec::capacity).sum::<usize>()
+            + self.frontier.capacity()
+            + self.initials.capacity()
+            + self.terminals.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_initial;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdse_model::units::{Bytes, Clbs};
+    use rdse_model::HwImpl;
+
+    fn us(v: f64) -> Micros {
+        Micros::new(v)
+    }
+
+    fn fixture() -> (TaskGraph, Architecture) {
+        let mut app = TaskGraph::new("fx");
+        let a = app
+            .add_task(
+                "a",
+                "F",
+                us(10.0),
+                vec![HwImpl::new(Clbs::new(100), us(2.0))],
+            )
+            .unwrap();
+        let b = app
+            .add_task(
+                "b",
+                "G",
+                us(20.0),
+                vec![HwImpl::new(Clbs::new(150), us(3.0))],
+            )
+            .unwrap();
+        let c = app.add_task("c", "H", us(5.0), vec![]).unwrap();
+        app.add_data_edge(a, b, Bytes::new(1000)).unwrap();
+        app.add_data_edge(b, c, Bytes::new(2000)).unwrap();
+        let arch = Architecture::builder("soc")
+            .processor("cpu", 1.0)
+            .drlc("fpga", Clbs::new(200), us(0.1), 1.0)
+            .bus_rate(100.0)
+            .build()
+            .unwrap();
+        (app, arch)
+    }
+
+    fn topo(app: &TaskGraph) -> Vec<TaskId> {
+        rdse_graph::topo_sort(&app.precedence_graph())
+            .unwrap()
+            .into_iter()
+            .map(TaskId::from)
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_on_random_mappings() {
+        let (app, arch) = fixture();
+        let mut evaluator = Evaluator::new(&app, &arch);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let m = random_initial(&app, &arch, &mut rng);
+            let summary = evaluator.evaluate(&m).unwrap();
+            let reference = evaluate(&app, &arch, &m).unwrap();
+            assert_eq!(
+                summary.makespan.value().to_bits(),
+                reference.makespan.value().to_bits()
+            );
+            assert_eq!(summary, reference.summary());
+        }
+    }
+
+    #[test]
+    fn reports_same_errors_as_reference() {
+        let (app, arch) = fixture();
+        let mut evaluator = Evaluator::new(&app, &arch);
+        // Capacity overflow.
+        let mut m = Mapping::all_software(&app, &arch, topo(&app));
+        m.detach(TaskId(0));
+        m.insert_new_context(TaskId(0), 0, 0, 0);
+        m.detach(TaskId(1));
+        m.insert_hardware(TaskId(1), 0, 0, 0); // 250 > 200 CLBs
+        assert_eq!(
+            evaluator.evaluate(&m),
+            Err(MappingError::CapacityExceeded {
+                drlc: 0,
+                context: 0
+            })
+        );
+        // Cyclic order.
+        let m = Mapping::all_software(&app, &arch, vec![TaskId(2), TaskId(0), TaskId(1)]);
+        assert_eq!(evaluator.evaluate(&m), Err(MappingError::CyclicSchedule));
+        // Backwards context order is cyclic too.
+        let mut m = Mapping::all_software(&app, &arch, topo(&app));
+        m.detach(TaskId(1));
+        m.insert_new_context(TaskId(1), 0, 0, 0);
+        m.detach(TaskId(0));
+        m.insert_new_context(TaskId(0), 0, 1, 0);
+        assert_eq!(evaluator.evaluate(&m), Err(MappingError::CyclicSchedule));
+    }
+
+    #[test]
+    fn arenas_stop_growing() {
+        let (app, arch) = fixture();
+        let mut evaluator = Evaluator::new(&app, &arch);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let m = random_initial(&app, &arch, &mut rng);
+            let _ = evaluator.evaluate(&m).unwrap();
+        }
+        let stats = evaluator.stats();
+        assert_eq!(stats.evaluations, 100);
+        assert!(
+            stats.arenas_warm(),
+            "arenas still growing after 100 evals: {stats:?}"
+        );
+        // Growths can only happen early, while capacity warms up.
+        assert!(stats.last_growth_eval < 50, "{stats:?}");
+    }
+
+    #[test]
+    fn full_evaluation_agrees_with_summary() {
+        let (app, arch) = fixture();
+        let mut evaluator = Evaluator::new(&app, &arch);
+        let m = Mapping::all_software(&app, &arch, topo(&app));
+        let summary = evaluator.evaluate(&m).unwrap();
+        let full = evaluator.evaluate_full(&m).unwrap();
+        assert_eq!(full.summary(), summary);
+        assert_eq!(full.makespan, us(35.0));
+    }
+}

@@ -20,9 +20,10 @@
 //!   wall-clock time, never the answer.
 
 use crate::error::MappingError;
-use crate::eval::{evaluate, Evaluation};
+use crate::eval::{EvalSummary, Evaluation};
+use crate::evaluator::{Evaluator, EvaluatorStats};
 use crate::init::random_initial;
-use crate::moves::{propose_impl_move, propose_pair_move};
+use crate::moves::{propose_impl_move, propose_pair_move, MoveDelta, MoveScratch};
 use crate::solution::Mapping;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -53,32 +54,51 @@ pub enum Objective {
 }
 
 impl Objective {
-    /// Scalar cost of an evaluation under this objective (µs scale).
-    pub fn cost(&self, eval: &Evaluation) -> f64 {
+    /// Scalar cost of a makespan under this objective (µs scale).
+    pub fn cost(&self, makespan: Micros) -> f64 {
         match *self {
-            Objective::MinimizeMakespan => eval.makespan.value(),
+            Objective::MinimizeMakespan => makespan.value(),
             Objective::DeadlinePenalty {
                 deadline,
                 penalty,
                 makespan_weight,
             } => {
-                let excess = (eval.makespan.value() - deadline.value()).max(0.0);
-                excess * penalty + eval.makespan.value() * makespan_weight
+                let excess = (makespan.value() - deadline.value()).max(0.0);
+                excess * penalty + makespan.value() * makespan_weight
             }
         }
     }
+}
+
+/// The reversible move token of [`MappingProblem`]: the compact
+/// [`MoveDelta`] plus the pre-move scalar summary. `Copy` — an
+/// annealing step never clones the solution.
+#[derive(Debug, Clone, Copy)]
+pub struct MappingMove {
+    /// Reverse record of the touched assignment.
+    pub delta: MoveDelta,
+    /// Summary of the solution before the move.
+    pub prev: EvalSummary,
 }
 
 /// The mapping problem in [`rdse_anneal::Problem`] form.
 ///
 /// Move class 0 draws the paper's `(vs, vd)` pair moves (m1/m2); class
 /// 1 draws implementation-selection moves (m5).
+///
+/// This is the incremental engine: proposals mutate the one resident
+/// [`Mapping`] in place, scoring reuses the arena-backed [`Evaluator`],
+/// rejected moves are reversed by their [`MoveDelta`] in O(touched),
+/// and the only remaining full-solution clones are best-so-far
+/// snapshots (taken when the incumbent improves) and their restores.
 #[derive(Debug, Clone)]
 pub struct MappingProblem<'a> {
     app: &'a TaskGraph,
     arch: &'a Architecture,
     mapping: Mapping,
-    current: Evaluation,
+    evaluator: Evaluator<'a>,
+    scratch: MoveScratch,
+    current: EvalSummary,
     objective: Objective,
 }
 
@@ -95,11 +115,14 @@ impl<'a> MappingProblem<'a> {
         objective: Objective,
     ) -> Result<Self, MappingError> {
         mapping.validate(app, arch)?;
-        let current = evaluate(app, arch, &mapping)?;
+        let mut evaluator = Evaluator::new(app, arch);
+        let current = evaluator.evaluate(&mapping)?;
         Ok(MappingProblem {
             app,
             arch,
             mapping,
+            evaluator,
+            scratch: MoveScratch::default(),
             current,
             objective,
         })
@@ -110,23 +133,34 @@ impl<'a> MappingProblem<'a> {
         &self.mapping
     }
 
-    /// The current evaluation.
-    pub fn evaluation(&self) -> &Evaluation {
-        &self.current
+    /// Scalar summary of the current solution.
+    pub fn summary(&self) -> EvalSummary {
+        self.current
     }
 
-    /// Consumes the problem, returning mapping and evaluation.
+    /// Arena counters of the internal [`Evaluator`].
+    pub fn evaluator_stats(&self) -> EvaluatorStats {
+        self.evaluator.stats()
+    }
+
+    /// Consumes the problem, returning the mapping and its full
+    /// evaluation (per-task trace included), computed once on the cold
+    /// path.
     pub fn into_parts(self) -> (Mapping, Evaluation) {
-        (self.mapping, self.current)
+        let evaluation = self
+            .evaluator
+            .evaluate_full(&self.mapping)
+            .expect("resident mapping is feasible by invariant");
+        (self.mapping, evaluation)
     }
 }
 
 impl Problem for MappingProblem<'_> {
-    type Move = (Mapping, Evaluation);
-    type Snapshot = (Mapping, Evaluation);
+    type Move = MappingMove;
+    type Snapshot = (Mapping, EvalSummary);
 
     fn cost(&self) -> f64 {
-        self.objective.cost(&self.current)
+        self.objective.cost(self.current.makespan)
     }
 
     fn n_move_classes(&self) -> usize {
@@ -134,46 +168,66 @@ impl Problem for MappingProblem<'_> {
     }
 
     fn try_move(&mut self, rng: &mut dyn RngCore, class: usize) -> Option<(Self::Move, f64)> {
-        let prev = (self.mapping.clone(), self.current.clone());
+        // Proposal functions leave the mapping unchanged on None, so
+        // the rejection path allocates and clones nothing.
         let outcome = match class {
-            0 => propose_pair_move(self.app, self.arch, &mut self.mapping, rng),
-            _ => propose_impl_move(self.app, self.arch, &mut self.mapping, rng),
-        };
-        if outcome.is_none() {
-            // Proposal functions leave the mapping unchanged on None;
-            // restoring from the snapshot is belt-and-braces in case a
-            // future move kind weakens that contract.
-            self.mapping = prev.0;
-            self.current = prev.1;
-            return None;
-        }
-        match evaluate(self.app, self.arch, &self.mapping) {
-            Ok(eval) => {
-                self.current = eval;
+            0 => propose_pair_move(
+                self.app,
+                self.arch,
+                &mut self.mapping,
+                rng,
+                &mut self.scratch,
+            ),
+            _ => propose_impl_move(
+                self.app,
+                self.arch,
+                &mut self.mapping,
+                rng,
+                &mut self.scratch,
+            ),
+        }?;
+        match self.evaluator.evaluate(&self.mapping) {
+            Ok(summary) => {
+                let prev = self.current;
+                self.current = summary;
                 let cost = self.cost();
-                Some((prev, cost))
+                Some((
+                    MappingMove {
+                        delta: outcome.delta,
+                        prev,
+                    },
+                    cost,
+                ))
             }
             Err(_) => {
-                // Cycle or capacity: infeasible move, roll back (§4.3).
-                self.mapping = prev.0;
-                self.current = prev.1;
+                // Cycle or capacity: infeasible move, reverse the
+                // touched assignment (§4.3).
+                outcome.delta.undo(&mut self.mapping);
                 None
             }
         }
     }
 
     fn undo(&mut self, mv: Self::Move) {
-        self.mapping = mv.0;
-        self.current = mv.1;
+        mv.delta.undo(&mut self.mapping);
+        self.current = mv.prev;
     }
 
     fn snapshot(&self) -> Self::Snapshot {
-        (self.mapping.clone(), self.current.clone())
+        (self.mapping.clone(), self.current)
     }
 
     fn restore(&mut self, snapshot: &Self::Snapshot) {
-        self.mapping = snapshot.0.clone();
-        self.current = snapshot.1.clone();
+        // The one remaining full-solution clone: the borrowed snapshot
+        // must stay usable (it is the engine's retained best), so the
+        // mapping is copied back into the resident buffers.
+        self.mapping.clone_from(&snapshot.0);
+        self.current = snapshot.1;
+    }
+
+    fn restore_owned(&mut self, snapshot: Self::Snapshot) {
+        self.mapping = snapshot.0;
+        self.current = snapshot.1;
     }
 
     fn observables(&self) -> Vec<(&'static str, f64)> {
@@ -238,6 +292,8 @@ pub struct ExploreOutcome {
     pub evaluation: Evaluation,
     /// Annealer statistics and trace.
     pub run: RunResult,
+    /// Arena counters of the chain's incremental evaluator.
+    pub eval_stats: EvaluatorStats,
 }
 
 /// Runs the complete tool of the paper on `app` × `arch`: random
@@ -372,10 +428,15 @@ impl<'a> Explorer<'a> {
         self.annealer.best_cost()
     }
 
-    /// The best mapping and evaluation seen so far.
-    pub fn best(&self) -> (&Mapping, &Evaluation) {
+    /// The best mapping and its scalar summary seen so far.
+    pub fn best(&self) -> (&Mapping, EvalSummary) {
         let snapshot = self.annealer.best_snapshot();
-        (&snapshot.0, &snapshot.1)
+        (&snapshot.0, snapshot.1)
+    }
+
+    /// Arena counters of the chain's incremental evaluator.
+    pub fn eval_stats(&self) -> EvaluatorStats {
+        self.annealer.problem().evaluator_stats()
     }
 
     /// The RNG seed this chain was constructed with.
@@ -391,20 +452,23 @@ impl<'a> Explorer<'a> {
     /// Replaces the chain's current solution with an external incumbent
     /// (portfolio exchange). The chain's RNG stream and schedule state
     /// are untouched, so determinism is preserved.
-    pub fn adopt_best(&mut self, mapping: Mapping, evaluation: Evaluation) {
-        let cost = self.objective.cost(&evaluation);
-        self.annealer.adopt((mapping, evaluation), cost);
+    pub fn adopt_best(&mut self, mapping: Mapping, summary: EvalSummary) {
+        let cost = self.objective.cost(summary.makespan);
+        self.annealer.adopt((mapping, summary), cost);
     }
 
     /// Ends the chain: the problem is restored to the best solution and
-    /// packed into an [`ExploreOutcome`].
+    /// packed into an [`ExploreOutcome`] (the full per-task evaluation
+    /// is computed once here, on the cold path).
     pub fn into_outcome(self) -> ExploreOutcome {
         let (problem, _schedule, run) = self.annealer.finish();
+        let eval_stats = problem.evaluator_stats();
         let (mapping, evaluation) = problem.into_parts();
         ExploreOutcome {
             mapping,
             evaluation,
             run,
+            eval_stats,
         }
     }
 }
@@ -472,6 +536,8 @@ pub struct ChainStats {
     pub evaluation: Evaluation,
     /// The chain's annealer statistics.
     pub run: RunResult,
+    /// Arena counters of the chain's incremental evaluator.
+    pub eval_stats: EvaluatorStats,
 }
 
 /// Result of [`explore_parallel`].
@@ -609,13 +675,13 @@ pub fn explore_parallel(
         // deterministic function of the chain states).
         let winner = portfolio_winner(&explorers);
         let winner_cost = explorers[winner].best_cost();
-        let (best_mapping, best_eval) = {
-            let (m, e) = explorers[winner].best();
-            (m.clone(), e.clone())
+        let (best_mapping, best_summary) = {
+            let (m, s) = explorers[winner].best();
+            (m.clone(), s)
         };
         for (i, chain) in explorers.iter_mut().enumerate() {
             if i != winner && chain.best_cost() > winner_cost && !chain.is_finished() {
-                chain.adopt_best(best_mapping.clone(), best_eval.clone());
+                chain.adopt_best(best_mapping.clone(), best_summary);
             }
         }
     }
@@ -634,6 +700,7 @@ pub fn explore_parallel(
             seed,
             evaluation: outcome.evaluation,
             run: outcome.run,
+            eval_stats: outcome.eval_stats,
         });
     }
     let (mapping, evaluation) = winner_solution.expect("portfolio has at least one chain");
@@ -662,6 +729,7 @@ fn portfolio_winner(explorers: &[Explorer<'_>]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::evaluate;
     use rand::Rng;
     use rdse_model::units::{Bytes, Clbs};
     use rdse_model::HwImpl;
@@ -987,8 +1055,8 @@ mod tests {
             penalty: 100.0,
             makespan_weight: 1.0,
         };
-        let strict = obj.cost(&eval);
-        let plain = Objective::MinimizeMakespan.cost(&eval);
+        let strict = obj.cost(eval.makespan);
+        let plain = Objective::MinimizeMakespan.cost(eval.makespan);
         assert!(strict > plain);
     }
 }

@@ -22,6 +22,16 @@
 //! [`explore`] runs the whole tool: random initial solution, warm-up at
 //! infinite temperature, adaptive cooling, best solution returned.
 //!
+//! The annealing hot path runs on the **incremental evaluation
+//! engine**: the arena-backed [`Evaluator`] re-scores candidates
+//! without allocating (returning the `Copy` scalar [`EvalSummary`];
+//! the heavyweight per-task [`Evaluation`] trace is computed on demand
+//! for reports), and each move carries a compact reverse
+//! [`MoveDelta`] so rejection undoes only the touched assignment. The
+//! engine is bit-identical to the from-scratch [`evaluate`] — same
+//! makespans, same walks, same golden-seed mappings (see
+//! [`evaluator`] for the determinism argument).
+//!
 //! # Examples
 //!
 //! ```
@@ -58,6 +68,7 @@
 pub mod arch_explore;
 pub mod error;
 pub mod eval;
+pub mod evaluator;
 pub mod explorer;
 pub mod init;
 pub mod moves;
@@ -70,13 +81,14 @@ pub use arch_explore::{
     explore_architecture, ArchExploreOptions, ArchExploreOutcome, ArchProblem, ResourceCatalog,
 };
 pub use error::MappingError;
-pub use eval::{evaluate, EvalBreakdown, Evaluation};
+pub use eval::{evaluate, EvalBreakdown, EvalSummary, Evaluation};
+pub use evaluator::{Evaluator, EvaluatorStats};
 pub use explorer::{
     chain_seed, explore, explore_parallel, ChainStats, ExploreOptions, ExploreOutcome, Explorer,
-    MappingProblem, Objective, ParallelOptions, ParallelOutcome,
+    MappingMove, MappingProblem, Objective, ParallelOptions, ParallelOutcome,
 };
 pub use init::random_initial;
-pub use moves::{MoveKind, MoveOutcome};
+pub use moves::{MoveDelta, MoveKind, MoveOutcome, MoveScratch};
 pub use placement::{Placement, ResourceRef};
 pub use schedule::{BusTransfer, GanttChart, ReconfigSlot, TaskSlot};
 pub use searchgraph::SearchGraph;

@@ -18,10 +18,11 @@
 //!   of its implementations"; this is exposed as a second move class.
 //!
 //! All functions mutate the mapping in place and return a description
-//! of what changed, or `None` (leaving the mapping untouched) when the
-//! sampled move is structurally impossible. Precedence feasibility of
-//! the result is judged afterwards by the evaluator's cycle check, as
-//! in §4.3.
+//! of what changed — including a compact reverse [`MoveDelta`] that
+//! undoes the move in O(touched) — or `None` (leaving the mapping
+//! untouched) when the sampled move is structurally impossible.
+//! Precedence feasibility of the result is judged afterwards by the
+//! evaluator's cycle check, as in §4.3.
 
 use crate::placement::{Placement, ResourceRef};
 use crate::solution::Mapping;
@@ -29,7 +30,7 @@ use rand::{Rng, RngCore};
 use rdse_model::{Architecture, TaskGraph, TaskId};
 
 /// A record of an applied move (for statistics and debugging; undo is
-/// snapshot-based in the explorer).
+/// delta-based via [`MoveOutcome::delta`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MoveKind {
     /// m1 — `task` re-inserted immediately before `before` in its
@@ -60,11 +61,72 @@ pub enum MoveKind {
     },
 }
 
-/// Outcome of a proposal: what was done.
+/// Outcome of a proposal: what was done and how to reverse it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MoveOutcome {
     /// The applied move.
     pub kind: MoveKind,
+    /// Compact reverse record; [`MoveDelta::undo`] restores the mapping
+    /// bit-identically to its pre-move state in O(touched).
+    pub delta: MoveDelta,
+}
+
+/// The compact reverse record of one applied move: only the touched
+/// task→slot (or task→implementation) assignment, not a clone of the
+/// whole [`Mapping`].
+///
+/// The contract mirrors the snapshot-based undo it replaces, exactly:
+/// applying a proposal and then [`MoveDelta::undo`] leaves the mapping
+/// **bit-identical** (including processor-order positions and the slot
+/// of the task inside its context's task list) to a clone taken before
+/// the proposal. Property tests in `tests/proptests.rs` enforce this
+/// for random move sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveDelta(DeltaKind);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeltaKind {
+    /// The task was detached from `prev` and re-inserted elsewhere
+    /// (m1/m2 and the hardware-seed move).
+    Relocate { task: TaskId, prev: PrevSlot },
+    /// The task switched hardware implementation (m5).
+    Reimplement { task: TaskId, prev_impl: usize },
+}
+
+impl MoveDelta {
+    /// Reverses the move this delta was returned with. Cost is
+    /// O(touched): one detach plus one positional re-insert (or one
+    /// implementation write), never a full-mapping restore.
+    ///
+    /// Only valid on the mapping state the move produced — deltas do
+    /// not compose out of order.
+    pub fn undo(self, mapping: &mut Mapping) {
+        match self.0 {
+            DeltaKind::Relocate { task, prev } => {
+                mapping.detach(task);
+                prev.reinstate(mapping, task);
+            }
+            DeltaKind::Reimplement { task, prev_impl } => mapping.select_impl(task, prev_impl),
+        }
+    }
+
+    /// The task the move touched.
+    pub fn task(self) -> TaskId {
+        match self.0 {
+            DeltaKind::Relocate { task, .. } | DeltaKind::Reimplement { task, .. } => task,
+        }
+    }
+}
+
+/// Reusable scratch buffers for the proposal functions, so steady-state
+/// move generation performs no heap allocation. One instance lives in
+/// the explorer's problem state and is threaded through every proposal.
+#[derive(Debug, Clone, Default)]
+pub struct MoveScratch {
+    /// Candidate task ids (hardware tasks, seedable tasks, ...).
+    tasks: Vec<TaskId>,
+    /// Candidate implementation indices.
+    impls: Vec<usize>,
 }
 
 /// Draws `(vs, vd)` and applies the corresponding m1/m2 move.
@@ -77,6 +139,7 @@ pub fn propose_pair_move(
     arch: &Architecture,
     mapping: &mut Mapping,
     rng: &mut dyn RngCore,
+    scratch: &mut MoveScratch,
 ) -> Option<MoveOutcome> {
     let n = app.n_tasks();
     if n < 2 {
@@ -95,6 +158,7 @@ pub fn propose_pair_move(
         let ResourceRef::Processor(p) = rs else {
             return None;
         };
+        let prev = PrevSlot::capture(mapping, vs);
         mapping.detach(vs);
         let pos = mapping
             .proc_order(p)
@@ -107,6 +171,7 @@ pub fn propose_pair_move(
                 task: vs,
                 before: vd,
             },
+            delta: MoveDelta(DeltaKind::Relocate { task: vs, prev }),
         });
     }
 
@@ -115,6 +180,7 @@ pub fn propose_pair_move(
     // old context becomes empty and disappears.
     match rd {
         ResourceRef::Processor(_) => {
+            let prev = PrevSlot::capture(mapping, vs);
             mapping.detach(vs);
             let ResourceRef::Processor(p) = mapping.resource(vd) else {
                 unreachable!("vd's resource kind cannot change on detach of vs")
@@ -134,6 +200,7 @@ pub fn propose_pair_move(
                     dest: ResourceRef::Processor(p),
                     spawned_context: false,
                 },
+                delta: MoveDelta(DeltaKind::Relocate { task: vs, prev }),
             })
         }
         ResourceRef::Context { .. } => {
@@ -141,10 +208,10 @@ pub fn propose_pair_move(
             if impls.is_empty() {
                 return None;
             }
-            // Record vs's exact slot so the rare bail-out path below can
-            // restore it and honour the "None leaves the mapping
-            // unchanged" contract.
-            let restore = RestorePoint::capture(mapping, vs);
+            // Record vs's exact slot: the delta needs it, and the rare
+            // bail-out path below restores it to honour the "None
+            // leaves the mapping unchanged" contract.
+            let prev = PrevSlot::capture(mapping, vs);
             mapping.detach(vs);
             let ResourceRef::Context { drlc, context } = mapping.resource(vd) else {
                 unreachable!("vd's resource kind cannot change on detach of vs")
@@ -161,11 +228,12 @@ pub fn propose_pair_move(
             // which requires context creation without capacity
             // pressure (temporal partitioning exploration).
             let spawn_anyway = rng.random::<f64>() < 0.25;
-            let fitting: Vec<usize> = (0..impls.len())
-                .filter(|&i| impls[i].clbs() <= headroom)
-                .collect();
-            if !fitting.is_empty() && !spawn_anyway {
-                let choice = fitting[rng.random_range(0..fitting.len())];
+            scratch.impls.clear();
+            scratch
+                .impls
+                .extend((0..impls.len()).filter(|&i| impls[i].clbs() <= headroom));
+            if !scratch.impls.is_empty() && !spawn_anyway {
+                let choice = scratch.impls[rng.random_range(0..scratch.impls.len())];
                 mapping.insert_hardware(vs, drlc, context, choice);
                 Some(MoveOutcome {
                     kind: MoveKind::Reassign {
@@ -173,17 +241,19 @@ pub fn propose_pair_move(
                         dest: ResourceRef::Context { drlc, context },
                         spawned_context: false,
                     },
+                    delta: MoveDelta(DeltaKind::Relocate { task: vs, prev }),
                 })
             } else {
-                let alone: Vec<usize> = (0..impls.len())
-                    .filter(|&i| impls[i].clbs() <= capacity)
-                    .collect();
-                if alone.is_empty() {
+                scratch.impls.clear();
+                scratch
+                    .impls
+                    .extend((0..impls.len()).filter(|&i| impls[i].clbs() <= capacity));
+                if scratch.impls.is_empty() {
                     // Task does not fit the device at all: restore.
-                    restore.reinstate(mapping, vs);
+                    prev.reinstate(mapping, vs);
                     return None;
                 }
-                let choice = alone[rng.random_range(0..alone.len())];
+                let choice = scratch.impls[rng.random_range(0..scratch.impls.len())];
                 mapping.insert_new_context(vs, drlc, context + 1, choice);
                 Some(MoveOutcome {
                     kind: MoveKind::Reassign {
@@ -194,6 +264,7 @@ pub fn propose_pair_move(
                         },
                         spawned_context: true,
                     },
+                    delta: MoveDelta(DeltaKind::Relocate { task: vs, prev }),
                 })
             }
         }
@@ -206,6 +277,7 @@ pub fn propose_pair_move(
             {
                 return None;
             }
+            let prev = PrevSlot::capture(mapping, vs);
             mapping.detach(vs);
             mapping.insert_asic(vs, a);
             Some(MoveOutcome {
@@ -214,6 +286,7 @@ pub fn propose_pair_move(
                     dest: ResourceRef::Asic(a),
                     spawned_context: false,
                 },
+                delta: MoveDelta(DeltaKind::Relocate { task: vs, prev }),
             })
         }
     }
@@ -237,12 +310,14 @@ pub fn propose_impl_move(
     arch: &Architecture,
     mapping: &mut Mapping,
     rng: &mut dyn RngCore,
+    scratch: &mut MoveScratch,
 ) -> Option<MoveOutcome> {
-    let hw: Vec<TaskId> = mapping.hw_tasks().collect();
-    if hw.is_empty() {
-        return propose_hw_seed(app, arch, mapping, rng);
+    scratch.tasks.clear();
+    scratch.tasks.extend(mapping.hw_tasks());
+    if scratch.tasks.is_empty() {
+        return propose_hw_seed(app, arch, mapping, rng, scratch);
     }
-    let task = hw[rng.random_range(0..hw.len())];
+    let task = scratch.tasks[rng.random_range(0..scratch.tasks.len())];
     let Placement::Hardware {
         drlc,
         context,
@@ -259,13 +334,14 @@ pub fn propose_impl_move(
     let used_without = mapping
         .context_clbs(app, drlc, context)
         .saturating_sub(impls[hw_impl].clbs());
-    let candidates: Vec<usize> = (0..impls.len())
-        .filter(|&i| i != hw_impl && used_without + impls[i].clbs() <= capacity)
-        .collect();
-    if candidates.is_empty() {
+    scratch.impls.clear();
+    scratch.impls.extend(
+        (0..impls.len()).filter(|&i| i != hw_impl && used_without + impls[i].clbs() <= capacity),
+    );
+    if scratch.impls.is_empty() {
         return None;
     }
-    let to = candidates[rng.random_range(0..candidates.len())];
+    let to = scratch.impls[rng.random_range(0..scratch.impls.len())];
     mapping.select_impl(task, to);
     Some(MoveOutcome {
         kind: MoveKind::SelectImplementation {
@@ -273,6 +349,10 @@ pub fn propose_impl_move(
             from: hw_impl,
             to,
         },
+        delta: MoveDelta(DeltaKind::Reimplement {
+            task,
+            prev_impl: hw_impl,
+        }),
     })
 }
 
@@ -283,23 +363,27 @@ fn propose_hw_seed(
     arch: &Architecture,
     mapping: &mut Mapping,
     rng: &mut dyn RngCore,
+    scratch: &mut MoveScratch,
 ) -> Option<MoveOutcome> {
     let drlc = 0;
     let capacity = arch.drlcs().first()?.n_clbs();
-    let candidates: Vec<TaskId> = app
-        .tasks()
-        .filter(|(_, t)| t.hw_impls().iter().any(|i| i.clbs() <= capacity))
-        .map(|(id, _)| id)
-        .collect();
-    if candidates.is_empty() {
+    scratch.tasks.clear();
+    scratch.tasks.extend(
+        app.tasks()
+            .filter(|(_, t)| t.hw_impls().iter().any(|i| i.clbs() <= capacity))
+            .map(|(id, _)| id),
+    );
+    if scratch.tasks.is_empty() {
         return None;
     }
-    let task = candidates[rng.random_range(0..candidates.len())];
+    let task = scratch.tasks[rng.random_range(0..scratch.tasks.len())];
     let impls = app.task(task).expect("task id in range").hw_impls();
-    let fitting: Vec<usize> = (0..impls.len())
-        .filter(|&i| impls[i].clbs() <= capacity)
-        .collect();
-    let choice = fitting[rng.random_range(0..fitting.len())];
+    scratch.impls.clear();
+    scratch
+        .impls
+        .extend((0..impls.len()).filter(|&i| impls[i].clbs() <= capacity));
+    let choice = scratch.impls[rng.random_range(0..scratch.impls.len())];
+    let prev = PrevSlot::capture(mapping, task);
     mapping.detach(task);
     mapping.insert_new_context(task, drlc, 0, choice);
     Some(MoveOutcome {
@@ -308,22 +392,31 @@ fn propose_hw_seed(
             dest: ResourceRef::Context { drlc, context: 0 },
             spawned_context: true,
         },
+        delta: MoveDelta(DeltaKind::Relocate { task, prev }),
     })
 }
 
 /// The exact slot a task occupied before a detach, sufficient to put it
-/// back verbatim if a proposal must bail out.
-#[derive(Debug, Clone, Copy)]
-enum RestorePoint {
+/// back verbatim — the payload of a [`MoveDelta`] relocation and the
+/// restore record of a proposal that must bail out after detaching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PrevSlot {
     Software {
         processor: usize,
         position: usize,
     },
+    /// The task shared its context with others; `slot` is its exact
+    /// index in the context's task list, so re-insertion keeps the list
+    /// bit-identical to the pre-move state.
     HardwareShared {
         drlc: usize,
         context: usize,
         hw_impl: usize,
+        slot: usize,
     },
+    /// The task was alone: detaching deleted the context, so undo
+    /// re-creates it at the original index (renumbering is exactly
+    /// inverse to the deletion's).
     HardwareAlone {
         drlc: usize,
         context: usize,
@@ -334,10 +427,10 @@ enum RestorePoint {
     },
 }
 
-impl RestorePoint {
+impl PrevSlot {
     fn capture(mapping: &Mapping, task: TaskId) -> Self {
         match mapping.placement(task) {
-            Placement::Software { processor } => RestorePoint::Software {
+            Placement::Software { processor } => PrevSlot::Software {
                 processor,
                 position: mapping
                     .proc_order(processor)
@@ -350,21 +443,27 @@ impl RestorePoint {
                 context,
                 hw_impl,
             } => {
-                if mapping.contexts(drlc)[context].len() == 1 {
-                    RestorePoint::HardwareAlone {
+                let ctx = &mapping.contexts(drlc)[context];
+                if ctx.len() == 1 {
+                    PrevSlot::HardwareAlone {
                         drlc,
                         context,
                         hw_impl,
                     }
                 } else {
-                    RestorePoint::HardwareShared {
+                    PrevSlot::HardwareShared {
                         drlc,
                         context,
                         hw_impl,
+                        slot: ctx
+                            .tasks()
+                            .iter()
+                            .position(|&t| t == task)
+                            .expect("hardware task present in its context"),
                     }
                 }
             }
-            Placement::Asic { asic } => RestorePoint::Asic { asic },
+            Placement::Asic { asic } => PrevSlot::Asic { asic },
         }
     }
 
@@ -372,21 +471,22 @@ impl RestorePoint {
     /// valid immediately after the corresponding `detach`.
     fn reinstate(self, mapping: &mut Mapping, task: TaskId) {
         match self {
-            RestorePoint::Software {
+            PrevSlot::Software {
                 processor,
                 position,
             } => mapping.insert_software(task, processor, position),
-            RestorePoint::HardwareShared {
+            PrevSlot::HardwareShared {
                 drlc,
                 context,
                 hw_impl,
-            } => mapping.insert_hardware(task, drlc, context, hw_impl),
-            RestorePoint::HardwareAlone {
+                slot,
+            } => mapping.insert_hardware_at(task, drlc, context, hw_impl, slot),
+            PrevSlot::HardwareAlone {
                 drlc,
                 context,
                 hw_impl,
             } => mapping.insert_new_context(task, drlc, context, hw_impl),
-            RestorePoint::Asic { asic } => mapping.insert_asic(task, asic),
+            PrevSlot::Asic { asic } => mapping.insert_asic(task, asic),
         }
     }
 }
@@ -447,13 +547,14 @@ mod tests {
         let (app, arch) = fixture();
         let mut m = initial(&app, &arch);
         let mut rng = StdRng::seed_from_u64(7);
+        let mut scratch = MoveScratch::default();
         let mut applied = 0;
         for i in 0..3000 {
             let before = m.clone();
             let res = if i % 3 == 0 {
-                propose_impl_move(&app, &arch, &mut m, &mut rng)
+                propose_impl_move(&app, &arch, &mut m, &mut rng, &mut scratch)
             } else {
-                propose_pair_move(&app, &arch, &mut m, &mut rng)
+                propose_pair_move(&app, &arch, &mut m, &mut rng, &mut scratch)
             };
             match res {
                 None => assert_eq!(m, before, "None must leave mapping unchanged"),
@@ -483,10 +584,11 @@ mod tests {
         // implementation leaves headroom 150-120=30 -> nothing fits, a
         // new context must be spawned.
         let mut rng = StdRng::seed_from_u64(1);
+        let mut scratch = MoveScratch::default();
         let mut saw_spawn = false;
         for _ in 0..500 {
             let before = m.clone();
-            if let Some(out) = propose_pair_move(&app, &arch, &mut m, &mut rng) {
+            if let Some(out) = propose_pair_move(&app, &arch, &mut m, &mut rng, &mut scratch) {
                 if let MoveKind::Reassign {
                     spawned_context: true,
                     dest: ResourceRef::Context { .. },
@@ -523,8 +625,9 @@ mod tests {
         let (app, arch) = fixture();
         let mut m = initial(&app, &arch);
         let mut rng = StdRng::seed_from_u64(3);
+        let mut scratch = MoveScratch::default();
         // With no hardware task, the class bootstraps a context.
-        let out = propose_impl_move(&app, &arch, &mut m, &mut rng).unwrap();
+        let out = propose_impl_move(&app, &arch, &mut m, &mut rng, &mut scratch).unwrap();
         assert!(matches!(
             out.kind,
             MoveKind::Reassign {
@@ -538,7 +641,7 @@ mod tests {
         let mut m = initial(&app, &arch);
         m.detach(TaskId(2));
         m.insert_new_context(TaskId(2), 0, 0, 0);
-        let out = propose_impl_move(&app, &arch, &mut m, &mut rng).unwrap();
+        let out = propose_impl_move(&app, &arch, &mut m, &mut rng, &mut scratch).unwrap();
         match out.kind {
             MoveKind::SelectImplementation { task, from, to } => {
                 assert_eq!(task, TaskId(2));
@@ -566,9 +669,10 @@ mod tests {
         m.detach(b);
         m.insert_new_context(b, 0, 0, 0);
         let mut rng = StdRng::seed_from_u64(5);
+        let mut scratch = MoveScratch::default();
         for _ in 0..2000 {
             let before = m.clone();
-            if propose_pair_move(&app, &arch, &mut m, &mut rng).is_some() {
+            if propose_pair_move(&app, &arch, &mut m, &mut rng, &mut scratch).is_some() {
                 m.validate(&app, &arch).unwrap();
                 assert!(
                     !m.placement(a).is_hardware(),

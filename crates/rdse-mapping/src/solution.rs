@@ -233,6 +233,31 @@ impl Mapping {
         };
     }
 
+    /// Adds `task` to an existing context at an exact slot in the
+    /// context's task list. Contexts have set semantics for evaluation,
+    /// but the slot matters to [`MoveDelta`](crate::moves::MoveDelta)
+    /// undo: restoring a task at its original slot keeps the mapping
+    /// bit-identical to its pre-move state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` exceeds the context length.
+    pub fn insert_hardware_at(
+        &mut self,
+        task: TaskId,
+        drlc: usize,
+        context: usize,
+        hw_impl: usize,
+        slot: usize,
+    ) {
+        self.contexts[drlc][context].tasks.insert(slot, task);
+        self.placement[task.index()] = Placement::Hardware {
+            drlc,
+            context,
+            hw_impl,
+        };
+    }
+
     /// Spawns a new context at `position` in `drlc`'s context order
     /// holding only `task` (the paper's overflow rule: "another context
     /// will be spawned if nCLB(R(vd)) + C(vs) > NCLB").

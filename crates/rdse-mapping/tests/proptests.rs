@@ -6,7 +6,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rdse_anneal::Problem;
-use rdse_mapping::{evaluate, random_initial, MappingProblem, Objective};
+use rdse_mapping::moves::{propose_impl_move, propose_pair_move};
+use rdse_mapping::{evaluate, random_initial, Evaluator, MappingProblem, MoveScratch, Objective};
 use rdse_model::units::{Bytes, Clbs, Micros};
 use rdse_model::{Architecture, HwImpl, TaskGraph};
 
@@ -113,6 +114,86 @@ proptest! {
             let eval = evaluate(&app, &arch, &m).expect("feasible");
             prop_assert!(eval.makespan.value() + 1e-9 >= fastest);
         }
+    }
+
+    #[test]
+    fn move_delta_undo_is_bit_identical(
+        n_tasks in 3usize..16,
+        density in 5u8..40,
+        seed in 0u64..1_000_000,
+        clbs in 100u32..600,
+    ) {
+        // For random move sequences, applying a MoveDelta's undo must
+        // leave the mapping bit-identical (full structural equality,
+        // including processor-order positions and context task slots)
+        // to a clone taken before the move.
+        let app = build_app(n_tasks, density, seed);
+        let arch = arch(clbs);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let mut scratch = MoveScratch::default();
+        let mut mapping = random_initial(&app, &arch, &mut rng);
+        for step in 0..300u32 {
+            let before = mapping.clone();
+            let outcome = if step % 2 == 0 {
+                propose_pair_move(&app, &arch, &mut mapping, &mut rng, &mut scratch)
+            } else {
+                propose_impl_move(&app, &arch, &mut mapping, &mut rng, &mut scratch)
+            };
+            match outcome {
+                None => prop_assert_eq!(&mapping, &before, "None must leave mapping unchanged"),
+                Some(out) => {
+                    // Undo on a scratch copy restores bit-identity...
+                    let mut undone = mapping.clone();
+                    out.delta.undo(&mut undone);
+                    prop_assert_eq!(&undone, &before, "delta undo diverged at step {}", step);
+                    // ...and the walk continues from the applied state
+                    // (undoing every other move to cover redo-after-undo).
+                    if step % 3 == 0 {
+                        out.delta.undo(&mut mapping);
+                        prop_assert_eq!(&mapping, &before);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_evaluation_matches_from_scratch(
+        n_tasks in 3usize..16,
+        density in 5u8..40,
+        seed in 0u64..1_000_000,
+        clbs in 100u32..600,
+    ) {
+        // On every accepted state of a random walk, the arena-backed
+        // Evaluator must return the same summary — makespan to the bit
+        // — as a from-scratch evaluate() of the same mapping.
+        let app = build_app(n_tasks, density, seed);
+        let arch = arch(clbs);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
+        let initial = random_initial(&app, &arch, &mut rng);
+        let mut evaluator = Evaluator::new(&app, &arch);
+        let mut problem = MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan)
+            .expect("initial solution feasible");
+        for step in 0..200u32 {
+            let class = (step % 2) as usize;
+            if let Some((mv, new_cost)) = problem.try_move(&mut rng, class) {
+                let summary = evaluator.evaluate(problem.mapping()).expect("feasible");
+                let fresh = evaluate(&app, &arch, problem.mapping()).expect("feasible");
+                prop_assert_eq!(
+                    summary.makespan.value().to_bits(),
+                    fresh.makespan.value().to_bits()
+                );
+                prop_assert_eq!(summary, fresh.summary());
+                prop_assert_eq!(new_cost.to_bits(), fresh.makespan.value().to_bits());
+                if step % 3 == 0 {
+                    problem.undo(mv);
+                    let fresh = evaluate(&app, &arch, problem.mapping()).expect("feasible");
+                    prop_assert_eq!(problem.cost().to_bits(), fresh.makespan.value().to_bits());
+                }
+            }
+        }
+        // The walk warmed the arenas: steady state is allocation-free.
+        prop_assert!(evaluator.stats().arenas_warm() || evaluator.stats().evaluations == 0);
     }
 
     #[test]

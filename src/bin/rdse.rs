@@ -6,7 +6,8 @@
 //! rdse generate <motion|figure1|layered> [--clbs N] [--seed N] [--dir D]
 //! rdse explore  --app F.json --arch F.json [--iters N] [--warmup N]
 //!               [--seed N] [--lambda X] [--chains K] [--threads T]
-//!               [--exchange-every E] [--gantt] [--save-mapping F]
+//!               [--exchange-every E] [--gantt] [--profile]
+//!               [--save-mapping F]
 //! rdse sweep    [--app F.json] [--clbs A,B,...] [--bus A,B,...]
 //!               [--iters N] [--seed N] [--chains K] [--threads T]
 //!               [--out F.json] [--csv F.csv]
@@ -45,7 +46,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          rdse generate <motion|figure1|layered> [--clbs N] [--seed N] [--dir D]\n  \
-         rdse explore  --app F.json --arch F.json [--iters N] [--warmup N] [--seed N] [--lambda X]\n                [--chains K] [--threads T] [--exchange-every E] [--gantt] [--save-mapping F]\n  \
+         rdse explore  --app F.json --arch F.json [--iters N] [--warmup N] [--seed N] [--lambda X]\n                [--chains K] [--threads T] [--exchange-every E] [--gantt] [--profile] [--save-mapping F]\n  \
          rdse sweep    [--app F.json] [--clbs A,B,...] [--bus A,B,...] [--iters N] [--seed N]\n                [--chains K] [--threads T] [--exchange-every E] [--out F.json] [--csv F.csv]\n  \
          rdse simulate --app F.json --arch F.json --mapping F.json [--contention]\n  \
          rdse space    --app F.json"
@@ -133,11 +134,13 @@ fn run_explore(args: &[String]) -> ExitCode {
                 let mapping = p.mapping.clone();
                 let evaluation = p.evaluation.clone();
                 let run = p.chains[p.winner].run.clone();
+                let eval_stats = p.chains[p.winner].eval_stats;
                 (
                     rdse::mapping::ExploreOutcome {
                         mapping,
                         evaluation,
                         run,
+                        eval_stats,
                     },
                     Some(p),
                 )
@@ -191,6 +194,16 @@ fn run_explore(args: &[String]) -> ExitCode {
     } else {
         println!("wall time     : {:?}", outcome.run.elapsed);
     }
+    if args.iter().any(|a| a == "--profile") {
+        match &portfolio {
+            Some(p) => {
+                for c in &p.chains {
+                    print_profile(&format!("chain {:>2}", c.chain), &c.run, c.eval_stats);
+                }
+            }
+            None => print_profile("chain  0", &outcome.run, outcome.eval_stats),
+        }
+    }
     if args.iter().any(|a| a == "--gantt") {
         let chart = GanttChart::extract(&app, &arch, &outcome.mapping, &outcome.evaluation);
         println!("{}", chart.render_ascii(&app, &arch, 100));
@@ -205,6 +218,29 @@ fn run_explore(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// One `--profile` line: step throughput, move statistics and the
+/// evaluator's allocation-free-step confirmation for one chain.
+fn print_profile(label: &str, run: &rdse::anneal::RunResult, stats: rdse::mapping::EvaluatorStats) {
+    let secs = run.elapsed.as_secs_f64();
+    let steps_per_sec = if secs > 0.0 {
+        run.iterations as f64 / secs
+    } else {
+        0.0
+    };
+    let alloc_free = if stats.arenas_warm() {
+        format!(
+            "yes (arenas stable since eval {} of {})",
+            stats.last_growth_eval, stats.evaluations
+        )
+    } else {
+        "no (arenas still growing)".to_string()
+    };
+    println!(
+        "profile {label}: {:.0} steps/s ({} steps in {:?}) | accepted {} rejected {} infeasible {} | allocation-free steps: {}",
+        steps_per_sec, run.iterations, run.elapsed, run.accepted, run.rejected, run.infeasible, alloc_free
+    );
 }
 
 /// Serializes `value` to `path`, with an actionable message when the
