@@ -1,0 +1,347 @@
+//! The scenario family registry: parameterized workload and
+//! architecture generators, each a pure function of `(family, params,
+//! seed)`.
+//!
+//! A **workload family** names a DAG shape (layered, series-parallel,
+//! fork-join, pipeline, wide-fanout, chain) plus its size parameters;
+//! an **architecture family** names a platform template (processor mix,
+//! device count, CLB capacity band, reconfiguration speed `tR`, bus
+//! rate) whose concrete numbers are drawn deterministically from the
+//! scenario seed. The cross product of the two, times a seed list, is
+//! the corpus.
+
+use rdse_model::units::{Clbs, Micros};
+use rdse_model::{Architecture, TaskGraph};
+use rdse_workloads::{
+    chain_dag, fork_join_dag, layered_dag, pipeline_dag, series_parallel_dag, wide_fanout_dag,
+    LayeredDagConfig,
+};
+
+/// SplitMix64 finalizer: decorrelates the per-parameter draws of one
+/// scenario seed (same mixer as the portfolio chain seeds).
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = (seed ^ salt).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic pick from a small choice set.
+fn pick<T: Copy>(choices: &[T], seed: u64, salt: u64) -> T {
+    choices[(mix(seed, salt) % choices.len() as u64) as usize]
+}
+
+/// A parameterized application-DAG generator.
+///
+/// Every variant is enumerable: the same `(family, params, seed)`
+/// triple always generates the same task graph, byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadFamily {
+    /// Tasks arranged in layers, edges between consecutive layers.
+    Layered {
+        /// Number of layers.
+        layers: usize,
+        /// Tasks per layer.
+        width: usize,
+    },
+    /// A chain of fork-join sections with random branch counts.
+    SeriesParallel {
+        /// Number of fork-join sections.
+        sections: usize,
+        /// Maximum branches per section.
+        max_branches: usize,
+    },
+    /// One fork-join block: `width` parallel chains of `depth` tasks.
+    ForkJoin {
+        /// Parallel branches.
+        width: usize,
+        /// Tasks per branch.
+        depth: usize,
+    },
+    /// Independent streaming lanes sharing a source and sink.
+    Pipeline {
+        /// Tasks per lane.
+        stages: usize,
+        /// Parallel lanes.
+        lanes: usize,
+    },
+    /// Scatter-gather: source → `fanout` independent tasks → sink.
+    WideFanout {
+        /// Number of parallel middle tasks.
+        fanout: usize,
+    },
+    /// A fully sequential chain.
+    Chain {
+        /// Chain length.
+        length: usize,
+    },
+}
+
+impl WorkloadFamily {
+    /// The six default-parameter families, in registry order.
+    pub fn defaults() -> Vec<WorkloadFamily> {
+        vec![
+            WorkloadFamily::Layered {
+                layers: 5,
+                width: 4,
+            },
+            WorkloadFamily::SeriesParallel {
+                sections: 4,
+                max_branches: 3,
+            },
+            WorkloadFamily::ForkJoin { width: 4, depth: 3 },
+            WorkloadFamily::Pipeline {
+                stages: 4,
+                lanes: 3,
+            },
+            WorkloadFamily::WideFanout { fanout: 10 },
+            WorkloadFamily::Chain { length: 12 },
+        ]
+    }
+
+    /// Family name (stable identifier used in NDJSON and the CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadFamily::Layered { .. } => "layered",
+            WorkloadFamily::SeriesParallel { .. } => "series-parallel",
+            WorkloadFamily::ForkJoin { .. } => "fork-join",
+            WorkloadFamily::Pipeline { .. } => "pipeline",
+            WorkloadFamily::WideFanout { .. } => "wide-fanout",
+            WorkloadFamily::Chain { .. } => "chain",
+        }
+    }
+
+    /// Compact parameter label, e.g. `5x4` for a 5-layer × 4-wide
+    /// layered DAG.
+    pub fn params_label(&self) -> String {
+        match *self {
+            WorkloadFamily::Layered { layers, width } => format!("{layers}x{width}"),
+            WorkloadFamily::SeriesParallel {
+                sections,
+                max_branches,
+            } => format!("{sections}x{max_branches}"),
+            WorkloadFamily::ForkJoin { width, depth } => format!("{width}x{depth}"),
+            WorkloadFamily::Pipeline { stages, lanes } => format!("{stages}x{lanes}"),
+            WorkloadFamily::WideFanout { fanout } => format!("{fanout}"),
+            WorkloadFamily::Chain { length } => format!("{length}"),
+        }
+    }
+
+    /// Resolves a family name to its default-parameter variant.
+    pub fn parse(name: &str) -> Option<WorkloadFamily> {
+        WorkloadFamily::defaults()
+            .into_iter()
+            .find(|f| f.name() == name)
+    }
+
+    /// Generates the task graph of `(self, seed)`.
+    pub fn generate(&self, seed: u64) -> TaskGraph {
+        match *self {
+            WorkloadFamily::Layered { layers, width } => layered_dag(
+                &LayeredDagConfig {
+                    layers,
+                    width,
+                    edge_percent: 40,
+                    hw_percent: 70,
+                },
+                seed,
+            ),
+            WorkloadFamily::SeriesParallel {
+                sections,
+                max_branches,
+            } => series_parallel_dag(sections, max_branches, seed),
+            WorkloadFamily::ForkJoin { width, depth } => fork_join_dag(width, depth, seed),
+            WorkloadFamily::Pipeline { stages, lanes } => pipeline_dag(stages, lanes, seed),
+            WorkloadFamily::WideFanout { fanout } => wide_fanout_dag(fanout, seed),
+            WorkloadFamily::Chain { length } => chain_dag(length, seed),
+        }
+    }
+}
+
+/// A parameterized platform template.
+///
+/// Concrete component sizes are drawn deterministically from the
+/// scenario seed inside each family's band, so one family already
+/// covers a grid of platforms as the seed list grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchFamily {
+    /// The paper's reference: ARM922 + one Virtex-E class device
+    /// (CLB count varies by seed), 25 B/µs shared bus.
+    Epicure,
+    /// A capacity-starved device with fast partial reconfiguration —
+    /// many small contexts.
+    SmallFpga,
+    /// One processor and two reconfigurable devices of different
+    /// capacity and `tR`.
+    DualFpga,
+    /// Two processors sharing one device — exercises the m1/m2
+    /// processor moves across resources.
+    DualProcessor,
+    /// A bus-starved platform: communication dominates.
+    SlowBus,
+    /// Processor + device + dedicated ASIC (maximal-parallelism
+    /// resource).
+    AsicAssisted,
+}
+
+impl ArchFamily {
+    /// All architecture families, in registry order.
+    pub fn all() -> [ArchFamily; 6] {
+        [
+            ArchFamily::Epicure,
+            ArchFamily::SmallFpga,
+            ArchFamily::DualFpga,
+            ArchFamily::DualProcessor,
+            ArchFamily::SlowBus,
+            ArchFamily::AsicAssisted,
+        ]
+    }
+
+    /// Family name (stable identifier used in NDJSON and the CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArchFamily::Epicure => "epicure",
+            ArchFamily::SmallFpga => "small-fpga",
+            ArchFamily::DualFpga => "dual-fpga",
+            ArchFamily::DualProcessor => "dual-processor",
+            ArchFamily::SlowBus => "slow-bus",
+            ArchFamily::AsicAssisted => "asic-assisted",
+        }
+    }
+
+    /// Resolves a family name.
+    pub fn parse(name: &str) -> Option<ArchFamily> {
+        ArchFamily::all().into_iter().find(|f| f.name() == name)
+    }
+
+    /// Builds the architecture of `(self, seed)`.
+    pub fn build(&self, seed: u64) -> Architecture {
+        let b = match self {
+            ArchFamily::Epicure => Architecture::builder("epicure")
+                .processor("arm922", 10.0)
+                .drlc(
+                    "virtex-e",
+                    Clbs::new(pick(&[1200, 1600, 2000, 3000], seed, 1)),
+                    Micros::new(22.5),
+                    25.0,
+                )
+                .bus_rate(25.0),
+            ArchFamily::SmallFpga => Architecture::builder("small-fpga")
+                .processor("cpu", 5.0)
+                .drlc(
+                    "tiny",
+                    Clbs::new(pick(&[250, 350, 450], seed, 2)),
+                    Micros::new(pick(&[2.0, 5.0], seed, 3)),
+                    8.0,
+                )
+                .bus_rate(pick(&[25.0, 50.0], seed, 4)),
+            ArchFamily::DualFpga => Architecture::builder("dual-fpga")
+                .processor("cpu", 10.0)
+                .drlc(
+                    "big",
+                    Clbs::new(pick(&[800, 1200], seed, 5)),
+                    Micros::new(10.0),
+                    20.0,
+                )
+                .drlc(
+                    "small",
+                    Clbs::new(pick(&[300, 500], seed, 6)),
+                    Micros::new(pick(&[2.0, 4.0], seed, 7)),
+                    8.0,
+                )
+                .bus_rate(50.0),
+            ArchFamily::DualProcessor => Architecture::builder("dual-processor")
+                .processor("cpu0", 10.0)
+                .processor("cpu1", 10.0)
+                .drlc(
+                    "fpga",
+                    Clbs::new(pick(&[600, 1000], seed, 8)),
+                    Micros::new(12.0),
+                    15.0,
+                )
+                .bus_rate(pick(&[25.0, 50.0], seed, 9)),
+            ArchFamily::SlowBus => Architecture::builder("slow-bus")
+                .processor("cpu", 10.0)
+                .drlc("fpga", Clbs::new(1000), Micros::new(12.0), 15.0)
+                .bus_rate(pick(&[2.0, 5.0, 8.0], seed, 10)),
+            ArchFamily::AsicAssisted => Architecture::builder("asic-assisted")
+                .processor("cpu", 10.0)
+                .drlc(
+                    "fpga",
+                    Clbs::new(pick(&[500, 900], seed, 11)),
+                    Micros::new(8.0),
+                    12.0,
+                )
+                .asic("accel", 30.0)
+                .bus_rate(50.0),
+        };
+        b.build().expect("family templates are valid architectures")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_six_families_each() {
+        assert_eq!(WorkloadFamily::defaults().len(), 6);
+        assert_eq!(ArchFamily::all().len(), 6);
+        // Names are unique.
+        let w: std::collections::BTreeSet<_> = WorkloadFamily::defaults()
+            .iter()
+            .map(|f| f.name())
+            .collect();
+        assert_eq!(w.len(), 6);
+        let a: std::collections::BTreeSet<_> = ArchFamily::all().iter().map(|f| f.name()).collect();
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for f in WorkloadFamily::defaults() {
+            assert_eq!(WorkloadFamily::parse(f.name()), Some(f));
+        }
+        for a in ArchFamily::all() {
+            assert_eq!(ArchFamily::parse(a.name()), Some(a));
+        }
+        assert_eq!(WorkloadFamily::parse("nope"), None);
+        assert_eq!(ArchFamily::parse("nope"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_triple() {
+        for f in WorkloadFamily::defaults() {
+            let a = f.generate(3).to_json().unwrap();
+            let b = f.generate(3).to_json().unwrap();
+            assert_eq!(a, b, "{} not deterministic", f.name());
+            assert_ne!(a, f.generate(4).to_json().unwrap());
+        }
+        for fam in ArchFamily::all() {
+            assert_eq!(
+                fam.build(5),
+                fam.build(5),
+                "{} not deterministic",
+                fam.name()
+            );
+        }
+    }
+
+    #[test]
+    fn arch_families_cover_the_advertised_mixes() {
+        assert_eq!(ArchFamily::DualFpga.build(1).drlcs().len(), 2);
+        assert_eq!(ArchFamily::DualProcessor.build(1).processors().len(), 2);
+        assert_eq!(ArchFamily::AsicAssisted.build(1).asics().len(), 1);
+        assert!(ArchFamily::SlowBus.build(1).bus().bytes_per_micro() < 10.0);
+    }
+
+    #[test]
+    fn seeds_vary_platform_parameters_within_a_family() {
+        // Across a handful of seeds the Epicure CLB count must not be
+        // constant — the band is part of the family definition.
+        let counts: Vec<u32> = (0..8)
+            .map(|s| ArchFamily::Epicure.build(s).drlcs()[0].n_clbs().value())
+            .collect();
+        assert!(counts.windows(2).any(|w| w[0] != w[1]), "{counts:?}");
+    }
+}

@@ -1,0 +1,71 @@
+//! # rdse-corpus — scenario corpus and differential verification
+//!
+//! The paper's experiments rest on one hand-built workload (motion
+//! detection on the EPICURE platform). This crate turns correctness
+//! into a *population* property: a registry of parameterized scenario
+//! families — workload shapes × platform templates — each enumerable
+//! deterministically from a `(family, params, seed)` triple, a batch
+//! runner fanning scenarios across threads, and a **three-way
+//! differential oracle** gating every result.
+//!
+//! ## The three-way oracle
+//!
+//! Three independent engines compute the same quantity by different
+//! means, and must agree **bit for bit** on every scenario:
+//!
+//! | leg | engine | method |
+//! |-----|--------|--------|
+//! | 1 | [`rdse_mapping::Evaluator`] | incremental, arena-backed longest path (the annealing hot path) |
+//! | 2 | [`rdse_mapping::evaluate`] | from-scratch search-graph construction + longest path |
+//! | 3 | [`rdse_sim::simulate`] (contention-free) | discrete-event execution of the mapped schedule |
+//!
+//! Legs 1 and 2 share a specification but not code paths; leg 3 shares
+//! *neither* — it executes the schedule event by event, so agreement is
+//! strong evidence the analytic cost model means what it claims. Two
+//! invariants ride along: an exclusive-bus simulation can never beat
+//! the contention-free one, and every move proposal's
+//! [`MoveDelta`](rdse_mapping::MoveDelta) must undo to a bit-identical
+//! mapping. See [`oracle::differential_check`].
+//!
+//! ## Adding a scenario family
+//!
+//! 1. Write the generator (a pure function of params and seed) — DAG
+//!    shapes live in [`rdse_workloads::random_dag`], platform templates
+//!    in [`families`].
+//! 2. Add a variant to [`WorkloadFamily`] or [`ArchFamily`]: `name()`,
+//!    `params_label()`/`build()`, and the `defaults()`/`all()` list.
+//! 3. If the family should be smoke-tested in CI, it enters
+//!    [`scenario::smoke_corpus`] via `defaults()` automatically —
+//!    regenerate the golden snapshot with
+//!    `rdse corpus run --smoke --write-golden tests/golden/corpus_smoke.ndjson`
+//!    and commit the diff.
+//!
+//! ## Batch runs
+//!
+//! ```
+//! use rdse_corpus::{run_corpus, CorpusOptions, ScenarioSpec};
+//! use rdse_corpus::families::{ArchFamily, WorkloadFamily};
+//!
+//! let specs = [ScenarioSpec {
+//!     workload: WorkloadFamily::Chain { length: 5 },
+//!     arch: ArchFamily::Epicure,
+//!     seed: 1,
+//! }];
+//! let report = run_corpus(&specs, &CorpusOptions {
+//!     iters: 200, warmup: 40, ..CorpusOptions::default()
+//! }).expect("oracle passes");
+//! assert_eq!(report.records.len(), 1);
+//! // One NDJSON line per scenario; the golden projection drops only
+//! // wall-clock throughput.
+//! assert!(report.ndjson().lines().count() == 1);
+//! ```
+
+pub mod families;
+pub mod oracle;
+pub mod runner;
+pub mod scenario;
+
+pub use families::{ArchFamily, WorkloadFamily};
+pub use oracle::{differential_check, OracleFailure, OracleReport};
+pub use runner::{run_corpus, CorpusError, CorpusOptions, CorpusReport, ScenarioRecord};
+pub use scenario::{cross_corpus, smoke_corpus, ScenarioSpec};

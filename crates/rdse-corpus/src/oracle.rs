@@ -1,0 +1,295 @@
+//! The three-way differential oracle.
+//!
+//! For a scenario's mapping, three independent engines must agree on
+//! the makespan **bit for bit**:
+//!
+//! 1. the incremental, arena-backed [`Evaluator`] (the annealing hot
+//!    path);
+//! 2. the from-scratch [`evaluate`] (the paper's reference
+//!    longest-path scoring);
+//! 3. the discrete-event simulator in contention-free mode, where the
+//!    simulated makespan provably equals the analytic longest path.
+//!
+//! Two invariants ride along: simulating with an exclusive bus can
+//! never beat the contention-free run, and every move proposal's
+//! [`MoveDelta`](rdse_mapping::MoveDelta) must undo to a bit-identical
+//! mapping. The check then repeats the three-way comparison along a
+//! deterministic random walk, so divergence hiding behind the initial
+//! solution is also caught.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdse_mapping::moves::{propose_impl_move, propose_pair_move};
+use rdse_mapping::{evaluate, Evaluator, Mapping, MoveScratch};
+use rdse_model::units::Micros;
+use rdse_model::{Architecture, TaskGraph};
+use rdse_sim::{simulate, SimConfig};
+
+/// Absolute slack allowed on the *inequality* invariant (the equality
+/// legs are bit-exact; only with-contention ≥ contention-free keeps the
+/// simulator tests' epsilon).
+const CONTENTION_EPS: f64 = 1e-6;
+
+/// What the oracle measured on a passing scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleReport {
+    /// The agreed contention-free makespan.
+    pub makespan: Micros,
+    /// Makespan under an exclusive FIFO bus (≥ `makespan`).
+    pub contention_makespan: Micros,
+    /// Move proposals whose delta-undo round-trip was verified.
+    pub moves_checked: u32,
+    /// Walk states (accepted moves) re-verified three ways.
+    pub moves_applied: u32,
+}
+
+/// Why the oracle rejected a scenario. The variants name the diverging
+/// leg so a corpus failure is actionable without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleFailure {
+    /// The mapping (or a walk state) failed evaluation or simulation
+    /// outright.
+    Engine(String),
+    /// Incremental evaluator summary differs from from-scratch.
+    IncrementalVsScratch {
+        /// Incremental makespan bits.
+        incremental: u64,
+        /// From-scratch makespan bits.
+        scratch: u64,
+        /// Walk step (0 = the initial mapping).
+        step: u32,
+    },
+    /// Contention-free DES makespan differs from the analytic one.
+    DesVsAnalytic {
+        /// DES makespan bits.
+        des: u64,
+        /// Analytic makespan bits.
+        analytic: u64,
+        /// Walk step (0 = the initial mapping).
+        step: u32,
+    },
+    /// An exclusive bus produced a *smaller* makespan.
+    ContentionBeatsContentionFree {
+        /// With-contention makespan (µs).
+        contended: f64,
+        /// Contention-free makespan (µs).
+        free: f64,
+    },
+    /// Incremental and from-scratch disagree on feasibility.
+    FeasibilityDisagreement {
+        /// Walk step at which they disagreed.
+        step: u32,
+    },
+    /// A move delta's undo did not restore the pre-move mapping.
+    UndoDiverged {
+        /// Walk step of the diverging proposal.
+        step: u32,
+    },
+    /// A `None` proposal mutated the mapping.
+    ProposalMutatedOnNone {
+        /// Walk step of the mutating proposal.
+        step: u32,
+    },
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleFailure::Engine(e) => write!(f, "engine error: {e}"),
+            OracleFailure::IncrementalVsScratch {
+                incremental,
+                scratch,
+                step,
+            } => write!(
+                f,
+                "incremental evaluator diverged from from-scratch at step {step}: \
+                 {incremental:#x} vs {scratch:#x}"
+            ),
+            OracleFailure::DesVsAnalytic {
+                des,
+                analytic,
+                step,
+            } => write!(
+                f,
+                "contention-free DES diverged from analytic longest path at step {step}: \
+                 {des:#x} vs {analytic:#x}"
+            ),
+            OracleFailure::ContentionBeatsContentionFree { contended, free } => write!(
+                f,
+                "exclusive-bus makespan {contended} beat contention-free {free}"
+            ),
+            OracleFailure::FeasibilityDisagreement { step } => write!(
+                f,
+                "incremental and from-scratch evaluation disagree on feasibility at step {step}"
+            ),
+            OracleFailure::UndoDiverged { step } => {
+                write!(
+                    f,
+                    "MoveDelta undo did not round-trip the mapping at step {step}"
+                )
+            }
+            OracleFailure::ProposalMutatedOnNone { step } => {
+                write!(
+                    f,
+                    "rejected proposal (None) mutated the mapping at step {step}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleFailure {}
+
+/// Three-way agreement at one mapping; returns the agreed makespan and
+/// the with-contention makespan.
+fn check_state(
+    app: &TaskGraph,
+    arch: &Architecture,
+    evaluator: &mut Evaluator<'_>,
+    mapping: &Mapping,
+    step: u32,
+) -> Result<(Micros, Micros), OracleFailure> {
+    let incremental = evaluator
+        .evaluate(mapping)
+        .map_err(|e| OracleFailure::Engine(format!("incremental evaluation: {e}")))?;
+    let scratch = match evaluate(app, arch, mapping) {
+        Ok(e) => e,
+        Err(_) => return Err(OracleFailure::FeasibilityDisagreement { step }),
+    };
+    if incremental != scratch.summary() {
+        return Err(OracleFailure::IncrementalVsScratch {
+            incremental: incremental.makespan.value().to_bits(),
+            scratch: scratch.makespan.value().to_bits(),
+            step,
+        });
+    }
+    let des = simulate(app, arch, mapping, &SimConfig::contention_free())
+        .map_err(|e| OracleFailure::Engine(format!("contention-free simulation: {e}")))?;
+    if des.makespan.value().to_bits() != scratch.makespan.value().to_bits() {
+        return Err(OracleFailure::DesVsAnalytic {
+            des: des.makespan.value().to_bits(),
+            analytic: scratch.makespan.value().to_bits(),
+            step,
+        });
+    }
+    let contended = simulate(app, arch, mapping, &SimConfig::with_contention())
+        .map_err(|e| OracleFailure::Engine(format!("exclusive-bus simulation: {e}")))?;
+    if contended.makespan.value() < des.makespan.value() - CONTENTION_EPS {
+        return Err(OracleFailure::ContentionBeatsContentionFree {
+            contended: contended.makespan.value(),
+            free: des.makespan.value(),
+        });
+    }
+    Ok((des.makespan, contended.makespan))
+}
+
+/// Runs the full differential check on `mapping`, then walks
+/// `walk_steps` deterministic move proposals (seeded by `walk_seed`),
+/// verifying the delta-undo round trip on every proposal and the
+/// three-way agreement on every feasible walk state.
+///
+/// # Errors
+///
+/// Returns the first [`OracleFailure`] encountered; a pass means every
+/// leg agreed bit-for-bit on every checked state.
+pub fn differential_check(
+    app: &TaskGraph,
+    arch: &Architecture,
+    mapping: &Mapping,
+    walk_seed: u64,
+    walk_steps: u32,
+) -> Result<OracleReport, OracleFailure> {
+    let mut evaluator = Evaluator::new(app, arch);
+    let (makespan, contention_makespan) = check_state(app, arch, &mut evaluator, mapping, 0)?;
+
+    let mut walk = mapping.clone();
+    let mut rng = StdRng::seed_from_u64(walk_seed);
+    let mut scratch = MoveScratch::default();
+    let mut moves_checked = 0;
+    let mut moves_applied = 0;
+    for step in 1..=walk_steps {
+        let before = walk.clone();
+        let outcome = if step % 2 == 0 {
+            propose_pair_move(app, arch, &mut walk, &mut rng, &mut scratch)
+        } else {
+            propose_impl_move(app, arch, &mut walk, &mut rng, &mut scratch)
+        };
+        let Some(outcome) = outcome else {
+            if walk != before {
+                return Err(OracleFailure::ProposalMutatedOnNone { step });
+            }
+            continue;
+        };
+        moves_checked += 1;
+        // Undo round-trip on a copy: the delta must restore the exact
+        // pre-move mapping (slot positions included).
+        let mut undone = walk.clone();
+        outcome.delta.undo(&mut undone);
+        if undone != before {
+            return Err(OracleFailure::UndoDiverged { step });
+        }
+        // Gate on the cheap incremental leg (exactly what the
+        // annealer's hot path does), then cross-check feasibility in
+        // BOTH directions: an incremental engine that wrongly accepts
+        // what from-scratch rejects — or vice versa — is a divergence,
+        // not a rejection. Feasible states are kept and re-verified
+        // three ways (check_state runs from-scratch once and catches
+        // the accepts-but-scratch-rejects direction); infeasible ones
+        // are reversed exactly as the annealer's rejection path does.
+        match evaluator.evaluate(&walk) {
+            Ok(_) => {
+                check_state(app, arch, &mut evaluator, &walk, step)?;
+                moves_applied += 1;
+            }
+            Err(_) => {
+                if evaluate(app, arch, &walk).is_ok() {
+                    return Err(OracleFailure::FeasibilityDisagreement { step });
+                }
+                outcome.delta.undo(&mut walk);
+                if walk != before {
+                    return Err(OracleFailure::UndoDiverged { step });
+                }
+            }
+        }
+    }
+
+    Ok(OracleReport {
+        makespan,
+        contention_makespan,
+        moves_checked,
+        moves_applied,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::smoke_corpus;
+    use rdse_mapping::random_initial;
+
+    #[test]
+    fn oracle_passes_on_random_initial_solutions() {
+        // A slice of the smoke corpus, checked at the initial solution
+        // (the full corpus is exercised by the batch runner's tests).
+        for spec in smoke_corpus().into_iter().take(6) {
+            let (app, arch) = spec.build();
+            let mut rng = StdRng::seed_from_u64(spec.seed);
+            let mapping = random_initial(&app, &arch, &mut rng);
+            let report = differential_check(&app, &arch, &mapping, spec.seed ^ 0x0DD5, 24)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.id()));
+            assert!(report.makespan.value() > 0.0);
+            assert!(report.contention_makespan >= report.makespan);
+        }
+    }
+
+    #[test]
+    fn oracle_detects_a_broken_contention_free_equality() {
+        // Sanity: the failure enum formats actionably.
+        let f = OracleFailure::DesVsAnalytic {
+            des: 1,
+            analytic: 2,
+            step: 7,
+        };
+        assert!(f.to_string().contains("step 7"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Scenario enumeration: the corpus is a deterministic list of
+//! `(workload family, architecture family, seed)` triples.
+
+use crate::families::{ArchFamily, WorkloadFamily};
+use rdse_model::{Architecture, TaskGraph};
+
+/// One corpus scenario, fully determined by its triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Application-DAG family and parameters.
+    pub workload: WorkloadFamily,
+    /// Platform template.
+    pub arch: ArchFamily,
+    /// Seed driving workload generation, platform parameter draws and
+    /// the exploration master seed.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// Stable human-readable identifier, e.g.
+    /// `layered-5x4/dual-fpga/s3`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}-{}/{}/s{}",
+            self.workload.name(),
+            self.workload.params_label(),
+            self.arch.name(),
+            self.seed
+        )
+    }
+
+    /// Materializes the scenario's models.
+    pub fn build(&self) -> (TaskGraph, Architecture) {
+        (
+            self.workload.generate(self.seed),
+            self.arch.build(self.seed),
+        )
+    }
+}
+
+/// The pinned smoke subset: every default workload family × seeds
+/// `{1, 2, 3}`, with architecture families cycled so each platform
+/// template is exercised three times. **This list is frozen** — the
+/// checked-in golden snapshot (`tests/golden/corpus_smoke.ndjson` at
+/// the workspace root) is generated from it; extending the corpus means
+/// appending scenarios and regenerating the snapshot with
+/// `rdse corpus run --smoke --write-golden`.
+pub fn smoke_corpus() -> Vec<ScenarioSpec> {
+    let arches = ArchFamily::all();
+    let mut specs = Vec::new();
+    for (wi, workload) in WorkloadFamily::defaults().into_iter().enumerate() {
+        for (si, seed) in [1u64, 2, 3].into_iter().enumerate() {
+            specs.push(ScenarioSpec {
+                workload,
+                arch: arches[(wi + si) % arches.len()],
+                seed,
+            });
+        }
+    }
+    specs
+}
+
+/// The full cross product `workloads × arches × seeds`, in
+/// deterministic registry order.
+pub fn cross_corpus(
+    workloads: &[WorkloadFamily],
+    arches: &[ArchFamily],
+    seeds: &[u64],
+) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::with_capacity(workloads.len() * arches.len() * seeds.len());
+    for &workload in workloads {
+        for &arch in arches {
+            for &seed in seeds {
+                specs.push(ScenarioSpec {
+                    workload,
+                    arch,
+                    seed,
+                });
+            }
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_corpus_covers_six_families_by_three_seeds() {
+        let specs = smoke_corpus();
+        assert_eq!(specs.len(), 18);
+        let workloads: std::collections::BTreeSet<&str> =
+            specs.iter().map(|s| s.workload.name()).collect();
+        assert_eq!(workloads.len(), 6);
+        let arches: std::collections::BTreeSet<&str> =
+            specs.iter().map(|s| s.arch.name()).collect();
+        assert_eq!(arches.len(), 6, "every platform template is exercised");
+        for s in &specs {
+            assert!((1..=3).contains(&s.seed));
+        }
+        // Ids are unique — the corpus is a set, not a bag.
+        let ids: std::collections::BTreeSet<String> = specs.iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), specs.len());
+    }
+
+    #[test]
+    fn scenarios_build_valid_models() {
+        for spec in smoke_corpus() {
+            let (app, arch) = spec.build();
+            assert!(app.n_tasks() > 0, "{}", spec.id());
+            app.validate().expect("generated DAG validates");
+            assert!(!arch.processors().is_empty());
+        }
+    }
+
+    #[test]
+    fn cross_corpus_is_the_full_product() {
+        let w = WorkloadFamily::defaults();
+        let a = ArchFamily::all();
+        let specs = cross_corpus(&w, &a, &[7, 8]);
+        assert_eq!(specs.len(), 6 * 6 * 2);
+    }
+}

@@ -6,8 +6,9 @@
 //!   estimates (the original per-task numbers are proprietary; see
 //!   DESIGN.md for the substitution rationale);
 //! * [`figure1`] — a reconstruction of the ten-task example of Fig. 1;
-//! * [`random_dag`] — layered and series-parallel random DAG
-//!   generators for stress tests and ablations;
+//! * [`random_dag`] — parameterized random DAG generators (layered,
+//!   series-parallel, fork-join, pipeline, wide-fanout, chain) for
+//!   stress tests, ablations and the `rdse-corpus` scenario families;
 //! * [`epicure`] — the synthetic area–time Pareto-point generator.
 //!
 //! # Examples
@@ -29,4 +30,7 @@ pub mod random_dag;
 pub use epicure::pareto_impls;
 pub use figure1::figure1_app;
 pub use motion::{epicure_architecture, motion_detection_app, MOTION_DEADLINE};
-pub use random_dag::{layered_dag, series_parallel_dag, LayeredDagConfig};
+pub use random_dag::{
+    chain_dag, fork_join_dag, layered_dag, pipeline_dag, series_parallel_dag, wide_fanout_dag,
+    LayeredDagConfig,
+};

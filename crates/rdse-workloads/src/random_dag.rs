@@ -1,4 +1,7 @@
-//! Random DAG workload generators for stress tests and ablations.
+//! Random DAG workload generators for stress tests, ablations and the
+//! `rdse-corpus` scenario families: layered, series-parallel,
+//! fork-join, pipeline (parallel lanes), wide-fanout (scatter-gather)
+//! and chain shapes, each a pure function of its parameters and seed.
 
 use crate::epicure::random_pareto_impls;
 use rand::rngs::StdRng;
@@ -88,6 +91,25 @@ pub fn layered_dag(cfg: &LayeredDagConfig, seed: u64) -> TaskGraph {
 
 /// Generates a series-parallel DAG by recursive composition: a chain of
 /// `sections` fork-join blocks, each with a random branch count.
+///
+/// The graph has a single source (`src`), a single sink (the last
+/// join), and for every section `s` a fork node feeding `1..=max_branches`
+/// branch tasks `s{s}b{b}` that all merge into `join{s}`.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_workloads::series_parallel_dag;
+///
+/// let app = series_parallel_dag(3, 4, 7);
+/// assert!(app.validate().is_ok());
+/// let g = app.precedence_graph();
+/// // Single source, single sink; every section adds one join plus
+/// // at least one branch task.
+/// assert_eq!(g.sources().count(), 1);
+/// assert_eq!(g.sinks().count(), 1);
+/// assert!(app.n_tasks() >= 1 + 2 * 3);
+/// ```
 pub fn series_parallel_dag(sections: usize, max_branches: usize, seed: u64) -> TaskGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut app = TaskGraph::new(format!("series-parallel-{sections}"));
@@ -117,6 +139,165 @@ pub fn series_parallel_dag(sections: usize, max_branches: usize, seed: u64) -> T
     }
     app.validate()
         .expect("series-parallel generation is acyclic");
+    app
+}
+
+/// Adds one randomly-sized task; `hw_percent` of tasks receive an
+/// area–time Pareto implementation family.
+fn random_task(app: &mut TaskGraph, label: String, hw_percent: u8, rng: &mut StdRng) -> TaskId {
+    let sw = Micros::new(rng.random_range(200.0..3000.0));
+    let impls = if rng.random_range(0..100) < hw_percent as u32 {
+        random_pareto_impls(sw, 30, 150, rng)
+    } else {
+        Vec::new()
+    };
+    app.add_task(label, "kernel", sw, impls)
+        .expect("generated tasks are valid")
+}
+
+/// Generates a pure chain of `length` tasks — the fully sequential
+/// extreme (no parallelism to exploit, every byte crosses the same
+/// edge order).
+///
+/// # Examples
+///
+/// ```
+/// use rdse_workloads::chain_dag;
+///
+/// let app = chain_dag(6, 1);
+/// assert_eq!(app.n_tasks(), 6);
+/// assert_eq!(app.precedence_graph().sources().count(), 1);
+/// assert_eq!(app.precedence_graph().sinks().count(), 1);
+/// ```
+pub fn chain_dag(length: usize, seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut app = TaskGraph::new(format!("chain-{length}"));
+    let mut prev: Option<TaskId> = None;
+    for i in 0..length.max(1) {
+        let t = random_task(&mut app, format!("c{i}"), 70, &mut rng);
+        if let Some(p) = prev {
+            app.add_data_edge(p, t, Bytes::new(rng.random_range(64..4096)))
+                .expect("chain edges are forward");
+        }
+        prev = Some(t);
+    }
+    app.validate().expect("chain generation is acyclic");
+    app
+}
+
+/// Generates a single fork-join block: a source forks into `width`
+/// parallel branches, each branch a chain of `depth` tasks, all merging
+/// into one join. Stresses context packing (many concurrent hardware
+/// candidates) and join-side bus pressure.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_workloads::fork_join_dag;
+///
+/// let app = fork_join_dag(4, 2, 3);
+/// assert_eq!(app.n_tasks(), 2 + 4 * 2); // src + sink + width*depth
+/// assert_eq!(app.precedence_graph().sources().count(), 1);
+/// assert_eq!(app.precedence_graph().sinks().count(), 1);
+/// ```
+pub fn fork_join_dag(width: usize, depth: usize, seed: u64) -> TaskGraph {
+    let (width, depth) = (width.max(1), depth.max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut app = TaskGraph::new(format!("fork-join-{width}x{depth}"));
+    let src = random_task(&mut app, "src".into(), 70, &mut rng);
+    let sink_inputs: Vec<TaskId> = (0..width)
+        .map(|b| {
+            let mut prev = src;
+            for d in 0..depth {
+                let t = random_task(&mut app, format!("b{b}d{d}"), 70, &mut rng);
+                app.add_data_edge(prev, t, Bytes::new(rng.random_range(64..4096)))
+                    .expect("branch edges are forward");
+                prev = t;
+            }
+            prev
+        })
+        .collect();
+    let sink = random_task(&mut app, "join".into(), 70, &mut rng);
+    for last in sink_inputs {
+        app.add_data_edge(last, sink, Bytes::new(rng.random_range(64..4096)))
+            .expect("join edges are forward");
+    }
+    app.validate().expect("fork-join generation is acyclic");
+    app
+}
+
+/// Generates `lanes` independent parallel chains of `stages` tasks each,
+/// sharing a common source and sink — the shape of independent
+/// streaming pipelines contending for one bus.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_workloads::pipeline_dag;
+///
+/// let app = pipeline_dag(3, 2, 5);
+/// assert_eq!(app.n_tasks(), 2 + 3 * 2); // src + sink + stages*lanes
+/// assert!(app.validate().is_ok());
+/// ```
+pub fn pipeline_dag(stages: usize, lanes: usize, seed: u64) -> TaskGraph {
+    let (stages, lanes) = (stages.max(1), lanes.max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut app = TaskGraph::new(format!("pipeline-{stages}x{lanes}"));
+    let src = random_task(&mut app, "src".into(), 70, &mut rng);
+    let mut lasts = Vec::with_capacity(lanes);
+    for l in 0..lanes {
+        let mut prev = src;
+        for s in 0..stages {
+            let t = random_task(&mut app, format!("l{l}s{s}"), 70, &mut rng);
+            app.add_data_edge(prev, t, Bytes::new(rng.random_range(512..16384)))
+                .expect("pipeline edges are forward");
+            prev = t;
+        }
+        lasts.push(prev);
+    }
+    let sink = random_task(&mut app, "sink".into(), 70, &mut rng);
+    for last in lasts {
+        app.add_data_edge(last, sink, Bytes::new(rng.random_range(512..16384)))
+            .expect("sink edges are forward");
+    }
+    app.validate().expect("pipeline generation is acyclic");
+    app
+}
+
+/// Generates a scatter-gather DAG: one source fanning out to `fanout`
+/// independent tasks gathered by one sink. The extreme-parallelism
+/// shape — the critical path is short, so reconfiguration and bus cost
+/// dominate the makespan.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_workloads::wide_fanout_dag;
+///
+/// let app = wide_fanout_dag(8, 2);
+/// assert_eq!(app.n_tasks(), 10);
+/// assert_eq!(app.precedence_graph().sources().count(), 1);
+/// assert_eq!(app.precedence_graph().sinks().count(), 1);
+/// ```
+pub fn wide_fanout_dag(fanout: usize, seed: u64) -> TaskGraph {
+    let fanout = fanout.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut app = TaskGraph::new(format!("wide-fanout-{fanout}"));
+    let src = random_task(&mut app, "scatter".into(), 70, &mut rng);
+    let mids: Vec<TaskId> = (0..fanout)
+        .map(|i| {
+            let t = random_task(&mut app, format!("w{i}"), 80, &mut rng);
+            app.add_data_edge(src, t, Bytes::new(rng.random_range(64..8192)))
+                .expect("scatter edges are forward");
+            t
+        })
+        .collect();
+    let sink = random_task(&mut app, "gather".into(), 70, &mut rng);
+    for m in mids {
+        app.add_data_edge(m, sink, Bytes::new(rng.random_range(64..8192)))
+            .expect("gather edges are forward");
+    }
+    app.validate().expect("wide-fanout generation is acyclic");
     app
 }
 
@@ -166,5 +347,93 @@ mod tests {
         assert!(app.tasks().any(|(_, t)| t.is_hw_capable()));
         let sp = series_parallel_dag(3, 4, 2);
         assert!(sp.tasks().any(|(_, t)| t.is_hw_capable()));
+    }
+
+    #[test]
+    fn series_parallel_shape_joins_collect_their_branches() {
+        // Structural check of the fork-join chain: every `join{s}` has
+        // exactly the section's `s{s}b*` tasks as predecessors, and
+        // every branch task has exactly one predecessor (the fork) and
+        // one successor (the join).
+        let app = series_parallel_dag(5, 4, 11);
+        let g = app.precedence_graph();
+        let name_of = |t: rdse_model::TaskId| app.task(t).unwrap().name().to_owned();
+        for s in 0..5 {
+            let join = app
+                .task_ids()
+                .find(|&t| name_of(t) == format!("join{s}"))
+                .expect("join task exists");
+            let branches: Vec<TaskId> = app
+                .task_ids()
+                .filter(|&t| name_of(t).starts_with(&format!("s{s}b")))
+                .collect();
+            assert!(!branches.is_empty(), "section {s} has no branches");
+            assert!(branches.len() <= 4, "section {s} exceeds max_branches");
+            assert_eq!(g.in_degree(join.node()), branches.len());
+            for b in branches {
+                assert_eq!(g.in_degree(b.node()), 1, "branch has one fork pred");
+                assert_eq!(g.successors(b.node()).count(), 1, "branch feeds its join");
+            }
+        }
+        // Determinism: same triple, same graph.
+        assert_eq!(
+            app.to_json().unwrap(),
+            series_parallel_dag(5, 4, 11).to_json().unwrap()
+        );
+    }
+
+    #[test]
+    fn chain_dag_is_a_path() {
+        let app = chain_dag(9, 4);
+        assert_eq!(app.n_tasks(), 9);
+        let g = app.precedence_graph();
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.sinks().count(), 1);
+        for t in app.task_ids() {
+            assert!(g.in_degree(t.node()) <= 1);
+            assert!(g.successors(t.node()).count() <= 1);
+        }
+    }
+
+    #[test]
+    fn fork_join_branches_are_disjoint_chains() {
+        let app = fork_join_dag(5, 3, 8);
+        assert_eq!(app.n_tasks(), 2 + 5 * 3);
+        let g = app.precedence_graph();
+        assert_eq!(g.sources().count(), 1);
+        assert_eq!(g.sinks().count(), 1);
+        // The join gathers exactly one edge per branch.
+        let sink = app.task_ids().last().unwrap();
+        assert_eq!(g.in_degree(sink.node()), 5);
+    }
+
+    #[test]
+    fn pipeline_and_fanout_shapes() {
+        let p = pipeline_dag(4, 3, 6);
+        assert_eq!(p.n_tasks(), 2 + 4 * 3);
+        assert_eq!(p.precedence_graph().sources().count(), 1);
+        assert_eq!(p.precedence_graph().sinks().count(), 1);
+
+        let w = wide_fanout_dag(12, 6);
+        assert_eq!(w.n_tasks(), 14);
+        let g = w.precedence_graph();
+        let sink = w.task_ids().last().unwrap();
+        assert_eq!(g.in_degree(sink.node()), 12);
+    }
+
+    #[test]
+    fn new_generators_are_deterministic_per_seed() {
+        for (a, b) in [
+            (chain_dag(7, 3), chain_dag(7, 3)),
+            (fork_join_dag(3, 2, 5), fork_join_dag(3, 2, 5)),
+            (pipeline_dag(3, 2, 9), pipeline_dag(3, 2, 9)),
+            (wide_fanout_dag(6, 1), wide_fanout_dag(6, 1)),
+        ] {
+            assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+        }
+        assert_ne!(
+            chain_dag(7, 3).to_json().unwrap(),
+            chain_dag(7, 4).to_json().unwrap()
+        );
     }
 }

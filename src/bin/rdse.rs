@@ -3,7 +3,8 @@
 //! grids, render schedules, and validate them by simulation.
 //!
 //! ```text
-//! rdse generate <motion|figure1|layered> [--clbs N] [--seed N] [--dir D]
+//! rdse generate <motion|figure1|layered|series-parallel> [--clbs N] [--seed N]
+//!               [--sections N] [--branches N] [--dir D]
 //! rdse explore  --app F.json --arch F.json [--iters N] [--warmup N]
 //!               [--seed N] [--lambda X] [--chains K] [--threads T]
 //!               [--exchange-every E] [--gantt] [--profile]
@@ -13,8 +14,16 @@
 //!               [--out F.json] [--csv F.csv]
 //! rdse simulate --app F.json --arch F.json --mapping F.json [--contention]
 //! rdse space    --app F.json
+//! rdse corpus   list
+//! rdse corpus   run [--smoke] [--families a,b] [--arches a,b] [--seeds 1,2]
+//!               [--iters N] [--warmup N] [--chains K] [--threads T]
+//!               [--exchange-every E] [--walk-steps W] [--out F.ndjson]
+//!               [--golden F] [--write-golden F]
 //! ```
 
+use rdse::corpus::{
+    cross_corpus, run_corpus, smoke_corpus, ArchFamily, CorpusOptions, WorkloadFamily,
+};
 use rdse::mapping::{
     chain_seed, evaluate, explore, explore_parallel, ExploreOptions, GanttChart, Mapping,
     ParallelOptions,
@@ -23,7 +32,8 @@ use rdse::model::units::{Clbs, Micros};
 use rdse::model::{Architecture, TaskGraph};
 use rdse::sim::{simulate, SimConfig};
 use rdse::workloads::{
-    epicure_architecture, figure1_app, layered_dag, motion_detection_app, LayeredDagConfig,
+    epicure_architecture, figure1_app, layered_dag, motion_detection_app, series_parallel_dag,
+    LayeredDagConfig,
 };
 use serde::Serialize;
 use std::process::ExitCode;
@@ -45,11 +55,13 @@ fn arg_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         rdse generate <motion|figure1|layered> [--clbs N] [--seed N] [--dir D]\n  \
+         rdse generate <motion|figure1|layered|series-parallel> [--clbs N] [--seed N]\n                [--sections N] [--branches N] [--dir D]\n  \
          rdse explore  --app F.json --arch F.json [--iters N] [--warmup N] [--seed N] [--lambda X]\n                [--chains K] [--threads T] [--exchange-every E] [--gantt] [--profile] [--save-mapping F]\n  \
          rdse sweep    [--app F.json] [--clbs A,B,...] [--bus A,B,...] [--iters N] [--seed N]\n                [--chains K] [--threads T] [--exchange-every E] [--out F.json] [--csv F.csv]\n  \
          rdse simulate --app F.json --arch F.json --mapping F.json [--contention]\n  \
-         rdse space    --app F.json"
+         rdse space    --app F.json\n  \
+         rdse corpus   list\n  \
+         rdse corpus   run [--smoke] [--families a,b] [--arches a,b] [--seeds 1,2] [--iters N]\n                [--warmup N] [--chains K] [--threads T] [--exchange-every E] [--walk-steps W]\n                [--out F.ndjson] [--golden F] [--write-golden F]"
     );
     ExitCode::FAILURE
 }
@@ -65,6 +77,7 @@ fn main() -> ExitCode {
         "sweep" => run_sweep(&args),
         "simulate" => run_simulate(&args),
         "space" => run_space(&args),
+        "corpus" => run_corpus_cmd(&args),
         _ => usage(),
     }
 }
@@ -86,6 +99,14 @@ fn generate(args: &[String]) -> ExitCode {
         "motion" => (motion_detection_app(), "motion"),
         "figure1" => (figure1_app(), "figure1"),
         "layered" => (layered_dag(&LayeredDagConfig::default(), seed), "layered"),
+        "series-parallel" => {
+            let sections: usize = arg_num(args, "--sections", 4);
+            let branches: usize = arg_num(args, "--branches", 3);
+            (
+                series_parallel_dag(sections, branches, seed),
+                "series-parallel",
+            )
+        }
         other => {
             eprintln!("unknown workload '{other}'");
             return usage();
@@ -596,6 +617,192 @@ fn run_simulate(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses `--families`/`--arches` comma lists into registry entries,
+/// erroring on unknown names (silently dropping one would shrink the
+/// corpus behind the user's back).
+fn parse_family_list<T, F: Fn(&str) -> Option<T>>(
+    args: &[String],
+    flag: &str,
+    parse: F,
+    default: Vec<T>,
+) -> Result<Vec<T>, String> {
+    match arg_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                let s = s.trim();
+                parse(s).ok_or_else(|| format!("unknown {flag} entry '{s}'"))
+            })
+            .collect(),
+    }
+}
+
+/// `rdse corpus list|run` — the scenario-corpus batch runner with the
+/// three-way differential oracle (see the `rdse-corpus` crate docs).
+fn run_corpus_cmd(args: &[String]) -> ExitCode {
+    match args.get(1).map(String::as_str) {
+        Some("list") => {
+            println!(
+                "workload families : {}",
+                family_names(&WorkloadFamily::defaults(), WorkloadFamily::name)
+            );
+            println!(
+                "arch families     : {}",
+                family_names(&ArchFamily::all(), ArchFamily::name)
+            );
+            println!("smoke corpus      :");
+            for spec in smoke_corpus() {
+                println!("  {}", spec.id());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => run_corpus_run(args),
+        _ => usage(),
+    }
+}
+
+fn family_names<T>(families: &[T], name: impl Fn(&T) -> &'static str) -> String {
+    families.iter().map(name).collect::<Vec<_>>().join(", ")
+}
+
+fn run_corpus_run(args: &[String]) -> ExitCode {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // --smoke pins the scenario list AND the exploration knobs: the
+    // checked-in golden snapshot is only reproducible at the pinned
+    // configuration. Only --threads stays free (it never affects
+    // results) — combining --smoke with a pinned knob is an error, not
+    // a silent ignore.
+    if smoke {
+        const PINNED: [&str; 8] = [
+            "--families",
+            "--arches",
+            "--seeds",
+            "--iters",
+            "--warmup",
+            "--chains",
+            "--exchange-every",
+            "--walk-steps",
+        ];
+        if let Some(flag) = PINNED.iter().find(|f| args.iter().any(|a| &a == f)) {
+            eprintln!(
+                "error: {flag} conflicts with --smoke (the smoke subset and its \
+                 exploration knobs are pinned to the golden snapshot; drop --smoke \
+                 to customize the corpus)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let (specs, opts) = if smoke {
+        (
+            smoke_corpus(),
+            CorpusOptions {
+                threads: arg_num(args, "--threads", 0),
+                ..CorpusOptions::default()
+            },
+        )
+    } else {
+        let lists = parse_family_list(
+            args,
+            "--families",
+            WorkloadFamily::parse,
+            WorkloadFamily::defaults(),
+        )
+        .and_then(|w| {
+            parse_family_list(
+                args,
+                "--arches",
+                ArchFamily::parse,
+                ArchFamily::all().to_vec(),
+            )
+            .map(|a| (w, a))
+        })
+        .and_then(|(w, a)| parse_list(args, "--seeds", &[1u64, 2, 3]).map(|s| (w, a, s)));
+        let (workloads, arches, seeds) = match lists {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let defaults = CorpusOptions::default();
+        (
+            cross_corpus(&workloads, &arches, &seeds),
+            CorpusOptions {
+                iters: arg_num(args, "--iters", defaults.iters),
+                warmup: arg_num(args, "--warmup", defaults.warmup),
+                chains: arg_num(args, "--chains", defaults.chains),
+                exchange_every: arg_num(args, "--exchange-every", defaults.exchange_every),
+                threads: arg_num(args, "--threads", 0),
+                walk_steps: arg_num(args, "--walk-steps", defaults.walk_steps),
+            },
+        )
+    };
+    if specs.is_empty() {
+        eprintln!("error: empty corpus");
+        return ExitCode::FAILURE;
+    }
+
+    let report = match run_corpus(&specs, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("corpus FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for r in &report.records {
+        println!(
+            "{:<40} {:>12.1} us  {:>2} ctx  {:>2} hw  oracle pass ({} moves)",
+            r.id,
+            r.makespan.value(),
+            r.n_contexts,
+            r.n_hw_tasks,
+            r.oracle_moves_checked
+        );
+    }
+    println!(
+        "corpus: {} scenarios, all three-way oracles passed in {:?}",
+        report.records.len(),
+        report.elapsed
+    );
+
+    if let Some(out) = arg_value(args, "--out") {
+        if let Err(e) = ensure_parent_dir(&out)
+            .and_then(|()| std::fs::write(&out, report.ndjson()).map_err(|e| e.to_string()))
+        {
+            eprintln!("error: cannot write '{out}': {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("matrix saved : {out}");
+    }
+    if let Some(path) = arg_value(args, "--write-golden") {
+        if let Err(e) = ensure_parent_dir(&path)
+            .and_then(|()| std::fs::write(&path, report.golden_text()).map_err(|e| e.to_string()))
+        {
+            eprintln!("error: cannot write '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("golden saved : {path}");
+    }
+    if let Some(path) = arg_value(args, "--golden") {
+        let expected = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read golden '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match report.diff_golden(&expected) {
+            Ok(()) => println!("golden check : {} matches", path),
+            Err(e) => {
+                eprintln!("golden check FAILED against {path}:\n{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn run_space(args: &[String]) -> ExitCode {

@@ -19,6 +19,7 @@
 //! | [`sim`] | discrete-event executor validating the analytic cost model |
 //! | [`baseline`] | GA (Ben Chehida & Auguin style), random search, hill climbing |
 //! | [`workloads`] | the 28-task motion-detection benchmark, Fig. 1 example, random DAG generators |
+//! | [`corpus`] | scenario families (workload × architecture), batch runner, three-way differential verification oracle |
 //!
 //! ## Quickstart
 //!
@@ -81,6 +82,7 @@
 
 pub use rdse_anneal as anneal;
 pub use rdse_baseline as baseline;
+pub use rdse_corpus as corpus;
 pub use rdse_graph as graph;
 pub use rdse_mapping as mapping;
 pub use rdse_model as model;

@@ -1,0 +1,95 @@
+//! Corpus acceptance tests (the ISSUE-4 contract):
+//!
+//! * the pinned smoke subset covers ≥ 6 scenario families × ≥ 3 seeds;
+//! * every scenario passes the three-way differential oracle
+//!   (incremental evaluator ≡ from-scratch ≡ contention-free DES,
+//!   bit-identical makespan) — `run_corpus` returns `Err` otherwise;
+//! * the run is bit-identical across 1, 2 and 8 worker threads;
+//! * the deterministic projection matches the checked-in golden
+//!   snapshot (`tests/golden/corpus_smoke.ndjson`), so any engine
+//!   change that shifts a makespan by one bit fails CI until the
+//!   snapshot is regenerated deliberately.
+
+use rdse::corpus::{run_corpus, smoke_corpus, CorpusOptions, CorpusReport};
+use std::collections::BTreeSet;
+
+/// The pinned smoke configuration: must stay in lock-step with the CLI
+/// `rdse corpus run --smoke` (both use `CorpusOptions::default()`).
+fn run_smoke(threads: usize) -> CorpusReport {
+    run_corpus(
+        &smoke_corpus(),
+        &CorpusOptions {
+            threads,
+            ..CorpusOptions::default()
+        },
+    )
+    .expect("every smoke scenario passes the three-way oracle")
+}
+
+#[test]
+fn smoke_corpus_passes_every_three_way_oracle() {
+    let report = run_smoke(0);
+    assert_eq!(report.records.len(), 18);
+    let families: BTreeSet<&str> = report.records.iter().map(|r| r.workload.as_str()).collect();
+    assert!(families.len() >= 6, "families: {families:?}");
+    let seeds: BTreeSet<u64> = report.records.iter().map(|r| r.seed).collect();
+    assert!(seeds.len() >= 3, "seeds: {seeds:?}");
+    let arches: BTreeSet<&str> = report.records.iter().map(|r| r.arch.as_str()).collect();
+    assert_eq!(arches.len(), 6, "every platform template exercised");
+    for r in &report.records {
+        // The oracle agreed bit-for-bit; the record carries the agreed
+        // makespan and the exclusive-bus invariant.
+        assert!(r.makespan.value() > 0.0, "{}", r.id);
+        assert!(
+            r.contention_makespan.value() >= r.makespan.value() - 1e-6,
+            "{}: contention {} < free {}",
+            r.id,
+            r.contention_makespan,
+            r.makespan
+        );
+        assert!(
+            r.oracle_moves_checked > 0,
+            "{}: oracle walk was empty",
+            r.id
+        );
+        assert_eq!(r.iterations, 600, "{}: pinned budget drifted", r.id);
+    }
+}
+
+#[test]
+fn smoke_corpus_is_bit_identical_across_1_2_8_threads() {
+    let a = run_smoke(1).golden_text();
+    let b = run_smoke(2).golden_text();
+    let c = run_smoke(8).golden_text();
+    assert_eq!(a, b, "1-thread vs 2-thread corpus diverged");
+    assert_eq!(b, c, "2-thread vs 8-thread corpus diverged");
+}
+
+#[test]
+fn smoke_corpus_matches_the_checked_in_golden_snapshot() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/corpus_smoke.ndjson"
+    );
+    let expected = std::fs::read_to_string(path).expect("golden snapshot is checked in");
+    run_smoke(0).diff_golden(&expected).unwrap_or_else(|e| {
+        panic!(
+            "{e}\n(if the engine change is intentional, regenerate with \
+             `rdse corpus run --smoke --write-golden tests/golden/corpus_smoke.ndjson`)"
+        )
+    });
+}
+
+#[test]
+fn ndjson_matrix_has_one_wellformed_line_per_scenario() {
+    let report = run_smoke(0);
+    let ndjson = report.ndjson();
+    assert_eq!(ndjson.lines().count(), report.records.len());
+    for line in ndjson.lines() {
+        // Parses back as a JSON object with the perf field present.
+        let v: serde_json::Value = serde_json::from_str(line).expect("well-formed NDJSON line");
+        drop(v);
+        assert!(line.contains("\"steps_per_sec\":"));
+        assert!(line.contains("\"oracle\":\"pass\""));
+    }
+}

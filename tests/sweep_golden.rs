@@ -1,0 +1,90 @@
+//! Golden snapshot of the `rdse sweep` report formats — guards the
+//! JSON and CSV schemas introduced by the sweep command. Any field
+//! rename, reorder, float-format change or Pareto-flag drift fails
+//! here until the golden files under `tests/golden/` are regenerated
+//! deliberately (run the command below and commit the diff).
+
+use std::process::Command;
+
+const GOLDEN_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/sweep.json");
+const GOLDEN_CSV: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/sweep.csv");
+
+/// The pinned tiny grid: 2 CLB counts × 2 bus rates on the motion
+/// workload, 400 iterations, seed 1, one chain.
+fn run_sweep(dir: &std::path::Path) -> (String, String) {
+    let out = dir.join("sweep.json");
+    let csv = dir.join("sweep.csv");
+    let status = Command::new(env!("CARGO_BIN_EXE_rdse"))
+        .args([
+            "sweep",
+            "--clbs",
+            "800,2000",
+            "--bus",
+            "25,100",
+            "--iters",
+            "400",
+            "--seed",
+            "1",
+            "--chains",
+            "1",
+            "--threads",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+        ])
+        .status()
+        .expect("rdse binary runs");
+    assert!(status.success(), "rdse sweep exited non-zero");
+    (
+        std::fs::read_to_string(&out).expect("sweep wrote JSON"),
+        std::fs::read_to_string(&csv).expect("sweep wrote CSV"),
+    )
+}
+
+#[test]
+fn sweep_json_and_csv_match_the_golden_snapshot() {
+    let dir = std::env::temp_dir().join("rdse_sweep_golden");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let (json, csv) = run_sweep(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let expected_json = std::fs::read_to_string(GOLDEN_JSON).expect("golden JSON checked in");
+    let expected_csv = std::fs::read_to_string(GOLDEN_CSV).expect("golden CSV checked in");
+    assert_eq!(
+        json, expected_json,
+        "sweep JSON drifted from tests/golden/sweep.json \
+         (regenerate: rdse sweep --clbs 800,2000 --bus 25,100 --iters 400 --seed 1 \
+          --chains 1 --out tests/golden/sweep.json --csv tests/golden/sweep.csv)"
+    );
+    assert_eq!(
+        csv, expected_csv,
+        "sweep CSV drifted from tests/golden/sweep.csv"
+    );
+}
+
+#[test]
+fn sweep_report_is_structurally_sound() {
+    // Schema-level checks that hold regardless of the pinned numbers:
+    // 4 grid points, a non-empty Pareto front, CSV header + 4 rows.
+    let expected_json = std::fs::read_to_string(GOLDEN_JSON).expect("golden JSON checked in");
+    let v: serde_json::Value = serde_json::from_str(&expected_json).expect("valid JSON");
+    let serde_json::Value::Map(fields) = &v else {
+        panic!("sweep report is a JSON object");
+    };
+    let points = fields
+        .iter()
+        .find(|(k, _)| k == "points")
+        .map(|(_, v)| v)
+        .expect("report has points");
+    let serde_json::Value::Seq(points) = points else {
+        panic!("points is an array");
+    };
+    assert_eq!(points.len(), 4);
+
+    let expected_csv = std::fs::read_to_string(GOLDEN_CSV).expect("golden CSV checked in");
+    let lines: Vec<&str> = expected_csv.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 4 rows");
+    assert!(lines[0].starts_with("clbs,bus_bytes_per_micro,makespan_ms"));
+}
