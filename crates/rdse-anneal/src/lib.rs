@@ -16,6 +16,19 @@
 //! * [`InfiniteTemperature`] — pure random walk, used both for the
 //!   warm-up phase visible in Fig. 2 of the paper and as a baseline.
 //!
+//! # Multi-objective costs
+//!
+//! A problem's cost is an associated [`Cost`] type — plain `f64` for
+//! single-objective problems, a compact vector of minimized axes for
+//! multi-objective ones. Acceptance always walks on a scalarized view
+//! ([`Scalarizer`]: [`DefaultScalar`], [`WeightedSum`] or
+//! [`Lexicographic`]) while the engine records the full vectors, and
+//! [`Annealer::track_front`] archives every accepted vector in a
+//! shared [`ParetoFront`] — the trade-off surface survives whatever
+//! the scalarization collapses. The default configuration (`f64` cost,
+//! [`DefaultScalar`]) is bit-identical to the historical scalar
+//! engine.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,6 +46,8 @@
 //! ```
 
 pub mod controller;
+pub mod cost;
+pub mod pareto;
 pub mod problem;
 pub mod problems;
 pub mod runner;
@@ -40,6 +55,8 @@ pub mod schedule;
 pub mod stats;
 
 pub use controller::MoveClassController;
+pub use cost::{Cost, DefaultScalar, Lexicographic, Scalarizer, WeightedSum};
+pub use pareto::{Dominance, ParetoFront};
 pub use problem::Problem;
 pub use runner::{anneal, Annealer, RunOptions, RunResult, StopReason, TracePoint};
 pub use schedule::{GeometricSchedule, InfiniteTemperature, LamSchedule, Schedule};

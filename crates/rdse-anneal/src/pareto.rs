@@ -1,0 +1,230 @@
+//! A generic, incrementally maintained Pareto archive.
+//!
+//! Every exploration surface of the tool reports trade-off fronts —
+//! per-chain annealing archives, the `rdse sweep` grid, architecture
+//! co-exploration, the scenario corpus. They all share this one
+//! implementation, so "non-dominated" means the same thing everywhere
+//! and the domination loop exists exactly once.
+
+use crate::cost::Cost;
+
+/// Strict Pareto dominance between points of the same type.
+///
+/// `a.dominates(b)` means `a` is at least as good on **every**
+/// objective and strictly better on at least one (all objectives
+/// minimized). Equal points do not dominate each other.
+///
+/// Every [`Cost`] gets this for free via its
+/// [`objective`](Cost::objective) axes; non-cost report types (e.g. a
+/// sweep grid point) can implement it directly.
+pub trait Dominance {
+    /// Whether `self` strictly Pareto-dominates `other`.
+    fn dominates(&self, other: &Self) -> bool;
+}
+
+impl<C: Cost> Dominance for C {
+    fn dominates(&self, other: &Self) -> bool {
+        let n = self.n_objectives();
+        debug_assert_eq!(n, other.n_objectives(), "comparable costs share axes");
+        let mut strict = false;
+        for i in 0..n {
+            let (a, b) = (self.objective(i), other.objective(i));
+            if a > b {
+                return false;
+            }
+            if a < b {
+                strict = true;
+            }
+        }
+        strict
+    }
+}
+
+/// An incrementally maintained set of mutually non-dominated points.
+///
+/// [`insert`](ParetoFront::insert) is the only way in: a candidate
+/// dominated by (or equal to) a member is rejected, and an accepted
+/// candidate evicts every member it dominates. The archive therefore
+/// holds the exact Pareto front of everything ever offered to it,
+/// independent of insertion order (set-wise; the internal order is
+/// first-insertion order and [`sorted_members`](ParetoFront::sorted_members)
+/// provides a canonical view for reports).
+///
+/// # Examples
+///
+/// ```
+/// use rdse_anneal::ParetoFront;
+///
+/// // f64 implements Cost: a one-objective front keeps only the minimum.
+/// let mut front = ParetoFront::new();
+/// for c in [3.0f64, 1.0, 2.0, 1.0] {
+///     front.insert(c);
+/// }
+/// assert_eq!(front.members(), &[1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoFront<P> {
+    members: Vec<P>,
+}
+
+impl<P> Default for ParetoFront<P> {
+    fn default() -> Self {
+        ParetoFront {
+            members: Vec::new(),
+        }
+    }
+}
+
+impl<P: Dominance + PartialEq> ParetoFront<P> {
+    /// An empty front.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers `point` to the archive. Returns `true` if it entered
+    /// (evicting any members it dominates), `false` if a member
+    /// dominates or equals it.
+    pub fn insert(&mut self, point: P) -> bool {
+        // Newest-first scan: annealing walks offer near-neighbours of
+        // recent members, so a dominating member (the common rejection)
+        // is found fastest from the back.
+        if self
+            .members
+            .iter()
+            .rev()
+            .any(|m| m.dominates(&point) || *m == point)
+        {
+            return false;
+        }
+        self.members.retain(|m| !point.dominates(m));
+        self.members.push(point);
+        true
+    }
+
+    /// Merges every member of `other` into this front.
+    pub fn merge(&mut self, other: &ParetoFront<P>)
+    where
+        P: Clone,
+    {
+        for m in &other.members {
+            self.insert(m.clone());
+        }
+    }
+
+    /// Whether `point` is a member (exact equality).
+    pub fn contains(&self, point: &P) -> bool {
+        self.members.contains(point)
+    }
+
+    /// The members, in first-insertion order.
+    pub fn members(&self) -> &[P] {
+        &self.members
+    }
+
+    /// The members sorted by a caller-supplied total order — the
+    /// canonical view for reports and golden snapshots (insertion order
+    /// is an implementation detail).
+    pub fn sorted_members(&self, mut cmp: impl FnMut(&P, &P) -> std::cmp::Ordering) -> Vec<P>
+    where
+        P: Clone,
+    {
+        let mut out = self.members.clone();
+        out.sort_by(&mut cmp);
+        out
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates over the members in first-insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, P> {
+        self.members.iter()
+    }
+}
+
+impl<'a, P> IntoIterator for &'a ParetoFront<P> {
+    type Item = &'a P;
+    type IntoIter = std::slice::Iter<'a, P>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct P2(f64, f64);
+
+    impl Cost for P2 {
+        fn n_objectives(&self) -> usize {
+            2
+        }
+        fn objective(&self, i: usize) -> f64 {
+            [self.0, self.1][i]
+        }
+    }
+
+    #[test]
+    fn insert_keeps_only_non_dominated() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(P2(3.0, 1.0)));
+        assert!(f.insert(P2(1.0, 3.0)));
+        // Dominated by (3,1): rejected.
+        assert!(!f.insert(P2(4.0, 2.0)));
+        // Dominates (3,1): evicts it.
+        assert!(f.insert(P2(2.0, 1.0)));
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(&P2(1.0, 3.0)));
+        assert!(f.contains(&P2(2.0, 1.0)));
+        assert!(!f.contains(&P2(3.0, 1.0)));
+    }
+
+    #[test]
+    fn duplicates_enter_once() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(P2(1.0, 2.0)));
+        assert!(!f.insert(P2(1.0, 2.0)));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn incomparable_points_coexist() {
+        let mut f = ParetoFront::new();
+        f.insert(P2(1.0, 5.0));
+        f.insert(P2(5.0, 1.0));
+        f.insert(P2(3.0, 3.0));
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn merge_is_a_bulk_insert() {
+        let mut a = ParetoFront::new();
+        a.insert(P2(1.0, 4.0));
+        a.insert(P2(4.0, 1.0));
+        let mut b = ParetoFront::new();
+        b.insert(P2(0.5, 4.5)); // incomparable with (1,4)
+        b.insert(P2(3.0, 0.5)); // dominates (4,1)
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert!(!a.contains(&P2(4.0, 1.0)));
+    }
+
+    #[test]
+    fn sorted_members_is_canonical() {
+        let mut f = ParetoFront::new();
+        f.insert(P2(5.0, 1.0));
+        f.insert(P2(1.0, 5.0));
+        let sorted = f.sorted_members(|a, b| a.0.total_cmp(&b.0));
+        assert_eq!(sorted, vec![P2(1.0, 5.0), P2(5.0, 1.0)]);
+    }
+}

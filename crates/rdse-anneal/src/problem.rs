@@ -6,6 +6,7 @@
 //! of simple simulated annealing moves" (§6). [`Problem`] is the Rust
 //! rendering of that contract.
 
+use crate::cost::Cost;
 use rand::RngCore;
 
 /// An optimization problem explorable by simulated annealing.
@@ -16,6 +17,17 @@ use rand::RngCore;
 /// that `undo` restores the state (and cost) exactly — bit-identically,
 /// since the engine's acceptance decisions feed back into the RNG
 /// stream and any drift would fork the walk.
+///
+/// # Costs may be vectors
+///
+/// [`Cost`](Problem::Cost) is an associated type constrained by the
+/// [`Cost`] trait: single-objective problems use plain `f64`
+/// (unchanged from the historical engine), multi-objective problems
+/// return a small `Copy` vector of objectives. The engine accepts
+/// moves on a *scalarized* view of the cost (see
+/// [`Scalarizer`](crate::Scalarizer)) while recording the full vectors
+/// — the problem itself never needs to know which scalarization is in
+/// force.
 ///
 /// # Moves are deltas, snapshots are copies
 ///
@@ -60,9 +72,13 @@ pub trait Problem {
     type Move;
     /// A full copy of the solution, used to keep the best-so-far.
     type Snapshot;
+    /// The cost of a solution — `f64` for single-objective problems, a
+    /// compact objective vector for multi-objective ones. Travels on
+    /// the hot path with every proposal: keep it `Copy`-cheap.
+    type Cost: Cost;
 
-    /// Cost of the current solution (lower is better).
-    fn cost(&self) -> f64;
+    /// Cost of the current solution (every objective minimized).
+    fn cost(&self) -> Self::Cost;
 
     /// Number of move classes the problem exposes (≥ 1). The engine's
     /// [`MoveClassController`](crate::MoveClassController) draws a class
@@ -79,7 +95,8 @@ pub trait Problem {
     /// Returns `None` when the sampled move is infeasible (for the
     /// paper's mapping problem: it would create a cycle in the search
     /// graph) — the state must then be left unchanged.
-    fn try_move(&mut self, rng: &mut dyn RngCore, class: usize) -> Option<(Self::Move, f64)>;
+    fn try_move(&mut self, rng: &mut dyn RngCore, class: usize)
+        -> Option<(Self::Move, Self::Cost)>;
 
     /// Reverts the most recent un-undone move returned by [`try_move`].
     ///
@@ -118,8 +135,9 @@ pub trait Problem {
 impl<P: Problem + ?Sized> Problem for &mut P {
     type Move = P::Move;
     type Snapshot = P::Snapshot;
+    type Cost = P::Cost;
 
-    fn cost(&self) -> f64 {
+    fn cost(&self) -> Self::Cost {
         (**self).cost()
     }
 
@@ -127,7 +145,11 @@ impl<P: Problem + ?Sized> Problem for &mut P {
         (**self).n_move_classes()
     }
 
-    fn try_move(&mut self, rng: &mut dyn RngCore, class: usize) -> Option<(Self::Move, f64)> {
+    fn try_move(
+        &mut self,
+        rng: &mut dyn RngCore,
+        class: usize,
+    ) -> Option<(Self::Move, Self::Cost)> {
         (**self).try_move(rng, class)
     }
 

@@ -116,6 +116,7 @@ impl Bipartition {
 impl Problem for Bipartition {
     type Move = BipartitionMove;
     type Snapshot = Vec<bool>;
+    type Cost = f64;
 
     fn cost(&self) -> f64 {
         self.cut + self.penalty * (self.imbalance * self.imbalance) as f64

@@ -62,6 +62,7 @@ fn gaussian(rng: &mut dyn RngCore) -> f64 {
 impl Problem for Sphere {
     type Move = CoordinateMove;
     type Snapshot = Vec<f64>;
+    type Cost = f64;
 
     fn cost(&self) -> f64 {
         self.x.iter().map(|v| v * v).sum()
@@ -125,6 +126,7 @@ impl Rosenbrock {
 impl Problem for Rosenbrock {
     type Move = CoordinateMove;
     type Snapshot = Vec<f64>;
+    type Cost = f64;
 
     fn cost(&self) -> f64 {
         self.x

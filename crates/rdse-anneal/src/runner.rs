@@ -20,6 +20,8 @@
 //! property.
 
 use crate::controller::MoveClassController;
+use crate::cost::{DefaultScalar, Scalarizer};
+use crate::pareto::ParetoFront;
 use crate::problem::Problem;
 use crate::schedule::{IterationOutcome, Schedule};
 use crate::stats::OnlineStats;
@@ -116,10 +118,24 @@ impl StopReason {
 }
 
 /// Outcome of an annealing run.
+///
+/// Generic over the problem's [`Cost`](crate::Cost) type, defaulting to the
+/// single-objective `f64` case. The scalar statistics (`best_cost`,
+/// `initial_cost`, trace costs) are always the **scalarized** view the
+/// acceptance rule walked on; `best_objectives` carries the full cost
+/// vector of the best solution, and `front` the Pareto archive of
+/// accepted solutions when the run recorded one
+/// ([`Annealer::track_front`]).
 #[derive(Debug, Clone)]
-pub struct RunResult {
-    /// Best cost encountered (the problem is restored to this solution).
+pub struct RunResult<C = f64> {
+    /// Best scalarized cost encountered (the problem is restored to
+    /// this solution).
     pub best_cost: f64,
+    /// Full cost vector of the best solution.
+    pub best_objectives: C,
+    /// Pareto archive over the costs of the initial and every accepted
+    /// solution; `None` unless [`Annealer::track_front`] enabled it.
+    pub front: Option<ParetoFront<C>>,
     /// Cost of the initial solution.
     pub initial_cost: f64,
     /// Iterations actually executed.
@@ -140,7 +156,7 @@ pub struct RunResult {
     pub warmup: OnlineStats,
 }
 
-impl RunResult {
+impl<C> RunResult<C> {
     /// Short description of why the run stopped.
     pub fn stop_description(&self) -> &'static str {
         self.stop.describe()
@@ -171,7 +187,7 @@ pub fn anneal<P: Problem, S: Schedule>(
     problem: &mut P,
     schedule: &mut S,
     opts: &RunOptions,
-) -> RunResult {
+) -> RunResult<P::Cost> {
     let mut annealer = Annealer::new(&mut *problem, &mut *schedule, opts.clone());
     annealer.run_segment(u64::MAX);
     annealer.finish().2
@@ -207,20 +223,38 @@ pub fn anneal<P: Problem, S: Schedule>(
 /// assert_eq!(result.best_cost, 1.0); // single bridge edge cut
 /// ```
 ///
+/// Scalar acceptance walks on a scalarized view of the problem's
+/// [`Cost`](crate::Cost) — [`DefaultScalar`] (the cost's own scalar, the historical
+/// behaviour) unless [`Annealer::with_scalarizer`] installs a
+/// [`WeightedSum`](crate::WeightedSum) or
+/// [`Lexicographic`](crate::Lexicographic) projection — while the full
+/// cost vectors of the current and best solutions are recorded
+/// verbatim, optionally into a [`ParetoFront`] archive
+/// ([`Annealer::track_front`]).
+///
 /// [`best_cost`]: Annealer::best_cost
 /// [`best_snapshot`]: Annealer::best_snapshot
 /// [`adopt`]: Annealer::adopt
 #[derive(Debug)]
-pub struct Annealer<P: Problem, S: Schedule> {
+pub struct Annealer<P: Problem, S: Schedule, Z: Scalarizer<P::Cost> = DefaultScalar> {
     problem: P,
     schedule: S,
     opts: RunOptions,
     rng: StdRng,
     controller: MoveClassController,
+    scalarizer: Z,
     initial_cost: f64,
+    /// Scalarized cost of the current solution.
     cost: f64,
+    /// Full cost vector of the current solution.
+    cost_objectives: P::Cost,
+    /// Scalarized cost of the best solution.
     best_cost: f64,
+    /// Full cost vector of the best solution.
+    best_objectives: P::Cost,
     best_snapshot: P::Snapshot,
+    /// Pareto archive over accepted solutions (off by default).
+    front: Option<ParetoFront<P::Cost>>,
     last_improvement: u64,
     accepted: u64,
     rejected: u64,
@@ -236,10 +270,19 @@ pub struct Annealer<P: Problem, S: Schedule> {
 }
 
 impl<P: Problem, S: Schedule> Annealer<P, S> {
-    /// Prepares a run over `problem` under `schedule`: resets the
-    /// schedule, builds the move-class controller and snapshots the
-    /// initial solution as the incumbent best.
-    pub fn new(problem: P, mut schedule: S, opts: RunOptions) -> Self {
+    /// Prepares a run over `problem` under `schedule` with the default
+    /// scalarization ([`Cost::scalar`](crate::Cost::scalar)): resets the schedule, builds
+    /// the move-class controller and snapshots the initial solution as
+    /// the incumbent best.
+    pub fn new(problem: P, schedule: S, opts: RunOptions) -> Self {
+        Annealer::with_scalarizer(problem, schedule, opts, DefaultScalar)
+    }
+}
+
+impl<P: Problem, S: Schedule, Z: Scalarizer<P::Cost>> Annealer<P, S, Z> {
+    /// Prepares a run whose acceptance decisions walk on
+    /// `scalarizer`'s view of the problem's cost vectors.
+    pub fn with_scalarizer(problem: P, mut schedule: S, opts: RunOptions, scalarizer: Z) -> Self {
         let rng = StdRng::seed_from_u64(opts.seed);
         schedule.reset();
         let controller = if opts.adaptive_moves {
@@ -247,7 +290,8 @@ impl<P: Problem, S: Schedule> Annealer<P, S> {
         } else {
             MoveClassController::uniform(problem.n_move_classes().max(1))
         };
-        let initial_cost = problem.cost();
+        let initial_objectives = problem.cost();
+        let initial_cost = scalarizer.scalarize(&initial_objectives);
         let best_snapshot = problem.snapshot();
         Annealer {
             problem,
@@ -255,10 +299,14 @@ impl<P: Problem, S: Schedule> Annealer<P, S> {
             opts,
             rng,
             controller,
+            scalarizer,
             initial_cost,
             cost: initial_cost,
+            cost_objectives: initial_objectives.clone(),
             best_cost: initial_cost,
+            best_objectives: initial_objectives,
             best_snapshot,
+            front: None,
             last_improvement: 0,
             accepted: 0,
             rejected: 0,
@@ -269,6 +317,20 @@ impl<P: Problem, S: Schedule> Annealer<P, S> {
             s: 0.0,
             iter: 0,
             elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Starts recording the Pareto archive: the cost vectors of the
+    /// initial solution and of every subsequently accepted solution
+    /// feed a [`ParetoFront`] returned in [`RunResult::front`].
+    /// Recording is observational — it never touches the RNG stream or
+    /// the acceptance arithmetic, so a tracked run walks bit-identically
+    /// to an untracked one.
+    pub fn track_front(&mut self) {
+        if self.front.is_none() {
+            let mut front = ParetoFront::new();
+            front.insert(self.cost_objectives.clone());
+            self.front = Some(front);
         }
     }
 
@@ -288,9 +350,27 @@ impl<P: Problem, S: Schedule> Annealer<P, S> {
         self.cost
     }
 
-    /// Best cost seen so far.
+    /// Best scalarized cost seen so far.
     pub fn best_cost(&self) -> f64 {
         self.best_cost
+    }
+
+    /// Full cost vector of the best solution seen so far.
+    pub fn best_objectives(&self) -> &P::Cost {
+        &self.best_objectives
+    }
+
+    /// Full cost vector of the current solution.
+    pub fn current_objectives(&self) -> &P::Cost {
+        &self.cost_objectives
+    }
+
+    /// The Pareto archive recorded so far, if [`track_front`] enabled
+    /// it.
+    ///
+    /// [`track_front`]: Annealer::track_front
+    pub fn front(&self) -> Option<&ParetoFront<P::Cost>> {
+        self.front.as_ref()
     }
 
     /// Snapshot of the best solution seen so far.
@@ -317,14 +397,25 @@ impl<P: Problem, S: Schedule> Annealer<P, S> {
     /// Replaces the current solution with an externally supplied
     /// incumbent of the given cost — the best-solution exchange of a
     /// portfolio run. Updates the best-so-far if the incumbent improves
-    /// on it. Schedule statistics and the RNG stream are untouched, so
-    /// the subsequent walk stays deterministic.
-    pub fn adopt(&mut self, snapshot: P::Snapshot, cost: f64) {
-        if cost < self.best_cost {
+    /// on it (on the scalarized view) and records the incumbent's cost
+    /// vector in the Pareto archive when one is tracked. Schedule
+    /// statistics and the RNG stream are untouched, so the subsequent
+    /// walk stays deterministic.
+    pub fn adopt(&mut self, snapshot: P::Snapshot, cost: P::Cost) {
+        let scalar = self.scalarizer.scalarize(&cost);
+        if let Some(front) = &mut self.front {
+            front.insert(cost.clone());
+        }
+        let improved = self
+            .scalarizer
+            .delta(&cost, &self.best_objectives, scalar - self.best_cost)
+            < 0.0;
+        if improved {
             // The snapshot doubles as the new best: borrow it for the
             // restore, then retain it.
             self.problem.restore(&snapshot);
-            self.best_cost = cost;
+            self.best_cost = scalar;
+            self.best_objectives = cost.clone();
             self.best_snapshot = snapshot;
             self.last_improvement = self.iter;
         } else {
@@ -332,7 +423,8 @@ impl<P: Problem, S: Schedule> Annealer<P, S> {
             // restore can move the state in without cloning.
             self.problem.restore_owned(snapshot);
         }
-        self.cost = cost;
+        self.cost = scalar;
+        self.cost_objectives = cost;
     }
 
     /// Runs up to `steps` iterations (fewer if the run ends first) and
@@ -362,12 +454,14 @@ impl<P: Problem, S: Schedule> Annealer<P, S> {
     /// The best snapshot is consumed here, so the restore moves the
     /// solution back into the problem without a final clone
     /// ([`Problem::restore_owned`]).
-    pub fn finish(self) -> (P, S, RunResult) {
+    pub fn finish(self) -> (P, S, RunResult<P::Cost>) {
         let stop = self.stop_reason().unwrap_or(StopReason::Interrupted);
         let mut problem = self.problem;
         problem.restore_owned(self.best_snapshot);
         let result = RunResult {
             best_cost: self.best_cost,
+            best_objectives: self.best_objectives,
+            front: self.front,
             initial_cost: self.initial_cost,
             iterations: self.iter,
             accepted: self.accepted,
@@ -401,22 +495,59 @@ impl<P: Problem, S: Schedule> Annealer<P, S> {
                     feasible: false,
                 }
             }
-            Some((mv, new_cost)) => {
-                let delta = new_cost - self.cost;
+            Some((mv, new_objectives)) => {
+                // Scalarize once; the acceptance delta is the stored
+                // scalar difference unless the scalarizer overrides it
+                // (lexicographic tier comparison). On the default
+                // scalar path this is exactly the historical
+                // `new_cost - self.cost`.
+                let new_cost = self.scalarizer.scalarize(&new_objectives);
+                let delta = self.scalarizer.delta(
+                    &new_objectives,
+                    &self.cost_objectives,
+                    new_cost - self.cost,
+                );
                 let accept = delta <= 0.0 || {
                     let s_eff = if in_warmup { 0.0 } else { self.s };
                     // s_eff == 0 means infinite temperature: accept all.
                     s_eff == 0.0 || self.rng.random::<f64>() < (-delta * s_eff).exp()
                 };
                 if accept {
+                    // Plateau moves (identical cost vector) are common
+                    // and already represented in the archive — skip the
+                    // O(front) insert scan for them.
+                    let vector_changed = new_objectives != self.cost_objectives;
                     self.cost = new_cost;
+                    self.cost_objectives = new_objectives;
                     self.accepted += 1;
-                    if self.cost < self.best_cost {
+                    if vector_changed {
+                        if let Some(front) = &mut self.front {
+                            front.insert(self.cost_objectives.clone());
+                        }
+                    }
+                    // Best tracking goes through the scalarizer's delta
+                    // too, so a lexicographic run's best snapshot is the
+                    // *tiered* best (primary ties broken by lower
+                    // tiers) and the reported winner always has a
+                    // retrievable solution. On the default path
+                    // `delta = cost - best_cost`, and `a - b < 0` is
+                    // decision-identical to `a < b` for every f64 pair
+                    // (IEEE-754 subtraction of distinct finite values
+                    // never rounds to zero), so the walk is unchanged.
+                    let improved = self.scalarizer.delta(
+                        &self.cost_objectives,
+                        &self.best_objectives,
+                        self.cost - self.best_cost,
+                    ) < 0.0;
+                    if improved {
                         self.best_cost = self.cost;
+                        self.best_objectives = self.cost_objectives.clone();
                         self.best_snapshot = self.problem.snapshot();
                         self.last_improvement = iter;
                     }
                 } else {
+                    // Rejection stays vector-free: the proposed cost is
+                    // dropped and only the compact move delta is undone.
                     self.problem.undo(mv);
                     self.rejected += 1;
                 }

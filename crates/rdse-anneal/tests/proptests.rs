@@ -1,0 +1,114 @@
+//! Property-based tests of the shared [`ParetoFront`] archive — the
+//! invariants every exploration surface (chains, sweeps, corpus)
+//! relies on:
+//!
+//! 1. no member dominates (or equals) another member;
+//! 2. every point ever offered is either on the front or dominated by
+//!    (or equal to) a member — dominated points are excluded, nothing
+//!    non-dominated is lost;
+//! 3. the resulting front *set* does not depend on insertion order.
+
+use proptest::prelude::*;
+use rdse_anneal::{Cost, Dominance, ParetoFront};
+
+/// A small integer-valued cost vector: integer axes make collisions
+/// (ties, duplicates, partial dominance) common enough to matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct V3(i8, i8, i8);
+
+impl Cost for V3 {
+    fn n_objectives(&self) -> usize {
+        3
+    }
+    fn objective(&self, i: usize) -> f64 {
+        f64::from([self.0, self.1, self.2][i])
+    }
+}
+
+fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<V3>> {
+    proptest::collection::vec(
+        (0i8..12, 0i8..12, 0i8..12).prop_map(|(a, b, c)| V3(a, b, c)),
+        1..=max_len,
+    )
+}
+
+fn build_front(points: &[V3]) -> ParetoFront<V3> {
+    let mut front = ParetoFront::new();
+    for &p in points {
+        front.insert(p);
+    }
+    front
+}
+
+/// Canonical sortable form of a front's member set.
+fn member_set(front: &ParetoFront<V3>) -> Vec<(i8, i8, i8)> {
+    let mut out: Vec<(i8, i8, i8)> = front.iter().map(|v| (v.0, v.1, v.2)).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn no_member_dominates_or_equals_another(points in arb_points(40)) {
+        let front = build_front(&points);
+        let members = front.members();
+        for (i, a) in members.iter().enumerate() {
+            for (j, b) in members.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.dominates(b), "{a:?} dominates fellow member {b:?}");
+                    prop_assert!(a != b, "duplicate member {a:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_offered_point_is_covered(points in arb_points(40)) {
+        // Exactness both ways: every dominated insertion is excluded,
+        // and everything excluded has a reason (a dominating or equal
+        // member).
+        let front = build_front(&points);
+        for p in &points {
+            let on_front = front.contains(p);
+            let covered = front.iter().any(|m| m.dominates(p) || m == p);
+            prop_assert!(
+                on_front || covered,
+                "{p:?} vanished: not on the front, not dominated"
+            );
+            if on_front {
+                prop_assert!(
+                    !front.iter().any(|m| m.dominates(p)),
+                    "{p:?} is on the front yet dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_the_front_set(points in arb_points(32)) {
+        let forward = member_set(&build_front(&points));
+        let mut reversed = points.clone();
+        reversed.reverse();
+        prop_assert_eq!(&forward, &member_set(&build_front(&reversed)));
+        // A deterministic shuffle (stride permutation) as a third order.
+        let mut strided = Vec::with_capacity(points.len());
+        for offset in 0..7.min(points.len()) {
+            strided.extend(points.iter().skip(offset).step_by(7).copied());
+        }
+        if strided.len() == points.len() {
+            prop_assert_eq!(&forward, &member_set(&build_front(&strided)));
+        }
+    }
+
+    #[test]
+    fn merge_equals_bulk_insert(points in arb_points(32), split in 0usize..32) {
+        let split = split.min(points.len());
+        let (left, right) = points.split_at(split);
+        let mut merged = build_front(left);
+        merged.merge(&build_front(right));
+        prop_assert_eq!(member_set(&merged), member_set(&build_front(&points)));
+    }
+}

@@ -4,8 +4,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rdse_anneal::Problem;
-use rdse_mapping::{random_initial, Evaluation, Mapping, MappingError, MappingProblem, Objective};
+use rdse_anneal::{Cost, Problem};
+use rdse_mapping::{random_initial, Evaluation, Mapping, MappingError, MappingProblem};
 use rdse_model::{Architecture, TaskGraph};
 
 /// Hill-climbing parameters.
@@ -44,12 +44,12 @@ pub fn hill_climb(
     let mut best: Option<(Mapping, Evaluation)> = None;
     for _ in 0..opts.restarts.max(1) {
         let initial = random_initial(app, arch, &mut rng);
-        let mut problem = MappingProblem::new(app, arch, initial, Objective::MinimizeMakespan)?;
+        let mut problem = MappingProblem::new(app, arch, initial)?;
         for _ in 0..opts.moves_per_restart {
             let class = rng.random_range(0..problem.n_move_classes());
-            let before = problem.cost();
+            let before = problem.cost().scalar();
             if let Some((mv, after)) = problem.try_move(&mut rng, class) {
-                if after >= before {
+                if after.scalar() >= before {
                     problem.undo(mv);
                 }
             }

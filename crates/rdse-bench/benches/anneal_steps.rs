@@ -61,6 +61,7 @@ impl<'a> LegacyProblem<'a> {
 impl Problem for LegacyProblem<'_> {
     type Move = (Mapping, Evaluation);
     type Snapshot = (Mapping, Evaluation);
+    type Cost = f64;
 
     fn cost(&self) -> f64 {
         self.current.makespan.value()

@@ -14,7 +14,7 @@
 
 use rdse_anneal::{anneal, GeometricSchedule, InfiniteTemperature, LamSchedule, RunOptions};
 use rdse_bench::{arg_num, arg_value, mean, std_dev, write_csv};
-use rdse_mapping::{random_initial, MappingProblem, Objective};
+use rdse_mapping::{random_initial, MappingProblem};
 use rdse_workloads::{epicure_architecture, motion_detection_app};
 
 use rand::rngs::StdRng;
@@ -33,8 +33,8 @@ fn main() {
     let run_one = |schedule_name: &str, seed: u64, adaptive_moves: bool| -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let initial = random_initial(&app, &arch, &mut rng);
-        let mut problem = MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan)
-            .expect("initial solution feasible");
+        let mut problem =
+            MappingProblem::new(&app, &arch, initial).expect("initial solution feasible");
         let opts = RunOptions {
             max_iterations: iters,
             warmup_iterations: iters / 5,

@@ -1,0 +1,123 @@
+//! Compares a bench NDJSON run against the committed baseline and
+//! gates CI on throughput regressions.
+//!
+//! Usage: `bench_compare <baseline.json> <current.json> [--max-regression PCT]`
+//!
+//! Both files are newline-delimited JSON records as written by the
+//! bench harness (`RDSE_BENCH_JSON`). Records are matched by `name`;
+//! for every pair carrying a `steps_per_sec` field the relative change
+//! is printed, and the process exits non-zero when any drops by more
+//! than the allowed regression (default 25%).
+//!
+//! CI runners and developer machines differ in absolute speed, so the
+//! generous default only catches step-cost blowups, not noise; the
+//! baseline (`BENCH_main.json` at the repo root) is refreshed
+//! deliberately whenever the engine's cost per step changes on
+//! purpose.
+
+use serde_json::Value;
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::F64(f) => Some(f),
+        Value::I64(n) => Some(n as f64),
+        Value::U64(n) => Some(n as f64),
+        _ => None,
+    }
+}
+
+fn steps_per_sec(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench file '{path}': {e}"));
+    let mut out = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            eprintln!("warning: skipping malformed bench line in {path}: {line}");
+            continue;
+        };
+        let name = match v.get("name") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        let rate = v.get("steps_per_sec").and_then(as_f64);
+        let (Some(name), Some(rate)) = (name, rate) else {
+            continue;
+        };
+        // Keep the newest record per name (reruns append).
+        if let Some(slot) = out
+            .iter_mut()
+            .find(|(n, _): &&mut (String, f64)| *n == name)
+        {
+            slot.1 = rate;
+        } else {
+            out.push((name, rate));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut baseline_path, mut current_path) = (None, None);
+    let mut max_regression = 25.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regression" => {
+                max_regression = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-regression takes a percentage");
+                i += 2;
+            }
+            path if baseline_path.is_none() => {
+                baseline_path = Some(path.to_owned());
+                i += 1;
+            }
+            path if current_path.is_none() => {
+                current_path = Some(path.to_owned());
+                i += 1;
+            }
+            other => panic!("unexpected argument '{other}'"),
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        eprintln!("usage: bench_compare <baseline.json> <current.json> [--max-regression PCT]");
+        std::process::exit(2);
+    };
+
+    let baseline = steps_per_sec(&baseline_path);
+    let current = steps_per_sec(&current_path);
+
+    println!("bench comparison vs {baseline_path} (fail below -{max_regression:.0}%):");
+    let mut compared = 0;
+    let mut failed = false;
+    for (name, base_rate) in &baseline {
+        let Some((_, cur_rate)) = current.iter().find(|(n, _)| n == name) else {
+            println!("  {name:<34} missing from {current_path} (skipped)");
+            continue;
+        };
+        compared += 1;
+        let change = (cur_rate - base_rate) / base_rate * 100.0;
+        let verdict = if change < -max_regression {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {name:<34} {base_rate:>12.0} -> {cur_rate:>12.0} steps/s ({change:>+6.1}%)  {verdict}"
+        );
+    }
+    if compared == 0 {
+        eprintln!("error: no comparable steps_per_sec records between the two files");
+        std::process::exit(2);
+    }
+    if failed {
+        eprintln!(
+            "error: throughput regressed more than {max_regression:.0}% vs the committed baseline \
+             (refresh BENCH_main.json deliberately if the step-cost change is intentional)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -66,6 +66,6 @@ pub mod runner;
 pub mod scenario;
 
 pub use families::{ArchFamily, WorkloadFamily};
-pub use oracle::{differential_check, OracleFailure, OracleReport};
+pub use oracle::{differential_check, front_check, OracleFailure, OracleReport};
 pub use runner::{run_corpus, CorpusError, CorpusOptions, CorpusReport, ScenarioRecord};
 pub use scenario::{cross_corpus, smoke_corpus, ScenarioSpec};

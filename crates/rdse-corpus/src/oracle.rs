@@ -20,7 +20,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rdse_mapping::moves::{propose_impl_move, propose_pair_move};
-use rdse_mapping::{evaluate, Evaluator, Mapping, MoveScratch};
+use rdse_mapping::{evaluate, CostVector, Dominance, Evaluator, Mapping, MoveScratch, ParetoFront};
 use rdse_model::units::Micros;
 use rdse_model::{Architecture, TaskGraph};
 use rdse_sim::{simulate, SimConfig};
@@ -90,6 +90,22 @@ pub enum OracleFailure {
         /// Walk step of the mutating proposal.
         step: u32,
     },
+    /// The exploration returned an empty Pareto front.
+    FrontEmpty,
+    /// Two front members violate mutual non-domination.
+    FrontDominatedMember {
+        /// Index of the dominating member.
+        dominator: usize,
+        /// Index of the dominated member.
+        dominated: usize,
+    },
+    /// The front's best makespan disagrees with the exploration winner.
+    FrontBestDiverged {
+        /// Winner makespan bits.
+        best: u64,
+        /// Minimum makespan bits over the front.
+        front_min: u64,
+    },
 }
 
 impl std::fmt::Display for OracleFailure {
@@ -134,11 +150,63 @@ impl std::fmt::Display for OracleFailure {
                     "rejected proposal (None) mutated the mapping at step {step}"
                 )
             }
+            OracleFailure::FrontEmpty => write!(f, "exploration returned an empty Pareto front"),
+            OracleFailure::FrontDominatedMember {
+                dominator,
+                dominated,
+            } => write!(
+                f,
+                "front member {dominator} dominates member {dominated} (archive invariant broken)"
+            ),
+            OracleFailure::FrontBestDiverged { best, front_min } => write!(
+                f,
+                "front minimum makespan {front_min:#x} disagrees with winner {best:#x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for OracleFailure {}
+
+/// Checks the Pareto-front invariants of an exploration result:
+///
+/// 1. the front is non-empty (the initial solution always enters);
+/// 2. no member dominates another (the archive's defining property);
+/// 3. the minimum makespan over the front equals the winner's makespan
+///    bit for bit — the scalar optimum is never lost to the archive.
+///
+/// # Errors
+///
+/// Returns the first violated invariant as an [`OracleFailure`].
+pub fn front_check(
+    front: &ParetoFront<CostVector>,
+    best: &CostVector,
+) -> Result<(), OracleFailure> {
+    if front.is_empty() {
+        return Err(OracleFailure::FrontEmpty);
+    }
+    for (i, a) in front.iter().enumerate() {
+        for (j, b) in front.iter().enumerate() {
+            if i != j && a.dominates(b) {
+                return Err(OracleFailure::FrontDominatedMember {
+                    dominator: i,
+                    dominated: j,
+                });
+            }
+        }
+    }
+    let front_min = front
+        .iter()
+        .map(|v| v.makespan)
+        .fold(f64::INFINITY, f64::min);
+    if front_min.to_bits() != best.makespan.to_bits() {
+        return Err(OracleFailure::FrontBestDiverged {
+            best: best.makespan.to_bits(),
+            front_min: front_min.to_bits(),
+        });
+    }
+    Ok(())
+}
 
 /// Three-way agreement at one mapping; returns the agreed makespan and
 /// the with-contention makespan.
@@ -280,6 +348,34 @@ mod tests {
             assert!(report.makespan.value() > 0.0);
             assert!(report.contention_makespan >= report.makespan);
         }
+    }
+
+    #[test]
+    fn front_check_enforces_the_invariants() {
+        let v = |mk: f64, area: f64| CostVector {
+            makespan: mk,
+            clb_area: area,
+            reconfig_overhead: 1.0,
+            contexts: 1.0,
+        };
+        // Empty front.
+        let empty: ParetoFront<CostVector> = ParetoFront::new();
+        assert_eq!(
+            front_check(&empty, &v(1.0, 1.0)),
+            Err(OracleFailure::FrontEmpty)
+        );
+        // A healthy front containing the winner passes.
+        let mut front = ParetoFront::new();
+        front.insert(v(10.0, 50.0));
+        front.insert(v(20.0, 20.0));
+        front_check(&front, &v(10.0, 50.0)).expect("valid front passes");
+        // Winner missing from the front (smaller makespan than any
+        // member) is a divergence.
+        let err = front_check(&front, &v(5.0, 50.0)).unwrap_err();
+        assert!(
+            matches!(err, OracleFailure::FrontBestDiverged { .. }),
+            "{err}"
+        );
     }
 
     #[test]

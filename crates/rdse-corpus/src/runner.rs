@@ -10,9 +10,9 @@
 //! `steps_per_sec` is wall-clock dependent, and it is excluded from the
 //! golden projection.
 
-use crate::oracle::differential_check;
+use crate::oracle::{differential_check, front_check};
 use crate::scenario::ScenarioSpec;
-use rdse_mapping::{explore_parallel, ExploreOptions, ParallelOptions};
+use rdse_mapping::{explore_parallel, CostVector, ExploreOptions, ParallelOptions};
 use rdse_model::units::Micros;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -77,6 +77,15 @@ pub struct ScenarioRecord {
     pub n_contexts: usize,
     /// Hardware tasks of the best mapping.
     pub n_hw_tasks: usize,
+    /// Peak context CLB occupancy of the best mapping (the clb_area
+    /// objective).
+    pub clb_area: u32,
+    /// Reconfiguration overhead of the best mapping (µs; the reconfig
+    /// objective: initial + dynamic).
+    pub reconfig_us: f64,
+    /// Members of the portfolio Pareto front (makespan × area ×
+    /// reconfig × contexts), invariant-checked by the oracle.
+    pub front_size: usize,
     /// Annealing iterations executed (all chains).
     pub iterations: u64,
     /// Accepted moves (all chains).
@@ -105,7 +114,8 @@ impl ScenarioRecord {
             "{{\"index\":{},\"id\":\"{}\",\"workload\":\"{}\",\"params\":\"{}\",\
              \"arch\":\"{}\",\"seed\":{},\"n_tasks\":{},\"n_edges\":{},\
              \"makespan_us\":{},\"makespan_bits\":\"{:#018x}\",\"n_contexts\":{},\
-             \"n_hw_tasks\":{},\"iterations\":{},\"accepted\":{},\"rejected\":{},\
+             \"n_hw_tasks\":{},\"clb_area\":{},\"reconfig_us\":{},\"front_size\":{},\
+             \"iterations\":{},\"accepted\":{},\"rejected\":{},\
              \"infeasible\":{},\"contention_makespan_us\":{},\"oracle_moves_checked\":{},\
              \"oracle_moves_applied\":{},\"oracle\":\"pass\"}}",
             self.index,
@@ -120,6 +130,9 @@ impl ScenarioRecord {
             self.makespan.value().to_bits(),
             self.n_contexts,
             self.n_hw_tasks,
+            self.clb_area,
+            self.reconfig_us,
+            self.front_size,
             self.iterations,
             self.accepted,
             self.rejected,
@@ -257,6 +270,12 @@ fn run_scenario(
     )
     .map_err(|e| fail(format!("oracle: {e}")))?;
 
+    // Front invariants ride along with the three-way check: the merged
+    // portfolio archive must be mutually non-dominated and must carry
+    // the scalar winner.
+    let best_vector = CostVector::from_summary(&portfolio.evaluation.summary());
+    front_check(&portfolio.front, &best_vector).map_err(|e| fail(format!("oracle: {e}")))?;
+
     let iterations: u64 = portfolio.chains.iter().map(|c| c.run.iterations).sum();
     let accepted: u64 = portfolio.chains.iter().map(|c| c.run.accepted).sum();
     let rejected: u64 = portfolio.chains.iter().map(|c| c.run.rejected).sum();
@@ -275,6 +294,9 @@ fn run_scenario(
         makespan: oracle.makespan,
         n_contexts: portfolio.evaluation.n_contexts,
         n_hw_tasks: portfolio.evaluation.n_hw_tasks,
+        clb_area: portfolio.evaluation.clb_area.value(),
+        reconfig_us: best_vector.reconfig_overhead,
+        front_size: portfolio.front.len(),
         iterations,
         accepted,
         rejected,

@@ -22,9 +22,53 @@ use crate::placement::Placement;
 use crate::solution::Mapping;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use rdse_anneal::{anneal, LamSchedule, Problem, RunOptions};
+use rdse_anneal::{Annealer, Cost, LamSchedule, ParetoFront, Problem, RunOptions};
 use rdse_model::units::Micros;
 use rdse_model::{Architecture, AsicSpec, DrlcSpec, ProcessorSpec, TaskGraph};
+
+/// The cost vector of an architecture × mapping pair: system cost
+/// (component prices) against schedule latency — the trade-off the
+/// general method of \[11\] explores.
+///
+/// The third, hidden component is the deadline-penalized scalar the
+/// annealer walks on ([`Cost::scalar`]); the Pareto axes are the two
+/// visible objectives only, so the recorded front is the cost/
+/// performance curve a system architect actually reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchCost {
+    /// Total component cost of the architecture.
+    pub system_cost: f64,
+    /// Makespan of the mapping on it (µs).
+    pub makespan: f64,
+    /// The penalized scalar objective (cost + deadline penalty +
+    /// makespan tie-breaker) — what acceptance minimizes.
+    penalized: f64,
+}
+
+impl ArchCost {
+    /// The penalized scalar the annealer minimizes.
+    pub fn penalized(&self) -> f64 {
+        self.penalized
+    }
+}
+
+impl Cost for ArchCost {
+    fn n_objectives(&self) -> usize {
+        2
+    }
+
+    fn objective(&self, i: usize) -> f64 {
+        match i {
+            0 => self.system_cost,
+            1 => self.makespan,
+            _ => panic!("ArchCost has 2 objectives, asked for {i}"),
+        }
+    }
+
+    fn scalar(&self) -> f64 {
+        self.penalized
+    }
+}
 
 /// The component library available to m4 resource-creation moves.
 #[derive(Debug, Clone, Default)]
@@ -91,6 +135,10 @@ pub struct ArchExploreOutcome {
     pub evaluation: Evaluation,
     /// Final objective value.
     pub cost: f64,
+    /// Pareto front over (system cost, makespan) of every architecture
+    /// × mapping state the walk accepted — the cost/performance curve
+    /// of the co-exploration.
+    pub front: ParetoFront<ArchCost>,
 }
 
 /// The co-exploration problem: architecture × mapping.
@@ -143,14 +191,16 @@ impl<'a> ArchProblem<'a> {
         &self.arch
     }
 
-    /// Consumes the problem into its outcome parts.
-    pub fn into_outcome(self) -> ArchExploreOutcome {
+    /// Consumes the problem into its outcome parts, attaching the
+    /// cost/performance front recorded by the annealer.
+    pub fn into_outcome(self, front: ParetoFront<ArchCost>) -> ArchExploreOutcome {
         let cost = self.objective(&self.current);
         ArchExploreOutcome {
             architecture: self.arch,
             mapping: self.mapping,
             evaluation: self.current,
             cost,
+            front,
         }
     }
 
@@ -327,16 +377,21 @@ impl<'a> ArchProblem<'a> {
 impl Problem for ArchProblem<'_> {
     type Move = (Architecture, Mapping, Evaluation);
     type Snapshot = (Architecture, Mapping, Evaluation);
+    type Cost = ArchCost;
 
-    fn cost(&self) -> f64 {
-        self.objective(&self.current)
+    fn cost(&self) -> ArchCost {
+        ArchCost {
+            system_cost: self.arch.total_cost(),
+            makespan: self.current.makespan.value(),
+            penalized: self.objective(&self.current),
+        }
     }
 
     fn n_move_classes(&self) -> usize {
         3
     }
 
-    fn try_move(&mut self, rng: &mut dyn RngCore, class: usize) -> Option<(Self::Move, f64)> {
+    fn try_move(&mut self, rng: &mut dyn RngCore, class: usize) -> Option<(Self::Move, ArchCost)> {
         let prev = (
             self.arch.clone(),
             self.mapping.clone(),
@@ -431,19 +486,23 @@ pub fn explore_architecture(
     catalog: &ResourceCatalog,
     opts: &ArchExploreOptions,
 ) -> Result<ArchExploreOutcome, MappingError> {
-    let mut problem = ArchProblem::new(app, initial_arch, catalog, opts.clone())?;
-    let mut schedule = LamSchedule::new(opts.lambda);
-    let _run = anneal(
-        &mut problem,
-        &mut schedule,
-        &RunOptions {
+    let problem = ArchProblem::new(app, initial_arch, catalog, opts.clone())?;
+    let schedule = LamSchedule::new(opts.lambda);
+    let mut annealer = Annealer::new(
+        problem,
+        schedule,
+        RunOptions {
             max_iterations: opts.max_iterations,
             warmup_iterations: opts.warmup_iterations,
             seed: opts.seed,
             ..RunOptions::default()
         },
     );
-    Ok(problem.into_outcome())
+    annealer.track_front();
+    annealer.run_segment(u64::MAX);
+    let (problem, _schedule, run) = annealer.finish();
+    let front = run.front.expect("front tracking was enabled above");
+    Ok(problem.into_outcome(front))
 }
 
 #[cfg(test)]

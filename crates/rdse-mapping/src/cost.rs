@@ -1,0 +1,210 @@
+//! The mapping problem's multi-objective cost vector.
+//!
+//! The paper's design space trades schedule latency against FPGA area
+//! and reconfiguration overhead (§5, Fig. 3). [`CostVector`] is that
+//! trade-off as a first-class value: a `Copy` projection of the
+//! [`EvalSummary`] the incremental evaluator already produces, so
+//! deriving it costs a few register moves and **no additional
+//! evaluation work on the hot path**.
+//!
+//! Objective axes, in index order (all minimized):
+//!
+//! | index | axis | unit | source |
+//! |-------|------|------|--------|
+//! | 0 | [`makespan`](CostVector::makespan) | µs | longest path of *G′* |
+//! | 1 | [`clb_area`](CostVector::clb_area) | CLBs | peak context occupancy |
+//! | 2 | [`reconfig_overhead`](CostVector::reconfig_overhead) | µs | initial + dynamic reconfiguration |
+//! | 3 | [`contexts`](CostVector::contexts) | count | temporal partitions |
+//!
+//! The default scalar view ([`Cost::scalar`]) is the makespan, so a
+//! run with no explicit scalarizer reproduces the historical
+//! single-objective engine bit for bit.
+
+use crate::eval::EvalSummary;
+use rdse_anneal::Cost;
+
+/// Index of the makespan objective.
+pub const OBJ_MAKESPAN: usize = 0;
+/// Index of the FPGA-area objective (peak context CLBs).
+pub const OBJ_CLB_AREA: usize = 1;
+/// Index of the reconfiguration-overhead objective.
+pub const OBJ_RECONFIG: usize = 2;
+/// Index of the context-count objective.
+pub const OBJ_CONTEXTS: usize = 3;
+/// Number of objective axes of a [`CostVector`].
+pub const N_OBJECTIVES: usize = 4;
+
+/// One named objective axis of the mapping cost vector, as selected by
+/// CLI specs like `--objective lexi:makespan,area`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectiveKey {
+    /// Schedule latency (µs).
+    Makespan,
+    /// Peak context CLB occupancy.
+    ClbArea,
+    /// Total reconfiguration overhead (µs).
+    Reconfig,
+    /// Number of contexts.
+    Contexts,
+}
+
+impl ObjectiveKey {
+    /// The axis index of this key inside a [`CostVector`].
+    pub fn index(self) -> usize {
+        match self {
+            ObjectiveKey::Makespan => OBJ_MAKESPAN,
+            ObjectiveKey::ClbArea => OBJ_CLB_AREA,
+            ObjectiveKey::Reconfig => OBJ_RECONFIG,
+            ObjectiveKey::Contexts => OBJ_CONTEXTS,
+        }
+    }
+
+    /// Parses a CLI axis name (`makespan`, `area`, `reconfig`,
+    /// `contexts`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "makespan" => Some(ObjectiveKey::Makespan),
+            "area" | "clb_area" => Some(ObjectiveKey::ClbArea),
+            "reconfig" => Some(ObjectiveKey::Reconfig),
+            "contexts" => Some(ObjectiveKey::Contexts),
+            _ => None,
+        }
+    }
+
+    /// The canonical axis name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectiveKey::Makespan => "makespan",
+            ObjectiveKey::ClbArea => "area",
+            ObjectiveKey::Reconfig => "reconfig",
+            ObjectiveKey::Contexts => "contexts",
+        }
+    }
+}
+
+/// The multi-objective cost of one mapping: (makespan, peak CLB area,
+/// reconfiguration overhead, context count), all minimized.
+///
+/// Derived from an [`EvalSummary`] by [`from_summary`]
+/// (`Copy`-cheap, no evaluation work); recorded by the annealing
+/// engine per accepted move and archived in
+/// [`ParetoFront`](rdse_anneal::ParetoFront)s across chains, sweeps
+/// and the corpus.
+///
+/// [`from_summary`]: CostVector::from_summary
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostVector {
+    /// Schedule latency (µs) — the longest path of the search graph.
+    pub makespan: f64,
+    /// Peak context CLB occupancy: the smallest device that could host
+    /// the mapping.
+    pub clb_area: f64,
+    /// Initial + dynamic reconfiguration time (µs).
+    pub reconfig_overhead: f64,
+    /// Number of run-time contexts.
+    pub contexts: f64,
+}
+
+impl CostVector {
+    /// Projects an evaluation summary onto the objective axes. Pure
+    /// field reads plus one addition — safe on the annealing hot path.
+    pub fn from_summary(summary: &EvalSummary) -> Self {
+        CostVector {
+            makespan: summary.makespan.value(),
+            clb_area: f64::from(summary.clb_area.value()),
+            reconfig_overhead: summary.breakdown.initial_reconfig.value()
+                + summary.breakdown.dynamic_reconfig.value(),
+            contexts: summary.n_contexts as f64,
+        }
+    }
+
+    /// Value of the axis selected by `key`.
+    pub fn get(&self, key: ObjectiveKey) -> f64 {
+        self.objective(key.index())
+    }
+}
+
+impl Cost for CostVector {
+    fn n_objectives(&self) -> usize {
+        N_OBJECTIVES
+    }
+
+    fn objective(&self, i: usize) -> f64 {
+        match i {
+            OBJ_MAKESPAN => self.makespan,
+            OBJ_CLB_AREA => self.clb_area,
+            OBJ_RECONFIG => self.reconfig_overhead,
+            OBJ_CONTEXTS => self.contexts,
+            _ => panic!("CostVector has {N_OBJECTIVES} objectives, asked for {i}"),
+        }
+    }
+
+    /// The default scalar view is the makespan — the paper's fixed
+    /// architecture experiment ("the criterion to be optimized becomes
+    /// here the execution time"), and the bit-identity anchor of the
+    /// historical engine.
+    fn scalar(&self) -> f64 {
+        self.makespan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalBreakdown;
+    use rdse_anneal::Dominance;
+    use rdse_model::units::{Clbs, Micros};
+
+    fn summary(mk: f64, area: u32, init: f64, dynr: f64, ctx: usize) -> EvalSummary {
+        EvalSummary {
+            makespan: Micros::new(mk),
+            n_contexts: ctx,
+            n_hw_tasks: 3,
+            clb_area: Clbs::new(area),
+            breakdown: EvalBreakdown {
+                initial_reconfig: Micros::new(init),
+                dynamic_reconfig: Micros::new(dynr),
+                computation_communication: Micros::new(mk - init - dynr),
+            },
+        }
+    }
+
+    #[test]
+    fn from_summary_projects_the_axes() {
+        let v = CostVector::from_summary(&summary(100.0, 250, 10.0, 5.0, 2));
+        assert_eq!(v.makespan, 100.0);
+        assert_eq!(v.clb_area, 250.0);
+        assert_eq!(v.reconfig_overhead, 15.0);
+        assert_eq!(v.contexts, 2.0);
+        assert_eq!(v.scalar(), 100.0);
+        assert_eq!(v.objective(OBJ_CLB_AREA), 250.0);
+        assert_eq!(v.get(ObjectiveKey::Reconfig), 15.0);
+    }
+
+    #[test]
+    fn dominance_minimizes_every_axis() {
+        let a = CostVector::from_summary(&summary(90.0, 200, 8.0, 4.0, 2));
+        let b = CostVector::from_summary(&summary(100.0, 250, 10.0, 5.0, 2));
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // Incomparable: better makespan, worse area.
+        let c = CostVector::from_summary(&summary(80.0, 300, 8.0, 4.0, 2));
+        assert!(!a.dominates(&c));
+        assert!(!c.dominates(&a));
+        // Equal vectors never dominate each other.
+        assert!(!a.dominates(&a));
+    }
+
+    #[test]
+    fn objective_keys_round_trip() {
+        for key in [
+            ObjectiveKey::Makespan,
+            ObjectiveKey::ClbArea,
+            ObjectiveKey::Reconfig,
+            ObjectiveKey::Contexts,
+        ] {
+            assert_eq!(ObjectiveKey::parse(key.name()), Some(key));
+        }
+        assert_eq!(ObjectiveKey::parse("energy"), None);
+    }
+}

@@ -3,7 +3,7 @@
 use crate::error::MappingError;
 use crate::searchgraph::SearchGraph;
 use crate::solution::Mapping;
-use rdse_model::units::Micros;
+use rdse_model::units::{Clbs, Micros};
 use rdse_model::{Architecture, TaskGraph, TaskId};
 
 /// The additive decomposition annotated on Fig. 3 of the paper:
@@ -37,6 +37,11 @@ pub struct EvalSummary {
     pub n_contexts: usize,
     /// Number of tasks placed in hardware.
     pub n_hw_tasks: usize,
+    /// Peak CLB occupancy over all contexts of all devices — the
+    /// smallest device capacity that could host this mapping, i.e. the
+    /// FPGA-area objective of the multi-objective cost vector. Zero
+    /// for an all-software mapping.
+    pub clb_area: Clbs,
     /// Cost decomposition for the Fig. 3 series.
     pub breakdown: EvalBreakdown,
 }
@@ -56,6 +61,9 @@ pub struct Evaluation {
     pub n_contexts: usize,
     /// Number of tasks placed in hardware.
     pub n_hw_tasks: usize,
+    /// Peak CLB occupancy over all contexts (see
+    /// [`EvalSummary::clb_area`]).
+    pub clb_area: Clbs,
     /// Cost decomposition for the Fig. 3 series.
     pub breakdown: EvalBreakdown,
 }
@@ -68,6 +76,7 @@ impl Evaluation {
             makespan: self.makespan,
             n_contexts: self.n_contexts,
             n_hw_tasks: self.n_hw_tasks,
+            clb_area: self.clb_area,
             breakdown: self.breakdown,
         }
     }
@@ -105,15 +114,19 @@ pub fn evaluate(
     mapping: &Mapping,
 ) -> Result<Evaluation, MappingError> {
     // Capacity check first: a context overflow is infeasible regardless
-    // of ordering.
+    // of ordering. The same pass records the peak context occupancy —
+    // the clb_area objective.
+    let mut clb_area = Clbs::new(0);
     for (d, spec) in arch.drlcs().iter().enumerate() {
         for c in 0..mapping.contexts(d).len() {
-            if mapping.context_clbs(app, d, c) > spec.n_clbs() {
+            let used = mapping.context_clbs(app, d, c);
+            if used > spec.n_clbs() {
                 return Err(MappingError::CapacityExceeded {
                     drlc: d,
                     context: c,
                 });
             }
+            clb_area = clb_area.max(used);
         }
     }
 
@@ -160,6 +173,7 @@ pub fn evaluate(
         critical_tasks,
         n_contexts: mapping.n_contexts(),
         n_hw_tasks: mapping.hw_tasks().count(),
+        clb_area,
         breakdown: EvalBreakdown {
             initial_reconfig,
             dynamic_reconfig,

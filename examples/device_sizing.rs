@@ -1,11 +1,30 @@
 //! Device sizing: the §5 by-product question — what is the smallest
 //! FPGA for which the 40 ms constraint is attained? A miniature version
-//! of the Fig. 3 sweep (few sizes, few runs) answers it in seconds.
+//! of the Fig. 3 sweep (few sizes, few runs) answers it in seconds, and
+//! the shared [`ParetoFront`] reports the size/latency trade-off curve
+//! instead of a hand-rolled argmin.
 //!
 //! Run with: `cargo run --release --example device_sizing`
 
+use rdse::anneal::{Dominance, ParetoFront};
 use rdse::mapping::{explore, ExploreOptions};
 use rdse::workloads::{epicure_architecture, motion_detection_app, MOTION_DEADLINE};
+
+/// One corner of the sizing trade-off: device capacity vs best
+/// makespan achieved on it (both minimized).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SizingPoint {
+    clbs: u32,
+    best_ms: f64,
+}
+
+impl Dominance for SizingPoint {
+    fn dominates(&self, other: &Self) -> bool {
+        self.clbs <= other.clbs
+            && self.best_ms <= other.best_ms
+            && (self.clbs < other.clbs || self.best_ms < other.best_ms)
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = motion_detection_app();
@@ -13,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runs = 5u64;
 
     println!("size(CLBs)  best(ms)  mean(ms)  contexts  deadline");
+    let mut front = ParetoFront::new();
     let mut smallest_ok = None;
     for size in sizes {
         let arch = epicure_architecture(size);
@@ -42,11 +62,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if ok && smallest_ok.is_none() {
             smallest_ok = Some(size);
         }
+        front.insert(SizingPoint {
+            clbs: size,
+            best_ms: best,
+        });
         println!(
             "{size:>10}  {best:>8.1}  {mean:>8.1}  {ctxs:>8}  {}",
             if ok { "met" } else { "missed" }
         );
     }
+
+    // The sizing Pareto front: every device size that buys latency.
+    let corners = front.sorted_members(|a, b| a.clbs.cmp(&b.clbs));
+    println!(
+        "\nsize/latency front ({} of {} sizes are non-dominated):",
+        corners.len(),
+        sizes.len()
+    );
+    for c in &corners {
+        println!("  {:>5} CLBs -> {:>6.1} ms", c.clbs, c.best_ms);
+    }
+
     match smallest_ok {
         Some(size) => {
             println!("\nsmallest device meeting the {MOTION_DEADLINE} constraint: {size} CLBs")

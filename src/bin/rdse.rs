@@ -9,6 +9,7 @@
 //!               [--seed N] [--lambda X] [--chains K] [--threads T]
 //!               [--exchange-every E] [--gantt] [--profile]
 //!               [--save-mapping F]
+//!               [--objective makespan|weighted:<w_mk>,<w_area>,<w_rc>|lexi:<order>]
 //! rdse sweep    [--app F.json] [--clbs A,B,...] [--bus A,B,...]
 //!               [--iters N] [--seed N] [--chains K] [--threads T]
 //!               [--out F.json] [--csv F.csv]
@@ -25,8 +26,8 @@ use rdse::corpus::{
     cross_corpus, run_corpus, smoke_corpus, ArchFamily, CorpusOptions, WorkloadFamily,
 };
 use rdse::mapping::{
-    chain_seed, evaluate, explore, explore_parallel, ExploreOptions, GanttChart, Mapping,
-    ParallelOptions,
+    chain_seed, evaluate, explore, explore_parallel, lexi_min, CostVector, Dominance,
+    ExploreOptions, GanttChart, Mapping, Objective, ObjectiveKey, ParallelOptions, ParetoFront,
 };
 use rdse::model::units::{Clbs, Micros};
 use rdse::model::{Architecture, TaskGraph};
@@ -56,7 +57,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          rdse generate <motion|figure1|layered|series-parallel> [--clbs N] [--seed N]\n                [--sections N] [--branches N] [--dir D]\n  \
-         rdse explore  --app F.json --arch F.json [--iters N] [--warmup N] [--seed N] [--lambda X]\n                [--chains K] [--threads T] [--exchange-every E] [--gantt] [--profile] [--save-mapping F]\n  \
+         rdse explore  --app F.json --arch F.json [--iters N] [--warmup N] [--seed N] [--lambda X]\n                [--chains K] [--threads T] [--exchange-every E] [--gantt] [--profile] [--save-mapping F]\n                [--objective makespan|weighted:<w_mk>,<w_area>,<w_rc>|lexi:<order>]\n  \
          rdse sweep    [--app F.json] [--clbs A,B,...] [--bus A,B,...] [--iters N] [--seed N]\n                [--chains K] [--threads T] [--exchange-every E] [--out F.json] [--csv F.csv]\n  \
          rdse simulate --app F.json --arch F.json --mapping F.json [--contention]\n  \
          rdse space    --app F.json\n  \
@@ -79,6 +80,102 @@ fn main() -> ExitCode {
         "space" => run_space(&args),
         "corpus" => run_corpus_cmd(&args),
         _ => usage(),
+    }
+}
+
+/// Exit code for a malformed command line that was understood but
+/// rejected (e.g. a bad `--objective` spec), distinct from runtime
+/// failures (1).
+const EXIT_USAGE: u8 = 2;
+
+/// Parses `--objective makespan | weighted:<w_mk>,<w_area>,<w_rc> |
+/// lexi:<axis>[,<axis>...]` into an [`Objective`]. `None` when the
+/// flag is absent (default: minimize makespan).
+///
+/// Errors name the offending part, and callers exit with code 2:
+/// unknown scheme, wrong weight arity, negative/non-finite weights,
+/// unknown or duplicate lexicographic axes.
+fn parse_objective(args: &[String]) -> Result<Option<Objective>, String> {
+    let Some(spec) = arg_value(args, "--objective") else {
+        return Ok(None);
+    };
+    if spec == "makespan" {
+        return Ok(Some(Objective::MinimizeMakespan));
+    }
+    if let Some(weights) = spec.strip_prefix("weighted:") {
+        let parts: Vec<&str> = weights.split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "--objective weighted takes exactly 3 weights \
+                 (w_makespan,w_area,w_reconfig), got {}",
+                parts.len()
+            ));
+        }
+        let mut w = [0.0f64; 3];
+        for (slot, part) in w.iter_mut().zip(&parts) {
+            *slot = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("--objective weighted: '{part}' is not a number"))?;
+        }
+        return Objective::weighted(w[0], w[1], w[2])
+            .map(Some)
+            .map_err(|e| format!("--objective weighted: {e}"));
+    }
+    if let Some(order) = spec.strip_prefix("lexi:") {
+        let keys: Result<Vec<ObjectiveKey>, String> = order
+            .split(',')
+            .map(|name| {
+                let name = name.trim();
+                ObjectiveKey::parse(name).ok_or_else(|| {
+                    format!(
+                        "--objective lexi: unknown axis '{name}' \
+                         (expected makespan, area, reconfig or contexts)"
+                    )
+                })
+            })
+            .collect();
+        return Objective::lexicographic(&keys?)
+            .map(Some)
+            .map_err(|e| format!("--objective lexi: {e}"));
+    }
+    Err(format!(
+        "unknown --objective scheme '{spec}' \
+         (expected makespan, weighted:<w_mk>,<w_area>,<w_rc> or lexi:<order>)"
+    ))
+}
+
+/// Human-readable description of an objective for report headers.
+fn describe_objective(objective: &Objective) -> String {
+    match objective {
+        Objective::MinimizeMakespan => "minimize makespan".into(),
+        Objective::DeadlinePenalty { deadline, .. } => {
+            format!("deadline-penalized makespan (deadline {deadline})")
+        }
+        Objective::Weighted {
+            w_makespan,
+            w_area,
+            w_reconfig,
+        } => format!("weighted sum {w_makespan}*makespan + {w_area}*area + {w_reconfig}*reconfig"),
+        Objective::Lexicographic { order } => {
+            let names: Vec<&str> = order.iter().flatten().map(|k| k.name()).collect();
+            format!("lexicographic {}", names.join(" > "))
+        }
+    }
+}
+
+/// Prints the Pareto front of an exploration in canonical
+/// (makespan-ascending) order.
+fn print_front(front: &ParetoFront<CostVector>) {
+    println!(
+        "pareto front  : {} non-dominated point(s) (makespan_us, clb_area, reconfig_us, contexts)",
+        front.len()
+    );
+    for v in front.sorted_members(|a, b| a.makespan.total_cmp(&b.makespan)) {
+        println!(
+            "  ({:.1}, {}, {:.1}, {})",
+            v.makespan, v.clb_area as u32, v.reconfig_overhead, v.contexts as u32
+        );
     }
 }
 
@@ -134,18 +231,26 @@ fn run_explore(args: &[String]) -> ExitCode {
             return usage();
         }
     };
+    let objective = match parse_objective(args) {
+        Ok(o) => o.unwrap_or(Objective::MinimizeMakespan),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
     let opts = ExploreOptions {
         max_iterations: arg_num(args, "--iters", 5_000),
         warmup_iterations: arg_num(args, "--warmup", 1_200),
         seed: arg_num(args, "--seed", 1),
         lambda: arg_num(args, "--lambda", 0.5),
+        objective,
         ..ExploreOptions::default()
     };
     let chains: usize = arg_num(args, "--chains", 1);
 
     let (outcome, portfolio) = if chains > 1 {
         let popts = ParallelOptions {
-            base: opts,
+            base: opts.clone(),
             chains,
             threads: arg_num(args, "--threads", 0),
             exchange_every: arg_num(args, "--exchange-every", 500),
@@ -199,6 +304,25 @@ fn run_explore(args: &[String]) -> ExitCode {
         outcome.evaluation.breakdown.dynamic_reconfig,
         outcome.evaluation.breakdown.computation_communication
     );
+    println!("objective     : {}", describe_objective(&opts.objective));
+    let front = match &portfolio {
+        Some(p) => &p.front,
+        None => outcome.front(),
+    };
+    print_front(front);
+    if let Objective::Lexicographic { order } = &opts.objective {
+        // The engine's best snapshot is the tiered winner (ties on the
+        // primary axis are broken by lower tiers), so this vector is
+        // exactly the solution reported above and saved by
+        // --save-mapping. lexi_min over the merged front can only tie
+        // it on the ordered axes.
+        let win = &outcome.run.best_objectives;
+        debug_assert!(lexi_min(front, order).is_some());
+        println!(
+            "lexi winner   : ({:.1}, {}, {:.1}, {})",
+            win.makespan, win.clb_area as u32, win.reconfig_overhead, win.contexts as u32
+        );
+    }
     if let Some(p) = &portfolio {
         println!(
             "portfolio     : {} chains, winner {} | wall time {:?}",
@@ -243,7 +367,11 @@ fn run_explore(args: &[String]) -> ExitCode {
 
 /// One `--profile` line: step throughput, move statistics and the
 /// evaluator's allocation-free-step confirmation for one chain.
-fn print_profile(label: &str, run: &rdse::anneal::RunResult, stats: rdse::mapping::EvaluatorStats) {
+fn print_profile<C>(
+    label: &str,
+    run: &rdse::anneal::RunResult<C>,
+    stats: rdse::mapping::EvaluatorStats,
+) {
     let secs = run.elapsed.as_secs_f64();
     let steps_per_sec = if secs > 0.0 {
         run.iterations as f64 / secs
@@ -291,13 +419,51 @@ struct SweepPoint {
     makespan_ms: f64,
     n_contexts: usize,
     n_hw_tasks: usize,
+    /// Peak context CLB occupancy of the best mapping (the clb_area
+    /// objective — how much of the device the winner actually uses).
+    clb_area: u32,
     initial_reconfig_ms: f64,
     dynamic_reconfig_ms: f64,
     winner_chain: usize,
     iterations: u64,
     /// `true` when no other grid point has ≤ CLBs, ≤ bus rate *and*
-    /// ≤ makespan with at least one strict inequality.
+    /// ≤ makespan with at least one strict inequality — i.e. the point
+    /// is a member of the shared [`ParetoFront`] over the grid.
     pareto: bool,
+}
+
+impl SweepPoint {
+    /// The point's coordinates in the sweep's objective space
+    /// (device CLBs, bus rate, makespan — all minimized).
+    fn objectives(&self) -> SweepObjectives {
+        SweepObjectives {
+            clbs: self.clbs,
+            bus_bytes_per_micro: self.bus_bytes_per_micro,
+            makespan_ms: self.makespan_ms,
+        }
+    }
+}
+
+/// The sweep's objective space: provisioned area × bus rate ×
+/// achieved makespan, all minimized. A report-layer point, so it
+/// implements [`Dominance`] directly rather than through a scalarizable
+/// [`rdse::mapping::Cost`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SweepObjectives {
+    clbs: u32,
+    bus_bytes_per_micro: f64,
+    makespan_ms: f64,
+}
+
+impl Dominance for SweepObjectives {
+    fn dominates(&self, other: &Self) -> bool {
+        self.clbs <= other.clbs
+            && self.bus_bytes_per_micro <= other.bus_bytes_per_micro
+            && self.makespan_ms <= other.makespan_ms
+            && (self.clbs < other.clbs
+                || self.bus_bytes_per_micro < other.bus_bytes_per_micro
+                || self.makespan_ms < other.makespan_ms)
+    }
 }
 
 /// The full sweep report serialized to `--out`.
@@ -307,6 +473,8 @@ struct SweepReport {
     seed: u64,
     chains: usize,
     iterations_per_point: u64,
+    /// Members of the (clbs, bus, makespan) Pareto front over the grid.
+    front_size: usize,
     points: Vec<SweepPoint>,
 }
 
@@ -446,6 +614,7 @@ fn run_sweep(args: &[String]) -> ExitCode {
                             makespan_ms: p.evaluation.makespan.as_millis(),
                             n_contexts: p.evaluation.n_contexts,
                             n_hw_tasks: p.evaluation.n_hw_tasks,
+                            clb_area: p.evaluation.clb_area.value(),
                             initial_reconfig_ms: p
                                 .evaluation
                                 .breakdown
@@ -484,30 +653,29 @@ fn run_sweep(args: &[String]) -> ExitCode {
     rows.sort_by_key(|(idx, _)| *idx);
     let mut points: Vec<SweepPoint> = rows.into_iter().map(|(_, p)| p).collect();
 
-    // Pareto front over minimized (clbs, bus, makespan).
-    for i in 0..points.len() {
-        let dominated = points.iter().enumerate().any(|(j, q)| {
-            let p = &points[i];
-            j != i
-                && q.clbs <= p.clbs
-                && q.bus_bytes_per_micro <= p.bus_bytes_per_micro
-                && q.makespan_ms <= p.makespan_ms
-                && (q.clbs < p.clbs
-                    || q.bus_bytes_per_micro < p.bus_bytes_per_micro
-                    || q.makespan_ms < p.makespan_ms)
-        });
-        points[i].pareto = !dominated;
+    // Pareto front over minimized (clbs, bus, makespan), via the shared
+    // archive: a point is on the front iff its objective triple
+    // survives in the ParetoFront of the whole grid. (Duplicate
+    // triples share one archive slot, so equal corners are all
+    // flagged — exactly the old hand-rolled semantics.)
+    let mut grid_front = ParetoFront::new();
+    for p in &points {
+        grid_front.insert(p.objectives());
+    }
+    for p in &mut points {
+        p.pareto = grid_front.contains(&p.objectives());
     }
 
-    println!("clbs   bus_B_per_us  makespan_ms  contexts  hw_tasks  pareto");
+    println!("clbs   bus_B_per_us  makespan_ms  contexts  hw_tasks  clb_area  pareto");
     for p in &points {
         println!(
-            "{:>5}  {:>12.1}  {:>11.2}  {:>8}  {:>8}  {}",
+            "{:>5}  {:>12.1}  {:>11.2}  {:>8}  {:>8}  {:>8}  {}",
             p.clbs,
             p.bus_bytes_per_micro,
             p.makespan_ms,
             p.n_contexts,
             p.n_hw_tasks,
+            p.clb_area,
             if p.pareto { "*" } else { "" }
         );
     }
@@ -528,6 +696,7 @@ fn run_sweep(args: &[String]) -> ExitCode {
         seed,
         chains,
         iterations_per_point: iters,
+        front_size: grid_front.len(),
         points,
     };
     let out = arg_value(args, "--out").unwrap_or_else(|| "results/sweep.json".into());
@@ -542,17 +711,18 @@ fn run_sweep(args: &[String]) -> ExitCode {
     println!("report saved : {out}");
     if let Some(csv) = arg_value(args, "--csv") {
         let mut text = String::from(
-            "clbs,bus_bytes_per_micro,makespan_ms,n_contexts,n_hw_tasks,\
+            "clbs,bus_bytes_per_micro,makespan_ms,n_contexts,n_hw_tasks,clb_area,\
              initial_reconfig_ms,dynamic_reconfig_ms,winner_chain,iterations,pareto\n",
         );
         for p in &report.points {
             text.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
                 p.clbs,
                 p.bus_bytes_per_micro,
                 p.makespan_ms,
                 p.n_contexts,
                 p.n_hw_tasks,
+                p.clb_area,
                 p.initial_reconfig_ms,
                 p.dynamic_reconfig_ms,
                 p.winner_chain,

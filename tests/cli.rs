@@ -1,0 +1,104 @@
+//! CLI smoke tests for the multi-objective flags: malformed
+//! `--objective` specs are rejected with exit code 2 and an actionable
+//! message; well-formed specs run and report a Pareto front.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::OnceLock;
+
+fn rdse(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rdse"))
+        .args(args)
+        .output()
+        .expect("rdse binary runs")
+}
+
+/// Generates the motion benchmark models once per test binary.
+fn models() -> &'static (String, String) {
+    static MODELS: OnceLock<(String, String)> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let dir: PathBuf = std::env::temp_dir().join("rdse_cli_smoke");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let out = rdse(&[
+            "generate",
+            "motion",
+            "--clbs",
+            "2000",
+            "--dir",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "generate failed: {out:?}");
+        (
+            dir.join("motion-app.json").to_str().unwrap().to_owned(),
+            dir.join("motion-arch.json").to_str().unwrap().to_owned(),
+        )
+    })
+}
+
+fn explore_with_objective(objective: &str) -> Output {
+    let (app, arch) = models();
+    rdse(&[
+        "explore",
+        "--app",
+        app,
+        "--arch",
+        arch,
+        "--iters",
+        "300",
+        "--warmup",
+        "60",
+        "--seed",
+        "1",
+        "--objective",
+        objective,
+    ])
+}
+
+#[test]
+fn malformed_objective_specs_exit_with_code_2() {
+    for (spec, expect) in [
+        ("bogus:1", "unknown --objective scheme"),
+        ("weighted:1,2", "exactly 3 weights"),
+        ("weighted:1,2,3,4", "exactly 3 weights"),
+        ("weighted:1,abc,0", "is not a number"),
+        ("weighted:-1,2,0", "finite non-negative"),
+        ("weighted:0,0,0", "at least one positive weight"),
+        ("lexi:makespan,energy", "unknown axis 'energy'"),
+        ("lexi:makespan,makespan", "listed twice"),
+        ("lexi:", "unknown axis"),
+    ] {
+        let out = explore_with_objective(spec);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "spec '{spec}' should exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(expect),
+            "spec '{spec}': stderr missing '{expect}':\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn valid_objective_specs_run_and_report_a_front() {
+    for spec in ["makespan", "weighted:1,5,0.5", "lexi:makespan,area"] {
+        let out = explore_with_objective(spec);
+        assert!(
+            out.status.success(),
+            "spec '{spec}' failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("pareto front  :"),
+            "spec '{spec}': no front report:\n{stdout}"
+        );
+        assert!(stdout.contains("objective     :"), "{stdout}");
+    }
+    // The lexicographic run also names its front-selected winner.
+    let out = explore_with_objective("lexi:makespan,area");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("lexi winner"));
+}
