@@ -24,7 +24,7 @@ fn motion_search_graph() -> (rdse_graph::Digraph, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(3);
     let mapping = random_initial(&app, &arch, &mut rng);
     let sg = SearchGraph::build(&app, &arch, &mapping);
-    (sg.graph().clone(), sg.node_weights().to_vec())
+    (sg.graph().to_digraph(), sg.node_weights().to_vec())
 }
 
 fn find_insertable(g: &rdse_graph::Digraph) -> (NodeId, NodeId) {

@@ -5,10 +5,10 @@
 //! into a *population* property: a registry of parameterized scenario
 //! families — workload shapes × platform templates — each enumerable
 //! deterministically from a `(family, params, seed)` triple, a batch
-//! runner fanning scenarios across threads, and a **three-way
+//! runner fanning scenarios across threads, and a **four-way
 //! differential oracle** gating every result.
 //!
-//! ## The three-way oracle
+//! ## The four-way oracle
 //!
 //! Three independent engines compute the same quantity by different
 //! means, and must agree **bit for bit** on every scenario:

@@ -1,6 +1,6 @@
-//! The three-way differential oracle.
+//! The four-way differential oracle.
 //!
-//! For a scenario's mapping, three independent engines must agree on
+//! For a scenario's mapping, four independent engines must agree on
 //! the makespan **bit for bit**:
 //!
 //! 1. the incremental, arena-backed [`Evaluator`] (the annealing hot
@@ -8,12 +8,16 @@
 //! 2. the from-scratch [`evaluate`] (the paper's reference
 //!    longest-path scoring);
 //! 3. the discrete-event simulator in contention-free mode, where the
-//!    simulated makespan provably equals the analytic longest path.
+//!    simulated makespan provably equals the analytic longest path;
+//! 4. the bounded-repair delta path
+//!    ([`Evaluator::evaluate_delta`]) driven along the walk move by
+//!    move, and [`Evaluator::evaluate_batch`] re-scoring the accepted
+//!    walk states as multi-move diffs against the initial mapping.
 //!
 //! Two invariants ride along: simulating with an exclusive bus can
 //! never beat the contention-free run, and every move proposal's
 //! [`MoveDelta`](rdse_mapping::MoveDelta) must undo to a bit-identical
-//! mapping. The check then repeats the three-way comparison along a
+//! mapping. The check then repeats the comparison along a
 //! deterministic random walk, so divergence hiding behind the initial
 //! solution is also caught.
 
@@ -41,6 +45,12 @@ pub struct OracleReport {
     pub moves_checked: u32,
     /// Walk states (accepted moves) re-verified three ways.
     pub moves_applied: u32,
+    /// Walk moves whose bounded-repair delta summary was verified
+    /// against the full evaluation (the fourth leg).
+    pub repair_checked: u32,
+    /// Accepted walk states re-scored through `evaluate_batch` and
+    /// verified bit-for-bit against their sequential summaries.
+    pub batch_checked: u32,
 }
 
 /// Why the oracle rejected a scenario. The variants name the diverging
@@ -106,6 +116,31 @@ pub enum OracleFailure {
         /// Minimum makespan bits over the front.
         front_min: u64,
     },
+    /// Bounded-repair delta summary differs from the full evaluation.
+    RepairVsFull {
+        /// Repair-path makespan bits.
+        repair: u64,
+        /// Full-evaluation makespan bits.
+        full: u64,
+        /// Walk step of the diverging move.
+        step: u32,
+    },
+    /// The repair path and the full evaluation disagree on
+    /// feasibility.
+    RepairFeasibilityDiverged {
+        /// Walk step at which they disagreed.
+        step: u32,
+    },
+    /// `evaluate_batch` summary differs from the sequential summary of
+    /// the same candidate.
+    BatchVsSequential {
+        /// Batch makespan bits.
+        batch: u64,
+        /// Sequential makespan bits.
+        sequential: u64,
+        /// Candidate index within the batch.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for OracleFailure {
@@ -161,6 +196,24 @@ impl std::fmt::Display for OracleFailure {
             OracleFailure::FrontBestDiverged { best, front_min } => write!(
                 f,
                 "front minimum makespan {front_min:#x} disagrees with winner {best:#x}"
+            ),
+            OracleFailure::RepairVsFull { repair, full, step } => write!(
+                f,
+                "bounded-repair delta diverged from full evaluation at step {step}: \
+                 {repair:#x} vs {full:#x}"
+            ),
+            OracleFailure::RepairFeasibilityDiverged { step } => write!(
+                f,
+                "repair path and full evaluation disagree on feasibility at step {step}"
+            ),
+            OracleFailure::BatchVsSequential {
+                batch,
+                sequential,
+                index,
+            } => write!(
+                f,
+                "evaluate_batch diverged from sequential evaluation on candidate {index}: \
+                 {batch:#x} vs {sequential:#x}"
             ),
         }
     }
@@ -254,7 +307,7 @@ fn check_state(
 /// Runs the full differential check on `mapping`, then walks
 /// `walk_steps` deterministic move proposals (seeded by `walk_seed`),
 /// verifying the delta-undo round trip on every proposal and the
-/// three-way agreement on every feasible walk state.
+/// four-way agreement on every feasible walk state.
 ///
 /// # Errors
 ///
@@ -269,6 +322,20 @@ pub fn differential_check(
 ) -> Result<OracleReport, OracleFailure> {
     let mut evaluator = Evaluator::new(app, arch);
     let (makespan, contention_makespan) = check_state(app, arch, &mut evaluator, mapping, 0)?;
+
+    // The fourth leg's evaluator advances move by move through
+    // evaluate_delta (the certified ordered sweep / full fall-back
+    // machinery), never through a fresh full synchronization, so a
+    // repair bug cannot hide behind the full passes the other legs do.
+    let mut repair_eval = Evaluator::new(app, arch);
+    repair_eval
+        .evaluate(mapping)
+        .map_err(|e| OracleFailure::Engine(format!("repair-leg synchronization: {e}")))?;
+    let mut repair_checked = 0;
+    // Accepted walk states (capped) re-scored through evaluate_batch
+    // as multi-move diffs against the initial mapping.
+    const BATCH_CAP: usize = 8;
+    let mut batch_states: Vec<(Mapping, u64)> = Vec::new();
 
     let mut walk = mapping.clone();
     let mut rng = StdRng::seed_from_u64(walk_seed);
@@ -304,12 +371,35 @@ pub fn differential_check(
         // three ways (check_state runs from-scratch once and catches
         // the accepts-but-scratch-rejects direction); infeasible ones
         // are reversed exactly as the annealer's rejection path does.
+        let repair = repair_eval.evaluate_delta(&walk, outcome.delta.task());
         match evaluator.evaluate(&walk) {
-            Ok(_) => {
+            Ok(full) => {
+                // Fourth leg: the bounded-repair summary of this move
+                // must equal the full evaluation bit for bit.
+                match repair {
+                    Ok(summary) if summary == full => repair_checked += 1,
+                    Ok(summary) => {
+                        return Err(OracleFailure::RepairVsFull {
+                            repair: summary.makespan.value().to_bits(),
+                            full: full.makespan.value().to_bits(),
+                            step,
+                        });
+                    }
+                    Err(_) => return Err(OracleFailure::RepairFeasibilityDiverged { step }),
+                }
                 check_state(app, arch, &mut evaluator, &walk, step)?;
                 moves_applied += 1;
+                if batch_states.len() < BATCH_CAP {
+                    batch_states.push((walk.clone(), full.makespan.value().to_bits()));
+                }
             }
             Err(_) => {
+                // The repair leg must reject too (its error path
+                // self-reverts, keeping it synced to the last accepted
+                // state).
+                if repair.is_ok() {
+                    return Err(OracleFailure::RepairFeasibilityDiverged { step });
+                }
                 if evaluate(app, arch, &walk).is_ok() {
                     return Err(OracleFailure::FeasibilityDisagreement { step });
                 }
@@ -321,11 +411,44 @@ pub fn differential_check(
         }
     }
 
+    // Batch leg: one evaluate_batch call re-scores the accepted walk
+    // states as arbitrary multi-move diffs against the initial
+    // mapping; every summary must reproduce the sequential result.
+    let mut batch_checked = 0;
+    if !batch_states.is_empty() {
+        let mut batch_eval = Evaluator::new(app, arch);
+        let candidates: Vec<Mapping> = batch_states.iter().map(|(m, _)| m.clone()).collect();
+        let results = batch_eval
+            .evaluate_batch(mapping, &candidates)
+            .map_err(|e| OracleFailure::Engine(format!("batch evaluation: {e}")))?;
+        for (index, (result, (_, expected))) in results.iter().zip(&batch_states).enumerate() {
+            match result {
+                Ok(summary) if summary.makespan.value().to_bits() == *expected => {
+                    batch_checked += 1;
+                }
+                Ok(summary) => {
+                    return Err(OracleFailure::BatchVsSequential {
+                        batch: summary.makespan.value().to_bits(),
+                        sequential: *expected,
+                        index,
+                    });
+                }
+                Err(e) => {
+                    return Err(OracleFailure::Engine(format!(
+                        "batch evaluation of accepted state {index}: {e}"
+                    )));
+                }
+            }
+        }
+    }
+
     Ok(OracleReport {
         makespan,
         contention_makespan,
         moves_checked,
         moves_applied,
+        repair_checked,
+        batch_checked,
     })
 }
 

@@ -1,6 +1,6 @@
 //! The batch runner: fans scenarios across a worker pool, explores
 //! each with the portfolio engine, gates every result behind the
-//! three-way differential oracle and emits an NDJSON result matrix.
+//! four-way differential oracle and emits an NDJSON result matrix.
 //!
 //! Determinism: each scenario's exploration is a pure function of its
 //! spec (the portfolio engine is thread-count invariant), scenarios are
@@ -100,6 +100,13 @@ pub struct ScenarioRecord {
     pub oracle_moves_checked: u32,
     /// Walk states re-verified three ways.
     pub oracle_moves_applied: u32,
+    /// Walk moves verified through the bounded-repair leg (NDJSON
+    /// only; the golden projection predates the fourth leg and stays
+    /// byte-stable).
+    pub oracle_repair_checked: u32,
+    /// Accepted states re-verified through `evaluate_batch` (NDJSON
+    /// only, like `oracle_repair_checked`).
+    pub oracle_batch_checked: u32,
     /// Annealing steps per second (wall-clock; **not** part of the
     /// golden projection).
     pub steps_per_sec: f64,
@@ -144,11 +151,16 @@ impl ScenarioRecord {
     }
 
     /// The full NDJSON line: the golden projection plus wall-clock
-    /// throughput.
+    /// throughput and the fourth-leg oracle counters (suffix-only
+    /// additions, so the golden snapshot stays byte-identical).
     pub fn ndjson_line(&self) -> String {
         let mut line = self.golden_line();
         line.truncate(line.len() - 1); // strip the closing brace
-        line.push_str(&format!(",\"steps_per_sec\":{:.0}}}", self.steps_per_sec));
+        line.push_str(&format!(
+            ",\"steps_per_sec\":{:.0},\"oracle_repair_checked\":{},\
+             \"oracle_batch_checked\":{}}}",
+            self.steps_per_sec, self.oracle_repair_checked, self.oracle_batch_checked
+        ));
         line
     }
 }
@@ -270,7 +282,7 @@ fn run_scenario(
     )
     .map_err(|e| fail(format!("oracle: {e}")))?;
 
-    // Front invariants ride along with the three-way check: the merged
+    // Front invariants ride along with the four-way check: the merged
     // portfolio archive must be mutually non-dominated and must carry
     // the scalar winner.
     let best_vector = CostVector::from_summary(&portfolio.evaluation.summary());
@@ -304,6 +316,8 @@ fn run_scenario(
         contention_makespan: oracle.contention_makespan,
         oracle_moves_checked: oracle.moves_checked,
         oracle_moves_applied: oracle.moves_applied,
+        oracle_repair_checked: oracle.repair_checked,
+        oracle_batch_checked: oracle.batch_checked,
         steps_per_sec: if secs > 0.0 {
             iterations as f64 / secs
         } else {
@@ -313,7 +327,7 @@ fn run_scenario(
 }
 
 /// Runs the corpus: every scenario explored by the portfolio engine and
-/// gated behind the three-way differential oracle, fanned across
+/// gated behind the four-way differential oracle, fanned across
 /// `opts.threads` workers.
 ///
 /// # Errors
@@ -444,12 +458,33 @@ mod tests {
 
     #[test]
     fn ndjson_adds_only_throughput() {
+        // The extra NDJSON columns (throughput, fourth-leg counters)
+        // are strictly a suffix of the golden projection: the golden
+        // snapshot's bytes never move when NDJSON-only columns land.
         let report = run_corpus(&tiny_specs()[..1], &tiny_opts()).expect("runs");
         let golden = report.records[0].golden_line();
         let full = report.records[0].ndjson_line();
         assert!(full.starts_with(golden.trim_end_matches('}')));
         assert!(full.contains("\"steps_per_sec\":"));
+        assert!(full.contains("\"oracle_repair_checked\":"));
+        assert!(full.contains("\"oracle_batch_checked\":"));
         assert!(!golden.contains("steps_per_sec"));
+        assert!(!golden.contains("oracle_repair_checked"));
+        assert!(!golden.contains("oracle_batch_checked"));
+    }
+
+    #[test]
+    fn oracle_fourth_leg_runs_on_the_tiny_corpus() {
+        let report = run_corpus(&tiny_specs(), &tiny_opts()).expect("tiny corpus passes");
+        for r in &report.records {
+            // Every accepted walk state went through the repair leg,
+            // and the batch leg re-scored a (capped) prefix of them.
+            assert_eq!(r.oracle_repair_checked, r.oracle_moves_applied);
+            assert_eq!(
+                r.oracle_batch_checked,
+                (r.oracle_moves_applied as usize).min(8) as u32
+            );
+        }
     }
 
     #[test]

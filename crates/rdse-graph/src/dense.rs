@@ -1,0 +1,1423 @@
+//! Data-oriented DAG storage and bounded-repair longest path.
+//!
+//! [`Digraph`] optimizes for cheap edge edits; the annealing hot path
+//! wants the opposite trade: a fixed edge structure scanned millions of
+//! times with mutable *weights*. [`DenseDag`] stores the graph in CSR
+//! form — flat `u32` slabs for both edge directions, structure-of-arrays
+//! node and edge attributes — so a longest-path relaxation touches
+//! contiguous memory and no per-node `Vec` headers.
+//!
+//! On top of it, [`IncrementalLongestPath`] maintains completion labels
+//! under *bounded repair*: after a delta that changes the weights or
+//! local edge structure around a touched node set `T`, only a suffix
+//! of a maintained topological order (or the descendant cone of `T`)
+//! is relabeled, with a fall-back to a full Kahn pass when the order
+//! cannot absorb the change. Three repair flavors coexist:
+//!
+//! * [`IncrementalLongestPath::repair`] — cone-local Kahn over the
+//!   descendant cone of the seeds (seeded through a [`FixedBitSet`]
+//!   frontier), bounded by a relaxation threshold;
+//! * [`IncrementalLongestPath::repair_ordered`] — a lazily *checked*
+//!   forward sweep over the maintained order that detects on the fly
+//!   when the order no longer serializes the edges and falls back;
+//! * [`IncrementalLongestPath::sweep_certified`] — a check-free sweep
+//!   over the order suffix from the first seed, for callers that have
+//!   already certified order validity (via
+//!   [`IncrementalLongestPath::reposition`] +
+//!   [`IncrementalLongestPath::order_pos`] edge verification). This is
+//!   the annealing hot path: one branch-light pass, no per-node
+//!   bookkeeping.
+//!
+//! All label changes are journaled, so a rejected move rolls back to
+//! bit-identical labels — including the maintained order, which is
+//! snapshotted once per journal window.
+//!
+//! # Determinism
+//!
+//! Every completion label is `w(v) + max(0, max over in-edges (u,v):
+//! comp(u) + w(u,v))` — a maximum over a finite candidate set. IEEE-754
+//! `max` is order-independent in *value* for finite inputs, so the
+//! label fixpoint on a DAG is unique: any relaxation schedule that
+//! processes every node whose candidate set changed (cone, checked
+//! sweep, certified suffix sweep, or full pass) lands on the same
+//! bits. A sweep may also re-relax *unchanged* nodes; that rewrites
+//! their labels with identical bits. The critical-path predecessor of
+//! each node — chosen by a strict `>` scan over the node's in-edges in
+//! storage order — is reproduced identically as well because it
+//! depends only on the node's own candidate sequence.
+
+use crate::bitset::FixedBitSet;
+use crate::longest_path::LongestPath;
+use crate::{Digraph, GraphError, NodeId};
+
+/// Sentinel for "no critical predecessor" in the dense label arrays.
+const NO_PRED: u32 = u32::MAX;
+
+/// A directed graph in CSR (compressed sparse row) form with mutable
+/// node and edge weights but a fixed edge structure.
+///
+/// Edges keep their insertion index (*edge id*); both the out- and the
+/// in-adjacency slabs preserve insertion order, so traversals enumerate
+/// neighbours exactly as [`Digraph`] would after the same `add_edge`
+/// sequence. Parallel edges and cycles are representable (cycles are
+/// rejected by [`DenseDag::longest_path`], not by construction).
+///
+/// # Examples
+///
+/// ```
+/// use rdse_graph::DenseDag;
+///
+/// # fn main() -> Result<(), rdse_graph::GraphError> {
+/// let g = DenseDag::from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)], &[1.0, 1.0, 1.0])?;
+/// assert_eq!(g.longest_path()?.makespan(), 8.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseDag {
+    n: usize,
+    out_start: Vec<u32>,
+    out_target: Vec<u32>,
+    out_eid: Vec<u32>,
+    in_start: Vec<u32>,
+    in_source: Vec<u32>,
+    in_eid: Vec<u32>,
+    edge_from: Vec<u32>,
+    edge_to: Vec<u32>,
+    edge_w: Vec<f64>,
+    node_w: Vec<f64>,
+}
+
+impl DenseDag {
+    /// Builds a dense graph over nodes `0..n` from an edge list.
+    ///
+    /// The edge id of `edges[i]` is `i`; adjacency slabs preserve the
+    /// relative order of `edges` per source and per target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] for invalid endpoints and
+    /// [`GraphError::SelfLoop`] if any edge has equal endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_weights.len() != n`.
+    pub fn from_edges(
+        n: usize,
+        edges: &[(u32, u32, f64)],
+        node_weights: &[f64],
+    ) -> Result<Self, GraphError> {
+        assert_eq!(
+            node_weights.len(),
+            n,
+            "node weight slice must match node count"
+        );
+        for &(u, v, _) in edges {
+            for node in [u, v] {
+                if node as usize >= n {
+                    return Err(GraphError::NodeOutOfBounds {
+                        node: NodeId(node),
+                        n_nodes: n,
+                    });
+                }
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(NodeId(u)));
+            }
+        }
+        let m = edges.len();
+        let mut out_start = vec![0u32; n + 1];
+        let mut in_start = vec![0u32; n + 1];
+        for &(u, v, _) in edges {
+            out_start[u as usize + 1] += 1;
+            in_start[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_start[i + 1] += out_start[i];
+            in_start[i + 1] += in_start[i];
+        }
+        let mut out_cursor: Vec<u32> = out_start[..n].to_vec();
+        let mut in_cursor: Vec<u32> = in_start[..n].to_vec();
+        let mut out_target = vec![0u32; m];
+        let mut out_eid = vec![0u32; m];
+        let mut in_source = vec![0u32; m];
+        let mut in_eid = vec![0u32; m];
+        for (eid, &(u, v, _)) in edges.iter().enumerate() {
+            let oc = &mut out_cursor[u as usize];
+            out_target[*oc as usize] = v;
+            out_eid[*oc as usize] = eid as u32;
+            *oc += 1;
+            let ic = &mut in_cursor[v as usize];
+            in_source[*ic as usize] = u;
+            in_eid[*ic as usize] = eid as u32;
+            *ic += 1;
+        }
+        Ok(DenseDag {
+            n,
+            out_start,
+            out_target,
+            out_eid,
+            in_start,
+            in_source,
+            in_eid,
+            edge_from: edges.iter().map(|e| e.0).collect(),
+            edge_to: edges.iter().map(|e| e.1).collect(),
+            edge_w: edges.iter().map(|e| e.2).collect(),
+            node_w: node_weights.to_vec(),
+        })
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (parallel edges counted individually).
+    pub fn n_edges(&self) -> usize {
+        self.edge_w.len()
+    }
+
+    /// Weight of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn node_weight(&self, v: u32) -> f64 {
+        self.node_w[v as usize]
+    }
+
+    /// Sets the weight of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn set_node_weight(&mut self, v: u32, weight: f64) {
+        self.node_w[v as usize] = weight;
+    }
+
+    /// Weight of edge `eid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eid` is out of bounds.
+    #[inline]
+    pub fn edge_weight(&self, eid: u32) -> f64 {
+        self.edge_w[eid as usize]
+    }
+
+    /// Sets the weight of edge `eid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eid` is out of bounds.
+    #[inline]
+    pub fn set_edge_weight(&mut self, eid: u32, weight: f64) {
+        self.edge_w[eid as usize] = weight;
+    }
+
+    /// Endpoints `(from, to)` of edge `eid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eid` is out of bounds.
+    #[inline]
+    pub fn edge_endpoints(&self, eid: u32) -> (u32, u32) {
+        (self.edge_from[eid as usize], self.edge_to[eid as usize])
+    }
+
+    /// Out-edges of `v` as `(target, edge id)`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn out_edges(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.out_start[v as usize] as usize;
+        let hi = self.out_start[v as usize + 1] as usize;
+        self.out_target[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.out_eid[lo..hi].iter().copied())
+    }
+
+    /// In-edges of `v` as `(source, edge id)`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn in_edges(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.in_start[v as usize] as usize;
+        let hi = self.in_start[v as usize + 1] as usize;
+        self.in_source[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.in_eid[lo..hi].iter().copied())
+    }
+
+    /// Converts back to an edit-friendly [`Digraph`] with the same edge
+    /// insertion order (edge ids become insertion ranks).
+    pub fn to_digraph(&self) -> Digraph {
+        let mut g = Digraph::new(self.n);
+        for eid in 0..self.edge_w.len() {
+            g.add_edge(
+                NodeId(self.edge_from[eid]),
+                NodeId(self.edge_to[eid]),
+                self.edge_w[eid],
+            )
+            .expect("DenseDag edges are valid by construction");
+        }
+        g
+    }
+
+    /// Topological order with ties broken by node index, mirroring
+    /// [`crate::topo::topo_sort`] exactly.
+    fn topo_order(&self) -> Result<Vec<u32>, GraphError> {
+        let n = self.n;
+        let mut in_deg: Vec<u32> = (0..n)
+            .map(|v| self.in_start[v + 1] - self.in_start[v])
+            .collect();
+        let mut frontier: Vec<u32> = (0..n as u32).filter(|&v| in_deg[v as usize] == 0).collect();
+        frontier.sort_unstable_by_key(|&v| std::cmp::Reverse(v));
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = frontier.pop() {
+            order.push(v);
+            for (s, _) in self.out_edges(v) {
+                let d = &mut in_deg[s as usize];
+                *d -= 1;
+                if *d == 0 {
+                    let pos = frontier
+                        .binary_search_by_key(&std::cmp::Reverse(s), |&x| std::cmp::Reverse(x));
+                    let pos = pos.unwrap_or_else(|p| p);
+                    frontier.insert(pos, s);
+                }
+            }
+        }
+        if order.len() != n {
+            let on_cycle = (0..n)
+                .find(|&v| in_deg[v] > 0)
+                .expect("cycle implies a node with nonzero residual in-degree");
+            return Err(GraphError::Cycle {
+                on_cycle: NodeId(on_cycle as u32),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Longest path of the DAG, bit-identical to
+    /// [`crate::longest_path::dag_longest_path`] on a [`Digraph`] built
+    /// with the same edge insertion sequence (same labels, same
+    /// critical predecessors, same terminal tie-breaks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the graph is not acyclic.
+    pub fn longest_path(&self) -> Result<LongestPath, GraphError> {
+        let order = self.topo_order()?;
+        let n = self.n;
+        let mut completion = vec![0.0_f64; n];
+        let mut critical_pred: Vec<Option<NodeId>> = vec![None; n];
+        let mut makespan = 0.0_f64;
+        let mut terminal = None;
+        for &v in &order {
+            let mut best = 0.0_f64;
+            let mut best_pred = None;
+            // Mirror the reference enumeration: per predecessor *entry*,
+            // scan all of that predecessor's out-edges towards `v`, so
+            // parallel-edge tie-breaks agree with `dag_longest_path`.
+            for (p, _) in self.in_edges(v) {
+                for (s, eid) in self.out_edges(p) {
+                    if s == v {
+                        let cand = completion[p as usize] + self.edge_w[eid as usize];
+                        if cand > best {
+                            best = cand;
+                            best_pred = Some(NodeId(p));
+                        }
+                    }
+                }
+            }
+            completion[v as usize] = best + self.node_w[v as usize];
+            critical_pred[v as usize] = best_pred;
+            if completion[v as usize] > makespan {
+                makespan = completion[v as usize];
+                terminal = Some(NodeId(v));
+            }
+        }
+        Ok(LongestPath::from_parts(
+            completion,
+            critical_pred,
+            makespan,
+            terminal,
+        ))
+    }
+}
+
+/// A graph view the incremental longest path can relax over.
+///
+/// The two traversal methods take generic closures (monomorphized, no
+/// virtual dispatch on the hot path) and must enumerate each edge
+/// exactly once per direction, in a deterministic order. `for_each_in`
+/// also yields the edge weight, since the pull-style relaxation only
+/// ever needs weights on incoming edges.
+pub trait RepairGraph {
+    /// Number of nodes (labels are indexed `0..n_nodes()`).
+    fn n_nodes(&self) -> usize;
+    /// Weight of node `v`.
+    fn node_weight(&self, v: u32) -> f64;
+    /// Calls `f(target)` for every out-edge of `v`.
+    fn for_each_out<F: FnMut(u32)>(&self, v: u32, f: F);
+    /// Calls `f(source, weight)` for every in-edge of `v`.
+    fn for_each_in<F: FnMut(u32, f64)>(&self, v: u32, f: F);
+    /// Number of in-edges of `v`. The default counts via
+    /// [`for_each_in`](Self::for_each_in); implementations with a
+    /// closed form (e.g. CSR extents plus marker bits) should override
+    /// it — [`IncrementalLongestPath`]'s full pass derives its Kahn
+    /// in-degrees from this, skipping a whole edge enumeration.
+    #[inline]
+    fn in_degree(&self, v: u32) -> u32 {
+        let mut d = 0u32;
+        self.for_each_in(v, |_, _| d += 1);
+        d
+    }
+}
+
+impl RepairGraph for DenseDag {
+    #[inline]
+    fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn node_weight(&self, v: u32) -> f64 {
+        self.node_w[v as usize]
+    }
+
+    #[inline]
+    fn for_each_out<F: FnMut(u32)>(&self, v: u32, mut f: F) {
+        let lo = self.out_start[v as usize] as usize;
+        let hi = self.out_start[v as usize + 1] as usize;
+        for &t in &self.out_target[lo..hi] {
+            f(t);
+        }
+    }
+
+    #[inline]
+    fn for_each_in<F: FnMut(u32, f64)>(&self, v: u32, mut f: F) {
+        let lo = self.in_start[v as usize] as usize;
+        let hi = self.in_start[v as usize + 1] as usize;
+        for (&u, &eid) in self.in_source[lo..hi].iter().zip(&self.in_eid[lo..hi]) {
+            f(u, self.edge_w[eid as usize]);
+        }
+    }
+
+    #[inline]
+    fn in_degree(&self, v: u32) -> u32 {
+        self.in_start[v as usize + 1] - self.in_start[v as usize]
+    }
+}
+
+/// Counters describing how the incremental longest path ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairStats {
+    /// Bounded repairs that completed without falling back.
+    pub repairs: u64,
+    /// Full Kahn passes (explicit [`IncrementalLongestPath::full`]
+    /// calls plus threshold fall-backs during repair).
+    pub full_passes: u64,
+    /// Repairs whose cone exceeded the threshold and fell back to a
+    /// full pass (a subset of `full_passes`).
+    pub fallbacks: u64,
+    /// Largest repair cone relabeled by a bounded repair.
+    pub max_cone: u64,
+    /// Total nodes across all bounded-repair cones (for mean size).
+    pub cone_nodes: u64,
+}
+
+impl RepairStats {
+    /// Mean bounded-repair cone size (0 when no repairs ran).
+    pub fn mean_cone(&self) -> f64 {
+        if self.repairs == 0 {
+            0.0
+        } else {
+            self.cone_nodes as f64 / self.repairs as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct JournalEntry {
+    node: u32,
+    comp: f64,
+    pred: u32,
+}
+
+/// Incrementally maintained longest-path labels with bounded repair.
+///
+/// The structure owns one completion label and one critical-predecessor
+/// per node, kept consistent with some [`RepairGraph`] by the caller:
+///
+/// 1. [`full`](Self::full) computes labels from scratch (Kahn);
+/// 2. after a delta touching node set `T`, [`repair`](Self::repair)
+///    relabels only the descendant cone of `T` — or the whole graph if
+///    the cone exceeds the [threshold](Self::set_threshold);
+/// 3. [`rollback`](Self::rollback) undoes the label changes of the most
+///    recent `full`/`repair` call (each call journals old labels), so a
+///    rejected annealing move costs one replay instead of a recompute.
+///
+/// Labels after `repair` are bit-identical to a full recompute; see the
+/// [module docs](self) for the argument.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_graph::{DenseDag, IncrementalLongestPath};
+///
+/// # fn main() -> Result<(), rdse_graph::GraphError> {
+/// let mut g = DenseDag::from_edges(3, &[(0, 1, 0.0), (1, 2, 0.0)], &[1.0, 1.0, 1.0])?;
+/// let mut lp = IncrementalLongestPath::new(3);
+/// lp.full(&g)?;
+/// assert_eq!(lp.makespan(), 3.0);
+/// g.set_node_weight(1, 5.0);
+/// lp.repair(&g, &[1])?; // relabels only {1, 2}
+/// assert_eq!(lp.makespan(), 7.0);
+/// lp.rollback();
+/// assert_eq!(lp.makespan(), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalLongestPath {
+    comp: Vec<f64>,
+    pred: Vec<u32>,
+    cone: FixedBitSet,
+    cone_list: Vec<u32>,
+    indeg: Vec<u32>,
+    frontier: Vec<u32>,
+    journal: Vec<JournalEntry>,
+    threshold: usize,
+    /// Topological order recorded by the last full pass (`ord[i]` is
+    /// the node at position `i`; `pos` is its inverse). Used by
+    /// [`repair_ordered`](Self::repair_ordered) as a relaxation
+    /// schedule and acyclicity certificate.
+    ord: Vec<u32>,
+    pos: Vec<u32>,
+    /// Pre-delta backup of `ord`/`pos`, snapshotted once per journal
+    /// window by the first full pass that overwrites them, so
+    /// [`rollback`](Self::rollback) can restore the order along with
+    /// the labels.
+    ord_backup: Vec<u32>,
+    pos_backup: Vec<u32>,
+    ord_swapped: bool,
+    /// Generation stamps for the ordered sweep: a node is *dirty* in
+    /// the current sweep iff `dirty_gen[v] == gen`, and *processed*
+    /// iff `proc_gen[v] == gen` (no per-sweep clearing).
+    dirty_gen: Vec<u64>,
+    proc_gen: Vec<u64>,
+    gen: u64,
+    stats: RepairStats,
+}
+
+impl IncrementalLongestPath {
+    /// Creates label storage for `n` nodes with the default fall-back
+    /// threshold of `n / 2` (a bounded repair does roughly twice the
+    /// per-node work of a full pass, so beyond half the graph the full
+    /// pass wins).
+    pub fn new(n: usize) -> Self {
+        IncrementalLongestPath {
+            comp: vec![0.0; n],
+            pred: vec![NO_PRED; n],
+            cone: FixedBitSet::new(n),
+            cone_list: Vec::new(),
+            indeg: vec![0; n],
+            frontier: Vec::new(),
+            journal: Vec::new(),
+            threshold: n / 2,
+            ord: (0..n as u32).collect(),
+            pos: (0..n as u32).collect(),
+            ord_backup: vec![0; n],
+            pos_backup: vec![0; n],
+            ord_swapped: false,
+            dirty_gen: vec![0; n],
+            proc_gen: vec![0; n],
+            gen: 0,
+            stats: RepairStats::default(),
+        }
+    }
+
+    /// Sets the cone size above which `repair` falls back to a full
+    /// pass. `0` forces a full pass on every non-empty repair; a value
+    /// `>= n` disables the fall-back.
+    pub fn set_threshold(&mut self, threshold: usize) {
+        self.threshold = threshold;
+    }
+
+    /// Current fall-back threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> RepairStats {
+        self.stats
+    }
+
+    /// All completion labels, indexed by node.
+    pub fn labels(&self) -> &[f64] {
+        &self.comp
+    }
+
+    /// Completion label of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn label(&self, v: u32) -> f64 {
+        self.comp[v as usize]
+    }
+
+    /// The longest-path value: the maximum completion label (0 for an
+    /// empty graph).
+    pub fn makespan(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for &c in &self.comp {
+            if c > best {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// One critical path, from a source to the lowest-indexed node
+    /// achieving the makespan, in execution order. Empty if every label
+    /// is zero or the graph has no nodes.
+    pub fn critical_path(&self) -> Vec<u32> {
+        let mut best = 0.0_f64;
+        let mut terminal = None;
+        for (i, &c) in self.comp.iter().enumerate() {
+            if c > best {
+                best = c;
+                terminal = Some(i as u32);
+            }
+        }
+        let mut path = Vec::new();
+        let mut cur = terminal;
+        while let Some(v) = cur {
+            path.push(v);
+            let p = self.pred[v as usize];
+            cur = (p != NO_PRED).then_some(p);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Number of label changes journaled by the most recent
+    /// `full`/`repair` call (distinct nodes, unless a node was relaxed
+    /// to a new value more than once).
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Combined capacity of the reusable scratch vectors, for arena
+    /// warmness accounting.
+    pub fn scratch_capacity(&self) -> usize {
+        self.cone_list.capacity() + self.frontier.capacity() + self.journal.capacity()
+    }
+
+    /// Recomputes every label with a full Kahn pass over `g`.
+    ///
+    /// Old labels are journaled, so [`rollback`](Self::rollback) undoes
+    /// this call. On a cycle the partially updated labels are left in
+    /// place for the caller to roll back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if `g` is not acyclic.
+    pub fn full<G: RepairGraph>(&mut self, g: &G) -> Result<(), GraphError> {
+        debug_assert_eq!(g.n_nodes(), self.comp.len(), "graph/label size mismatch");
+        self.journal.clear();
+        self.full_body(g)
+    }
+
+    /// Relabels the descendant cone of `seeds` after a delta, falling
+    /// back to a full pass when the cone exceeds the threshold.
+    ///
+    /// `seeds` must contain every node whose weight or in-edge
+    /// candidate set changed (duplicates are fine). Old labels are
+    /// journaled, so [`rollback`](Self::rollback) undoes this call; on
+    /// a cycle the partially updated labels are left in place for the
+    /// caller to roll back. A cycle introduced by the delta is always
+    /// detected: it must contain an added edge, whose head is seeded,
+    /// so the whole cycle lies inside the cone and Kahn starves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the (new) graph has a cycle
+    /// through the cone.
+    pub fn repair<G: RepairGraph>(&mut self, g: &G, seeds: &[u32]) -> Result<(), GraphError> {
+        debug_assert_eq!(g.n_nodes(), self.comp.len(), "graph/label size mismatch");
+        self.journal.clear();
+        self.cone.clear();
+        self.cone_list.clear();
+        for &s in seeds {
+            if self.cone.insert(s as usize) {
+                self.cone_list.push(s);
+            }
+        }
+        let mut i = 0;
+        while i < self.cone_list.len() {
+            if self.cone_list.len() > self.threshold {
+                self.stats.fallbacks += 1;
+                return self.full_body(g);
+            }
+            let v = self.cone_list[i];
+            i += 1;
+            let (cone, cone_list) = (&mut self.cone, &mut self.cone_list);
+            g.for_each_out(v, |t| {
+                if cone.insert(t as usize) {
+                    cone_list.push(t);
+                }
+            });
+        }
+        if self.cone_list.len() > self.threshold {
+            self.stats.fallbacks += 1;
+            return self.full_body(g);
+        }
+        let cone_len = self.cone_list.len();
+        self.stats.repairs += 1;
+        self.stats.max_cone = self.stats.max_cone.max(cone_len as u64);
+        self.stats.cone_nodes += cone_len as u64;
+        // In-cone in-degrees: count in-edge entries whose source lies in
+        // the cone (out-of-cone predecessors keep final labels already).
+        for idx in 0..cone_len {
+            let v = self.cone_list[idx];
+            let cone = &self.cone;
+            let mut d = 0u32;
+            g.for_each_in(v, |u, _| {
+                if cone.contains(u as usize) {
+                    d += 1;
+                }
+            });
+            self.indeg[v as usize] = d;
+        }
+        self.frontier.clear();
+        for idx in 0..cone_len {
+            let v = self.cone_list[idx];
+            if self.indeg[v as usize] == 0 {
+                self.frontier.push(v);
+            }
+        }
+        let mut processed = 0usize;
+        while let Some(v) = self.frontier.pop() {
+            processed += 1;
+            self.relax(g, v);
+            let (indeg, frontier, cone) = (&mut self.indeg, &mut self.frontier, &self.cone);
+            g.for_each_out(v, |t| {
+                if cone.contains(t as usize) {
+                    let d = &mut indeg[t as usize];
+                    *d -= 1;
+                    if *d == 0 {
+                        frontier.push(t);
+                    }
+                }
+            });
+        }
+        if processed != cone_len {
+            let on_cycle = self
+                .cone_list
+                .iter()
+                .copied()
+                .find(|&v| self.indeg[v as usize] > 0)
+                .expect("starved cone implies a node with nonzero residual in-degree");
+            return Err(GraphError::Cycle {
+                on_cycle: NodeId(on_cycle),
+            });
+        }
+        Ok(())
+    }
+
+    /// Change-driven repair: relaxes outward from `seeds`, enqueueing a
+    /// successor only when its predecessor's completion label actually
+    /// changed bits, and falling back to a full pass once the number of
+    /// relaxations exceeds the threshold.
+    ///
+    /// This refines [`repair`](Self::repair): instead of relabeling the
+    /// whole descendant cone of `seeds`, it touches only the nodes whose
+    /// labels *move* — typically a small fraction of the cone when a
+    /// delta shifts few path lengths. Labels and critical predecessors
+    /// converge to the same unique fixpoint a full pass computes (each
+    /// node's final relaxation sees its predecessors' final labels, and
+    /// the candidate maximum is order-independent in value), so results
+    /// are bit-identical to [`full`](Self::full).
+    ///
+    /// # Cycle detection caveat
+    ///
+    /// Unlike [`repair`](Self::repair), a cycle whose total weight is
+    /// **zero** is *not* detected: the relaxation converges silently and
+    /// the labels on the cycle keep whatever fixpoint they reach.
+    /// Callers must guarantee one of:
+    ///
+    /// * the delta kept the graph acyclic (always true for weight-only
+    ///   deltas on a [`DenseDag`], whose edge structure is fixed), or
+    /// * every node weight on any possible cycle is positive — then a
+    ///   cycle grows labels without bound, the relaxation cap trips, and
+    ///   the full-pass fall-back starves and reports the cycle exactly
+    ///   like [`repair`](Self::repair) would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the fall-back full pass detects
+    /// a cycle (see the caveat above for when the fall-back is
+    /// guaranteed to trigger).
+    pub fn repair_dirty<G: RepairGraph>(&mut self, g: &G, seeds: &[u32]) -> Result<(), GraphError> {
+        debug_assert_eq!(g.n_nodes(), self.comp.len(), "graph/label size mismatch");
+        self.journal.clear();
+        // `frontier` doubles as a FIFO queue (drained by index, never
+        // shifted); `cone` marks currently-queued nodes so a node is
+        // enqueued at most once per wave of predecessor changes.
+        self.frontier.clear();
+        for &s in seeds {
+            if self.cone.insert(s as usize) {
+                self.frontier.push(s);
+            }
+        }
+        let mut head = 0usize;
+        let mut pops = 0usize;
+        while head < self.frontier.len() {
+            if pops >= self.threshold {
+                self.cone.clear();
+                self.stats.fallbacks += 1;
+                return self.full_body(g);
+            }
+            let v = self.frontier[head];
+            head += 1;
+            self.cone.remove(v as usize);
+            pops += 1;
+            let before = self.comp[v as usize].to_bits();
+            self.relax(g, v);
+            if self.comp[v as usize].to_bits() != before {
+                let (cone, frontier) = (&mut self.cone, &mut self.frontier);
+                g.for_each_out(v, |t| {
+                    if cone.insert(t as usize) {
+                        frontier.push(t);
+                    }
+                });
+            }
+        }
+        // All queued bits were removed as they were popped; this only
+        // resets the bitset's dirty-word tracking so it stays bounded.
+        self.cone.clear();
+        self.stats.repairs += 1;
+        self.stats.max_cone = self.stats.max_cone.max(pops as u64);
+        self.stats.cone_nodes += pops as u64;
+        Ok(())
+    }
+
+    /// Order-certified repair: one forward sweep over the topological
+    /// order recorded by the last full pass, relaxing only dirty nodes.
+    ///
+    /// This is the cheapest repair flavor: no cone discovery, no
+    /// in-degree counting, no queue — just a linear scan from the first
+    /// seeded position that skips clean nodes via generation stamps and
+    /// stops as soon as no dirty node remains ahead. A node is dirty if
+    /// it was seeded or an already-relaxed predecessor's label changed;
+    /// each dirty node is relaxed exactly once.
+    ///
+    /// `seeds` must contain every node whose weight or in-edge candidate
+    /// set changed — including the head of every edge the delta *added
+    /// or removed* (duplicates are fine).
+    ///
+    /// # Order validity and cycles
+    ///
+    /// The sweep is correct when the recorded order is still topological
+    /// for the current graph. Rather than requiring the caller to prove
+    /// that, the sweep *detects* every harmful violation and falls back
+    /// to a full pass (which rebuilds the order):
+    ///
+    /// * a relaxation that would read a dirty-but-not-yet-relaxed
+    ///   predecessor (its label is stale, so the order must place it
+    ///   later — a violated added edge);
+    /// * a label change that would re-dirty a node the sweep already
+    ///   relaxed (its position precedes the writer's — same violation
+    ///   from the other side);
+    /// * dirty nodes left over when the scan ends (marked behind the
+    ///   scan point, unreachable in one forward pass).
+    ///
+    /// An added edge that *breaks* the recorded order but whose source
+    /// label never goes stale is harmless and triggers no fall-back. A
+    /// cycle introduced by the delta always trips one of the checks (no
+    /// order can serialize a cycle), and the fall-back's Kahn pass then
+    /// starves and reports it — no weight precondition, unlike
+    /// [`repair_dirty`](Self::repair_dirty).
+    ///
+    /// Labels are bit-identical to a full recompute: every relaxed node
+    /// saw final predecessor labels (else a check fired), and the
+    /// candidate maximum is order-independent in value.
+    ///
+    /// The threshold bounds relaxations exactly as in
+    /// [`repair`](Self::repair): exceeding it falls back to a full pass
+    /// and counts a `fallbacks` tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the fall-back full pass detects
+    /// a cycle. Partially updated labels are left in place for the
+    /// caller to roll back.
+    pub fn repair_ordered<G: RepairGraph>(
+        &mut self,
+        g: &G,
+        seeds: &[u32],
+    ) -> Result<(), GraphError> {
+        debug_assert_eq!(g.n_nodes(), self.comp.len(), "graph/label size mismatch");
+        self.journal.clear();
+        let n = self.comp.len();
+        self.gen += 1;
+        let gen = self.gen;
+        let mut pending = 0usize;
+        let mut start = n;
+        for &s in seeds {
+            let si = s as usize;
+            if self.dirty_gen[si] != gen {
+                self.dirty_gen[si] = gen;
+                pending += 1;
+                let p = self.pos[si] as usize;
+                if p < start {
+                    start = p;
+                }
+            }
+        }
+        let mut processed = 0usize;
+        let mut i = start;
+        while i < n && pending > 0 {
+            let v = self.ord[i];
+            i += 1;
+            let vi = v as usize;
+            if self.dirty_gen[vi] != gen {
+                continue;
+            }
+            if processed >= self.threshold {
+                self.stats.fallbacks += 1;
+                return self.full_body(g);
+            }
+            processed += 1;
+            pending -= 1;
+            self.proc_gen[vi] = gen;
+            // Pull-relax with staleness detection (can't reuse `relax`:
+            // the dirty/processed stamps must be consulted per in-edge).
+            let mut stale = false;
+            let mut best = 0.0_f64;
+            let mut best_pred = NO_PRED;
+            {
+                let (comp, dirty_gen, proc_gen) = (&self.comp, &self.dirty_gen, &self.proc_gen);
+                g.for_each_in(v, |u, w| {
+                    let ui = u as usize;
+                    if dirty_gen[ui] == gen && proc_gen[ui] != gen {
+                        stale = true;
+                    }
+                    let cand = comp[ui] + w;
+                    if cand > best {
+                        best = cand;
+                        best_pred = u;
+                    }
+                });
+            }
+            if stale {
+                self.stats.fallbacks += 1;
+                return self.full_body(g);
+            }
+            let label = best + g.node_weight(v);
+            let value_changed = label.to_bits() != self.comp[vi].to_bits();
+            if value_changed || best_pred != self.pred[vi] {
+                self.journal.push(JournalEntry {
+                    node: v,
+                    comp: self.comp[vi],
+                    pred: self.pred[vi],
+                });
+                self.comp[vi] = label;
+                self.pred[vi] = best_pred;
+            }
+            if value_changed {
+                let (dirty_gen, proc_gen) = (&mut self.dirty_gen, &self.proc_gen);
+                let mut redirtied = false;
+                g.for_each_out(v, |t| {
+                    let ti = t as usize;
+                    if dirty_gen[ti] != gen {
+                        dirty_gen[ti] = gen;
+                        pending += 1;
+                    } else if proc_gen[ti] == gen {
+                        redirtied = true;
+                    }
+                });
+                if redirtied {
+                    self.stats.fallbacks += 1;
+                    return self.full_body(g);
+                }
+            }
+        }
+        if pending > 0 {
+            self.stats.fallbacks += 1;
+            return self.full_body(g);
+        }
+        self.stats.repairs += 1;
+        self.stats.max_cone = self.stats.max_cone.max(processed as u64);
+        self.stats.cone_nodes += processed as u64;
+        Ok(())
+    }
+
+    /// Position of `v` in the recorded topological order (see
+    /// [`reposition`](Self::reposition) and
+    /// [`sweep_certified`](Self::sweep_certified)).
+    #[inline]
+    pub fn order_pos(&self, v: u32) -> u32 {
+        self.pos[v as usize]
+    }
+
+    /// Relaxes every node at order positions `start..n` in one plain
+    /// forward pass — the cheapest repair of all, with **no** safety
+    /// net: the caller must have certified that the recorded order is
+    /// a valid topological order of the current graph (e.g. via
+    /// [`reposition`](Self::reposition) outcomes plus
+    /// [`order_pos`](Self::order_pos) checks over every changed edge).
+    /// A valid order proves the graph acyclic, so this cannot fail;
+    /// labels reach the unique fixpoint because each node is relaxed
+    /// after all its predecessors. `start` must be at or before the
+    /// first position whose node's weight or in-edge candidate set
+    /// changed. Old labels are journaled exactly as in
+    /// [`repair`](Self::repair).
+    pub fn sweep_certified<G: RepairGraph>(&mut self, g: &G, start: usize) {
+        debug_assert_eq!(g.n_nodes(), self.comp.len(), "graph/label size mismatch");
+        self.journal.clear();
+        let n = self.comp.len();
+        let start = start.min(n);
+        for i in start..n {
+            let v = self.ord[i];
+            self.relax(g, v);
+        }
+        let processed = n - start;
+        self.stats.repairs += 1;
+        self.stats.max_cone = self.stats.max_cone.max(processed as u64);
+        self.stats.cone_nodes += processed as u64;
+    }
+
+    /// Full recompute used as the fall-back when a caller could *not*
+    /// certify the recorded order for
+    /// [`sweep_certified`](Self::sweep_certified): counts a `fallbacks`
+    /// tick, then behaves exactly like [`full`](Self::full) (which also
+    /// rebuilds the order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if `g` is not acyclic.
+    pub fn full_fallback<G: RepairGraph>(&mut self, g: &G) -> Result<(), GraphError> {
+        self.stats.fallbacks += 1;
+        self.full(g)
+    }
+
+    /// Locally re-certifies the recorded topological order after a
+    /// delta that changed only `v`'s own edge set: moves `v` to a
+    /// position strictly after all its in-neighbors and before all its
+    /// out-neighbors, leaving every other node in place.
+    ///
+    /// This keeps the order valid — and the cheap
+    /// [`repair_ordered`](Self::repair_ordered) sweep fall-back-free —
+    /// across moves that re-chain a single node (e.g. re-splicing a
+    /// task into a processor chain). Soundness requires that no *other*
+    /// node's edge set changed, except for added edges `(a, b)` whose
+    /// endpoints the caller knows were already ordered `a` before `b`
+    /// (a bypass edge closing the gap `v` left satisfies this: both
+    /// endpoints flanked `v`).
+    ///
+    /// Returns `None` — leaving the order untouched — when no such
+    /// position exists (other nodes would have to move too); callers
+    /// fall back to a full pass, or just proceed and let
+    /// [`repair_ordered`](Self::repair_ordered)'s checks catch any
+    /// harm. Returns `Some(false)` when `v`'s current position already
+    /// satisfies its edges (nothing moved — the common fast path) and
+    /// `Some(true)` when `v` was moved; after any move, previously
+    /// checked nodes may have shifted relative to `v`, so callers
+    /// certifying the whole order must re-verify every changed node's
+    /// edges with [`order_pos`](Self::order_pos). The order change
+    /// participates in the journal window: [`rollback`](Self::rollback)
+    /// restores it.
+    pub fn reposition<G: RepairGraph>(&mut self, g: &G, v: u32) -> Option<bool> {
+        let n = self.comp.len();
+        let pv = self.pos[v as usize] as i64;
+        let mut lo: i64 = -1;
+        let mut hi: i64 = n as i64;
+        {
+            let pos = &self.pos;
+            g.for_each_in(v, |u, _| {
+                let p = pos[u as usize] as i64;
+                if p > lo {
+                    lo = p;
+                }
+            });
+            g.for_each_out(v, |t| {
+                let p = pos[t as usize] as i64;
+                if p < hi {
+                    hi = p;
+                }
+            });
+        }
+        if lo < pv && pv < hi {
+            return Some(false); // already between its neighbors
+        }
+        // Work in v-removed coordinates for the insertion slot.
+        let lo_r = if lo > pv { lo - 1 } else { lo };
+        let hi_r = if hi > pv { hi - 1 } else { hi };
+        if lo_r >= hi_r {
+            return None; // no single-node slot exists
+        }
+        if !self.ord_swapped {
+            self.ord_backup.copy_from_slice(&self.ord);
+            self.pos_backup.copy_from_slice(&self.pos);
+            self.ord_swapped = true;
+        }
+        let s = (lo_r + 1) as usize; // insertion slot, v-removed coords
+        let pv = pv as usize;
+        if s <= pv {
+            // v moves earlier: shift [s, pv) right by one.
+            self.ord.copy_within(s..pv, s + 1);
+            self.ord[s] = v;
+            for i in s..=pv {
+                self.pos[self.ord[i] as usize] = i as u32;
+            }
+        } else {
+            // v moves later: shift (pv, s] left by one.
+            self.ord.copy_within(pv + 1..s + 1, pv);
+            self.ord[s] = v;
+            for i in pv..=s {
+                self.pos[self.ord[i] as usize] = i as u32;
+            }
+        }
+        Some(true)
+    }
+
+    /// Undoes the label changes of the most recent `full`/`repair`
+    /// call. Idempotent once drained; statistics are not rewound.
+    ///
+    /// If a full pass overwrote the recorded topological order within
+    /// this journal window, the pre-delta order is restored too, so the
+    /// order stays valid for the graph the caller is rolling back to.
+    pub fn rollback(&mut self) {
+        while let Some(e) = self.journal.pop() {
+            self.comp[e.node as usize] = e.comp;
+            self.pred[e.node as usize] = e.pred;
+        }
+        if self.ord_swapped {
+            std::mem::swap(&mut self.ord, &mut self.ord_backup);
+            std::mem::swap(&mut self.pos, &mut self.pos_backup);
+            self.ord_swapped = false;
+        }
+    }
+
+    /// Drops the undo journal of the most recent `full`/`repair` call
+    /// without applying it, committing those label changes. After this,
+    /// [`rollback`](Self::rollback) is a no-op until the next
+    /// `full`/`repair`. Callers that interleave label updates with other
+    /// revertible state use this to mark a delta boundary: a later abort
+    /// that never re-ran `repair` must not roll labels back across it.
+    pub fn discard_journal(&mut self) {
+        self.journal.clear();
+        self.ord_swapped = false;
+    }
+
+    /// Kahn over all nodes; shared by `full` and the repair fall-back
+    /// (which must keep the already-cleared journal).
+    ///
+    /// Also records the pop order into `ord`/`pos` (any Kahn pop order
+    /// is a topological order), backing up the previous order once per
+    /// journal window so `rollback` can restore it.
+    fn full_body<G: RepairGraph>(&mut self, g: &G) -> Result<(), GraphError> {
+        self.stats.full_passes += 1;
+        let n = self.comp.len();
+        if !self.ord_swapped {
+            self.ord_backup.copy_from_slice(&self.ord);
+            self.pos_backup.copy_from_slice(&self.pos);
+            self.ord_swapped = true;
+        }
+        self.frontier.clear();
+        for v in 0..n {
+            let d = g.in_degree(v as u32);
+            self.indeg[v] = d;
+            if d == 0 {
+                self.frontier.push(v as u32);
+            }
+        }
+        let mut processed = 0usize;
+        while let Some(v) = self.frontier.pop() {
+            self.ord[processed] = v;
+            self.pos[v as usize] = processed as u32;
+            processed += 1;
+            self.relax(g, v);
+            let (indeg, frontier) = (&mut self.indeg, &mut self.frontier);
+            g.for_each_out(v, |t| {
+                let d = &mut indeg[t as usize];
+                *d -= 1;
+                if *d == 0 {
+                    frontier.push(t);
+                }
+            });
+        }
+        if processed != n {
+            let on_cycle = (0..n)
+                .find(|&v| self.indeg[v] > 0)
+                .expect("cycle implies a node with nonzero residual in-degree");
+            return Err(GraphError::Cycle {
+                on_cycle: NodeId(on_cycle as u32),
+            });
+        }
+        Ok(())
+    }
+
+    /// Recomputes the label of `v` from its in-edges, journaling the old
+    /// value if anything changed.
+    #[inline]
+    fn relax<G: RepairGraph>(&mut self, g: &G, v: u32) {
+        let comp = &self.comp;
+        let mut best = 0.0_f64;
+        let mut best_pred = NO_PRED;
+        g.for_each_in(v, |u, w| {
+            let cand = comp[u as usize] + w;
+            if cand > best {
+                best = cand;
+                best_pred = u;
+            }
+        });
+        let label = best + g.node_weight(v);
+        let vi = v as usize;
+        if label.to_bits() != self.comp[vi].to_bits() || best_pred != self.pred[vi] {
+            self.journal.push(JournalEntry {
+                node: v,
+                comp: self.comp[vi],
+                pred: self.pred[vi],
+            });
+            self.comp[vi] = label;
+            self.pred[vi] = best_pred;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::longest_path::dag_longest_path;
+
+    fn chain3() -> DenseDag {
+        DenseDag::from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)], &[1.0, 1.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_validates() {
+        assert!(matches!(
+            DenseDag::from_edges(2, &[(0, 5, 1.0)], &[0.0, 0.0]),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            DenseDag::from_edges(2, &[(1, 1, 1.0)], &[0.0, 0.0]),
+            Err(GraphError::SelfLoop(_))
+        ));
+    }
+
+    #[test]
+    fn adjacency_preserves_insertion_order() {
+        let g = DenseDag::from_edges(
+            4,
+            &[(0, 2, 1.0), (0, 1, 2.0), (3, 2, 3.0), (0, 2, 4.0)],
+            &[0.0; 4],
+        )
+        .unwrap();
+        let out0: Vec<(u32, u32)> = g.out_edges(0).collect();
+        assert_eq!(out0, vec![(2, 0), (1, 1), (2, 3)]);
+        let in2: Vec<(u32, u32)> = g.in_edges(2).collect();
+        assert_eq!(in2, vec![(0, 0), (3, 2), (0, 3)]);
+        assert_eq!(g.edge_endpoints(2), (3, 2));
+        assert_eq!(g.n_edges(), 4);
+    }
+
+    #[test]
+    fn longest_path_matches_digraph_reference() {
+        // Same graph as the brute-force test in longest_path.rs, plus a
+        // parallel edge to exercise the tie-break mirroring.
+        let edges = [
+            (0, 1, 2.0),
+            (0, 2, 1.0),
+            (1, 3, 0.5),
+            (2, 3, 4.0),
+            (3, 4, 0.0),
+            (2, 5, 1.0),
+            (4, 5, 2.5),
+            (2, 3, 4.0),
+        ];
+        let w = [1.0, 2.0, 3.0, 1.0, 2.0, 1.0];
+        let dense = DenseDag::from_edges(6, &edges, &w).unwrap();
+        let sparse = dense.to_digraph();
+        let a = dense.longest_path().unwrap();
+        let b = dag_longest_path(&sparse, &w).unwrap();
+        assert_eq!(a.makespan().to_bits(), b.makespan().to_bits());
+        for v in 0..6u32 {
+            assert_eq!(
+                a.completion(NodeId(v)).to_bits(),
+                b.completion(NodeId(v)).to_bits()
+            );
+        }
+        assert_eq!(a.critical_path(), b.critical_path());
+    }
+
+    #[test]
+    fn cycle_rejected_with_same_witness() {
+        let dense = DenseDag::from_edges(3, &[(1, 2, 0.0), (2, 1, 0.0)], &[0.0; 3]).unwrap();
+        assert_eq!(
+            dense.longest_path(),
+            Err(GraphError::Cycle {
+                on_cycle: NodeId(1)
+            })
+        );
+        let mut lp = IncrementalLongestPath::new(3);
+        assert_eq!(
+            lp.full(&dense),
+            Err(GraphError::Cycle {
+                on_cycle: NodeId(1)
+            })
+        );
+    }
+
+    #[test]
+    fn repair_updates_descendants_only() {
+        let mut g = chain3();
+        let mut lp = IncrementalLongestPath::new(3);
+        lp.set_threshold(3);
+        lp.full(&g).unwrap();
+        assert_eq!(lp.makespan(), 8.0);
+        assert_eq!(lp.labels(), &[1.0, 4.0, 8.0]);
+        g.set_node_weight(1, 3.0);
+        lp.repair(&g, &[1]).unwrap();
+        assert_eq!(lp.labels(), &[1.0, 6.0, 10.0]);
+        assert_eq!(lp.critical_path(), vec![0, 1, 2]);
+        let stats = lp.stats();
+        assert_eq!(stats.repairs, 1);
+        assert_eq!(stats.full_passes, 1);
+        assert_eq!(stats.max_cone, 2);
+        assert_eq!(stats.mean_cone(), 2.0);
+    }
+
+    #[test]
+    fn rollback_restores_previous_labels() {
+        let mut g = chain3();
+        let mut lp = IncrementalLongestPath::new(3);
+        lp.set_threshold(3);
+        lp.full(&g).unwrap();
+        let before: Vec<u64> = lp.labels().iter().map(|c| c.to_bits()).collect();
+        g.set_node_weight(0, 9.0);
+        g.set_edge_weight(1, 7.0);
+        lp.repair(&g, &[0, 2]).unwrap();
+        assert_eq!(lp.makespan(), 20.0);
+        lp.rollback();
+        let after: Vec<u64> = lp.labels().iter().map(|c| c.to_bits()).collect();
+        assert_eq!(before, after);
+        assert_eq!(lp.makespan(), 8.0);
+    }
+
+    #[test]
+    fn zero_threshold_always_falls_back() {
+        let mut g = chain3();
+        let mut lp = IncrementalLongestPath::new(3);
+        lp.set_threshold(0);
+        lp.full(&g).unwrap();
+        g.set_node_weight(2, 4.0);
+        lp.repair(&g, &[2]).unwrap();
+        assert_eq!(lp.makespan(), 11.0);
+        let stats = lp.stats();
+        assert_eq!(stats.repairs, 0);
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.full_passes, 2);
+        // Rollback works through the fall-back path too.
+        lp.rollback();
+        assert_eq!(lp.makespan(), 8.0);
+    }
+
+    #[test]
+    fn dirty_repair_matches_full_and_stops_at_unchanged_labels() {
+        // Diamond where only one branch matters: bumping the slack
+        // branch below the critical one must not touch the join's label.
+        let mut g = DenseDag::from_edges(
+            4,
+            &[(0, 1, 0.0), (0, 2, 0.0), (1, 3, 0.0), (2, 3, 0.0)],
+            &[1.0, 10.0, 2.0, 1.0],
+        )
+        .unwrap();
+        let mut lp = IncrementalLongestPath::new(4);
+        lp.set_threshold(4);
+        lp.full(&g).unwrap();
+        assert_eq!(lp.labels(), &[1.0, 11.0, 3.0, 12.0]);
+        g.set_node_weight(2, 4.0);
+        lp.repair_dirty(&g, &[2]).unwrap();
+        assert_eq!(lp.labels(), &[1.0, 11.0, 5.0, 12.0]);
+        // Node 2 changed (5 < 11 so node 3's max is unmoved): the
+        // relaxation visits 2 and 3 but never re-enqueues past 3.
+        assert_eq!(lp.stats().repairs, 1);
+        assert_eq!(lp.stats().max_cone, 2);
+        // A change that does move the join propagates and matches a
+        // from-scratch pass bit for bit.
+        g.set_node_weight(2, 20.0);
+        lp.repair_dirty(&g, &[2]).unwrap();
+        let mut fresh = IncrementalLongestPath::new(4);
+        fresh.full(&g).unwrap();
+        for v in 0..4 {
+            assert_eq!(lp.labels()[v].to_bits(), fresh.labels()[v].to_bits());
+        }
+        assert_eq!(lp.critical_path(), fresh.critical_path());
+    }
+
+    #[test]
+    fn dirty_repair_rollback_and_threshold_fallback() {
+        let mut g = chain3();
+        let mut lp = IncrementalLongestPath::new(3);
+        lp.set_threshold(3);
+        lp.full(&g).unwrap();
+        let before: Vec<u64> = lp.labels().iter().map(|c| c.to_bits()).collect();
+        g.set_node_weight(0, 9.0);
+        lp.repair_dirty(&g, &[0]).unwrap();
+        assert_eq!(lp.makespan(), 16.0);
+        lp.rollback();
+        let after: Vec<u64> = lp.labels().iter().map(|c| c.to_bits()).collect();
+        assert_eq!(before, after);
+        // Zero threshold: immediate fall-back to the full pass, which
+        // still lands on the same labels.
+        lp.set_threshold(0);
+        lp.repair_dirty(&g, &[0]).unwrap();
+        assert_eq!(lp.makespan(), 16.0);
+        assert_eq!(lp.stats().fallbacks, 1);
+        lp.rollback();
+        assert_eq!(lp.makespan(), 8.0);
+    }
+
+    #[test]
+    fn dirty_repair_detects_positive_weight_cycle_via_fallback() {
+        // A cyclic graph with positive node weights: labels grow on
+        // every lap, so the relaxation cap trips and the full-pass
+        // fall-back reports the cycle.
+        let g =
+            DenseDag::from_edges(3, &[(0, 1, 0.0), (1, 2, 0.0), (2, 1, 0.0)], &[1.0; 3]).unwrap();
+        let mut lp = IncrementalLongestPath::new(3);
+        lp.set_threshold(16);
+        assert!(matches!(
+            lp.repair_dirty(&g, &[0]),
+            Err(GraphError::Cycle { .. })
+        ));
+        assert!(lp.stats().fallbacks >= 1);
+    }
+
+    #[test]
+    fn empty_seed_repair_is_a_cheap_no_op() {
+        let g = chain3();
+        let mut lp = IncrementalLongestPath::new(3);
+        lp.full(&g).unwrap();
+        lp.repair(&g, &[]).unwrap();
+        assert_eq!(lp.makespan(), 8.0);
+        assert_eq!(lp.stats().repairs, 1);
+        assert_eq!(lp.stats().cone_nodes, 0);
+    }
+}

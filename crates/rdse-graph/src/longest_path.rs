@@ -18,6 +18,23 @@ pub struct LongestPath {
 }
 
 impl LongestPath {
+    /// Assembles a result from precomputed parts (used by the dense
+    /// evaluator in [`crate::dense`], which produces identical labels
+    /// through its own relaxation loop).
+    pub(crate) fn from_parts(
+        completion: Vec<f64>,
+        critical_pred: Vec<Option<NodeId>>,
+        makespan: f64,
+        terminal: Option<NodeId>,
+    ) -> Self {
+        LongestPath {
+            completion,
+            critical_pred,
+            makespan,
+            terminal,
+        }
+    }
+
     /// Completion label of `node`: node weight plus the longest weighted
     /// path from any source up to and including `node`.
     ///

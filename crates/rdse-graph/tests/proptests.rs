@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use rdse_graph::{
-    count_linear_extensions, dag_longest_path, topo_sort, Digraph, MaxPlusClosure, NodeId,
-    TransitiveClosure,
+    count_linear_extensions, dag_longest_path, topo_sort, DenseDag, Digraph,
+    IncrementalLongestPath, MaxPlusClosure, NodeId, TransitiveClosure,
 };
 
 /// Strategy: a random DAG over `n` nodes. Edges only go from lower to
@@ -33,6 +33,47 @@ fn arb_dag(max_nodes: usize, edge_prob: f64) -> impl Strategy<Value = Digraph> {
             }
             g
         })
+}
+
+/// Strategy: node count plus an acyclic edge list (low → high index) in
+/// a fixed insertion order, for building [`DenseDag`]s and reference
+/// [`Digraph`]s from identical input.
+fn arb_dense_edges(
+    max_nodes: usize,
+    edge_prob: f64,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (2..=max_nodes)
+        .prop_flat_map(move |n| {
+            let pairs: Vec<(u32, u32)> = (0..n as u32)
+                .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+                .collect();
+            let n_pairs = pairs.len();
+            (
+                Just(n),
+                Just(pairs),
+                proptest::collection::vec(0.0f64..100.0, n_pairs),
+                proptest::collection::vec(proptest::bool::weighted(edge_prob), n_pairs),
+            )
+        })
+        .prop_map(|(n, pairs, weights, mask)| {
+            let edges = pairs
+                .iter()
+                .zip(&weights)
+                .zip(&mask)
+                .filter(|&(_, &keep)| keep)
+                .map(|((&(u, v), &w), _)| (u, v, w))
+                .collect();
+            (n, edges)
+        })
+}
+
+/// One weight delta: on-node flag, position selector (reduced modulo
+/// the node/edge count at use site), new weight.
+type WeightDelta = (bool, usize, f64);
+
+/// Strategy: a walk of 1–9 weight deltas.
+fn arb_delta_walk() -> impl Strategy<Value = Vec<WeightDelta>> {
+    proptest::collection::vec((any::<bool>(), 0usize..1 << 20, 0.0f64..100.0), 1..10)
 }
 
 proptest! {
@@ -167,5 +208,113 @@ proptest! {
         if g.n_edges() == 0 {
             prop_assert_eq!(count, fact);
         }
+    }
+}
+
+// Note: the proptest macro takes plain identifiers on the left of
+// `in`, so composite values are destructured inside the body.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dense_longest_path_matches_digraph(input in arb_dense_edges(20, 0.3)) {
+        let (n, edges) = input;
+        let node_w: Vec<f64> = (0..n).map(|i| (i % 7) as f64 + 0.5).collect();
+        let dense = DenseDag::from_edges(n, &edges, &node_w).unwrap();
+        let mut sparse = Digraph::new(n);
+        for &(u, v, w) in &edges {
+            sparse.add_edge(NodeId(u), NodeId(v), w).unwrap();
+        }
+        let a = dense.longest_path().unwrap();
+        let b = dag_longest_path(&sparse, &node_w).unwrap();
+        prop_assert_eq!(a.makespan().to_bits(), b.makespan().to_bits());
+        for v in 0..n as u32 {
+            prop_assert_eq!(
+                a.completion(NodeId(v)).to_bits(),
+                b.completion(NodeId(v)).to_bits()
+            );
+        }
+        prop_assert_eq!(a.critical_path(), b.critical_path());
+        // The incremental structure's full pass lands on the same labels.
+        let mut lp = IncrementalLongestPath::new(n);
+        lp.full(&dense).unwrap();
+        for v in 0..n as u32 {
+            prop_assert_eq!(lp.label(v).to_bits(), a.completion(NodeId(v)).to_bits());
+        }
+    }
+
+    #[test]
+    fn bounded_repair_equals_full_recompute(
+        input in arb_dense_edges(18, 0.3),
+        threshold in 0usize..=18, // spans both boundaries: always-fall-back and never-fall-back
+        deltas in arb_delta_walk()
+    ) {
+        let (n, edges) = input;
+        let node_w: Vec<f64> = (0..n).map(|i| (i % 5) as f64 + 0.5).collect();
+        let mut g = DenseDag::from_edges(n, &edges, &node_w).unwrap();
+        let mut lp = IncrementalLongestPath::new(n);
+        lp.set_threshold(threshold);
+        lp.full(&g).unwrap();
+        // Change-driven sibling: weight-only deltas keep the DenseDag
+        // acyclic, so `repair_dirty` must land on the same fixpoint.
+        let mut lpd = IncrementalLongestPath::new(n);
+        lpd.set_threshold(threshold);
+        lpd.full(&g).unwrap();
+        for (on_node, idx, w) in deltas {
+            let mut seeds = Vec::new();
+            if on_node || g.n_edges() == 0 {
+                let v = (idx % n) as u32;
+                g.set_node_weight(v, w);
+                seeds.push(v);
+            } else {
+                let eid = (idx % g.n_edges()) as u32;
+                g.set_edge_weight(eid, w);
+                seeds.push(g.edge_endpoints(eid).1);
+            }
+            lp.repair(&g, &seeds).unwrap();
+            lpd.repair_dirty(&g, &seeds).unwrap();
+            let mut fresh = IncrementalLongestPath::new(n);
+            fresh.full(&g).unwrap();
+            let got: Vec<u64> = lp.labels().iter().map(|c| c.to_bits()).collect();
+            let got_dirty: Vec<u64> = lpd.labels().iter().map(|c| c.to_bits()).collect();
+            let want: Vec<u64> = fresh.labels().iter().map(|c| c.to_bits()).collect();
+            prop_assert_eq!(got, want.clone());
+            prop_assert_eq!(got_dirty, want);
+            prop_assert_eq!(lp.makespan().to_bits(), fresh.makespan().to_bits());
+            prop_assert_eq!(lpd.makespan().to_bits(), fresh.makespan().to_bits());
+            prop_assert_eq!(lp.critical_path(), fresh.critical_path());
+            prop_assert_eq!(lpd.critical_path(), fresh.critical_path());
+        }
+    }
+
+    #[test]
+    fn repair_rollback_restores_labels(
+        input in arb_dense_edges(16, 0.3),
+        threshold in 0usize..=16,
+        delta in arb_delta_walk()
+    ) {
+        let (n, edges) = input;
+        let (on_node, idx, w) = delta[0];
+        let node_w: Vec<f64> = (0..n).map(|i| (i % 4) as f64 + 1.0).collect();
+        let mut g = DenseDag::from_edges(n, &edges, &node_w).unwrap();
+        let mut lp = IncrementalLongestPath::new(n);
+        lp.set_threshold(threshold);
+        lp.full(&g).unwrap();
+        let before: Vec<u64> = lp.labels().iter().map(|c| c.to_bits()).collect();
+        let before_path = lp.critical_path();
+        let seed = if on_node || g.n_edges() == 0 {
+            let v = (idx % n) as u32;
+            g.set_node_weight(v, w);
+            v
+        } else {
+            let eid = (idx % g.n_edges()) as u32;
+            g.set_edge_weight(eid, w);
+            g.edge_endpoints(eid).1
+        };
+        lp.repair(&g, &[seed]).unwrap();
+        lp.rollback();
+        let after: Vec<u64> = lp.labels().iter().map(|c| c.to_bits()).collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(before_path, lp.critical_path());
     }
 }

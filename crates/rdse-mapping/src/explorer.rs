@@ -276,6 +276,18 @@ impl<'a> MappingProblem<'a> {
         self.evaluator.stats()
     }
 
+    /// Re-synchronizes the incremental evaluator after the resident
+    /// mapping was replaced wholesale (snapshot restore): one full
+    /// evaluation, after which delta scoring resumes. The summary is
+    /// taken from the snapshot (it is bit-identical by the evaluator's
+    /// determinism contract).
+    fn resync(&mut self, summary: EvalSummary) {
+        self.evaluator
+            .evaluate(&self.mapping)
+            .expect("restored snapshot is feasible by invariant");
+        self.current = summary;
+    }
+
     /// Consumes the problem, returning the mapping and its full
     /// evaluation (per-task trace included), computed once on the cold
     /// path.
@@ -324,7 +336,13 @@ impl Problem for MappingProblem<'_> {
                 &mut self.scratch,
             ),
         }?;
-        match self.evaluator.evaluate(&self.mapping) {
+        // Delta evaluation: only the move's repair cone is relabeled,
+        // bit-identical to a full re-evaluation. The evaluator keeps
+        // the pre-move state recoverable until the annealer decides.
+        match self
+            .evaluator
+            .evaluate_delta(&self.mapping, outcome.delta.task())
+        {
             Ok(summary) => {
                 let prev = self.current;
                 self.current = summary;
@@ -338,7 +356,8 @@ impl Problem for MappingProblem<'_> {
             }
             Err(_) => {
                 // Cycle or capacity: infeasible move, reverse the
-                // touched assignment (§4.3).
+                // touched assignment (§4.3). The evaluator has already
+                // reverted itself.
                 outcome.delta.undo(&mut self.mapping);
                 None
             }
@@ -346,6 +365,7 @@ impl Problem for MappingProblem<'_> {
     }
 
     fn undo(&mut self, mv: Self::Move) {
+        self.evaluator.revert_delta();
         mv.delta.undo(&mut self.mapping);
         self.current = mv.prev;
     }
@@ -359,12 +379,12 @@ impl Problem for MappingProblem<'_> {
         // must stay usable (it is the engine's retained best), so the
         // mapping is copied back into the resident buffers.
         self.mapping.clone_from(&snapshot.0);
-        self.current = snapshot.1;
+        self.resync(snapshot.1);
     }
 
     fn restore_owned(&mut self, snapshot: Self::Snapshot) {
         self.mapping = snapshot.0;
-        self.current = snapshot.1;
+        self.resync(snapshot.1);
     }
 
     fn observables(&self) -> Vec<(&'static str, f64)> {

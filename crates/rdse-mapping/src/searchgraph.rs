@@ -24,13 +24,15 @@
 use crate::error::MappingError;
 use crate::placement::ResourceRef;
 use crate::solution::Mapping;
-use rdse_graph::{dag_longest_path, Digraph, LongestPath, NodeId};
+use rdse_graph::{DenseDag, LongestPath, NodeId};
 use rdse_model::{Architecture, TaskGraph, TaskId};
 
-/// The materialized search graph of one candidate mapping.
+/// The materialized search graph of one candidate mapping, in CSR form
+/// ([`DenseDag`]): flat `u32` edge slabs and structure-of-arrays
+/// weights, built once per evaluation and read-only afterwards.
 #[derive(Debug, Clone)]
 pub struct SearchGraph {
-    graph: Digraph,
+    graph: DenseDag,
     node_weights: Vec<f64>,
     n_tasks: usize,
 }
@@ -60,12 +62,15 @@ impl SearchGraph {
     /// by [`SearchGraph::longest_path`].
     pub fn build(app: &TaskGraph, arch: &Architecture, mapping: &Mapping) -> Self {
         let n = app.n_tasks();
-        let source = NodeId(n as u32);
-        let mut graph = Digraph::new(n + 1);
+        let source = n as u32;
         let mut node_weights = vec![0.0; n + 1];
         for t in app.task_ids() {
             node_weights[t.index()] = mapping.exec_time(app, t).value();
         }
+
+        // Collect the edge list in the canonical insertion order (data,
+        // Esw, Ehw), then freeze it into CSR in one pass.
+        let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(app.edges().len() + n);
 
         // Base precedence edges with communication weights.
         let bus = arch.bus();
@@ -76,18 +81,14 @@ impl SearchGraph {
             } else {
                 bus.transfer_time(e.bytes).value()
             };
-            graph
-                .add_edge(e.from.node(), e.to.node(), w)
-                .expect("task nodes exist");
+            edges.push((e.from.0, e.to.0, w));
         }
 
         // Esw: processor total orders.
         for p in 0..arch.processors().len() {
             let order = mapping.proc_order(p);
             for pair in order.windows(2) {
-                graph
-                    .add_edge(pair[0].node(), pair[1].node(), 0.0)
-                    .expect("task nodes exist");
+                edges.push((pair[0].0, pair[1].0, 0.0));
             }
         }
 
@@ -101,22 +102,21 @@ impl SearchGraph {
                 let initials = context_initials(app, ctx.tasks());
                 if k == 0 {
                     for &t in &initials {
-                        graph
-                            .add_edge(source, t.node(), reconfig)
-                            .expect("task nodes exist");
+                        edges.push((source, t.0, reconfig));
                     }
                 } else {
                     let terminals = context_terminals(app, ctxs[k - 1].tasks());
                     for &from in &terminals {
                         for &to in &initials {
-                            graph
-                                .add_edge(from.node(), to.node(), reconfig)
-                                .expect("task nodes exist");
+                            edges.push((from.0, to.0, reconfig));
                         }
                     }
                 }
             }
         }
+
+        let graph = DenseDag::from_edges(n + 1, &edges, &node_weights)
+            .expect("search-graph nodes exist and tasks never self-depend");
 
         SearchGraph {
             graph,
@@ -125,8 +125,8 @@ impl SearchGraph {
         }
     }
 
-    /// The underlying weighted digraph (tasks `0..n` plus the source).
-    pub fn graph(&self) -> &Digraph {
+    /// The underlying CSR graph (tasks `0..n` plus the source).
+    pub fn graph(&self) -> &DenseDag {
         &self.graph
     }
 
@@ -147,7 +147,9 @@ impl SearchGraph {
     /// Returns [`MappingError::CyclicSchedule`] if the sequentialization
     /// edges close a cycle (an infeasible order).
     pub fn longest_path(&self) -> Result<LongestPath, MappingError> {
-        dag_longest_path(&self.graph, &self.node_weights).map_err(|_| MappingError::CyclicSchedule)
+        self.graph
+            .longest_path()
+            .map_err(|_| MappingError::CyclicSchedule)
     }
 }
 

@@ -197,6 +197,78 @@ proptest! {
     }
 
     #[test]
+    fn batch_evaluation_matches_sequential(
+        n_tasks in 3usize..14,
+        density in 5u8..40,
+        seed in 0u64..1_000_000,
+        clbs in 100u32..600,
+    ) {
+        // evaluate_batch must be indistinguishable, bit for bit, from
+        // evaluating each candidate one at a time: same summaries for
+        // feasible candidates, same error classification for
+        // infeasible ones, and the evaluator must land back on the
+        // base afterwards. Candidates are arbitrary multi-move
+        // perturbations of the base, not just single moves.
+        let app = build_app(n_tasks, density, seed);
+        let arch = arch(clbs);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+        let mut scratch = MoveScratch::default();
+        let base = random_initial(&app, &arch, &mut rng);
+        let mut batch_eval = Evaluator::new(&app, &arch);
+        let mut seq_eval = Evaluator::new(&app, &arch);
+        for _round in 0..4u32 {
+            let mut candidates = Vec::new();
+            for c in 0..6u32 {
+                let mut cand = base.clone();
+                for step in 0..=(c % 3) {
+                    let _ = if (c + step) % 2 == 0 {
+                        propose_pair_move(&app, &arch, &mut cand, &mut rng, &mut scratch)
+                    } else {
+                        propose_impl_move(&app, &arch, &mut cand, &mut rng, &mut scratch)
+                    };
+                }
+                candidates.push(cand);
+            }
+            let results = batch_eval
+                .evaluate_batch(&base, &candidates)
+                .expect("base is feasible")
+                .to_vec();
+            prop_assert_eq!(results.len(), candidates.len());
+            for (cand, got) in candidates.iter().zip(&results) {
+                let fresh = evaluate(&app, &arch, cand);
+                let seq = seq_eval.evaluate(cand);
+                match (got, fresh, seq) {
+                    (Ok(b), Ok(f), Ok(s)) => {
+                        prop_assert_eq!(
+                            b.makespan.value().to_bits(),
+                            f.makespan.value().to_bits()
+                        );
+                        prop_assert_eq!(*b, f.summary());
+                        prop_assert_eq!(*b, s);
+                    }
+                    (Err(be), Err(fe), Err(se)) => {
+                        prop_assert_eq!(be, &fe);
+                        prop_assert_eq!(be, &se);
+                    }
+                    (b, f, _) => prop_assert!(
+                        false,
+                        "batch/sequential disagree on feasibility: {:?} vs {:?}",
+                        b,
+                        f
+                    ),
+                }
+            }
+            // The batch left the evaluator synchronized to the base: a
+            // no-op delta walk from here must agree with a fresh eval.
+            let back = batch_eval.evaluate(&base).expect("base still feasible");
+            let fresh = evaluate(&app, &arch, &base).expect("base feasible");
+            prop_assert_eq!(back, fresh.summary());
+        }
+        // Repeated batches over the same shapes run in warm arenas.
+        prop_assert!(batch_eval.stats().arenas_warm());
+    }
+
+    #[test]
     fn snapshot_restore_roundtrip(
         n_tasks in 3usize..10,
         seed in 0u64..1_000_000,

@@ -386,9 +386,18 @@ fn print_profile<C>(
     } else {
         "no (arenas still growing)".to_string()
     };
+    let mean_cone = if stats.repairs > 0 {
+        stats.cone_nodes as f64 / stats.repairs as f64
+    } else {
+        0.0
+    };
     println!(
         "profile {label}: {:.0} steps/s ({} steps in {:?}) | accepted {} rejected {} infeasible {} | allocation-free steps: {}",
         steps_per_sec, run.iterations, run.elapsed, run.accepted, run.rejected, run.infeasible, alloc_free
+    );
+    println!(
+        "profile {label}: repairs {} (mean cone {:.1}, max cone {}) | full passes {} | fall-backs {}",
+        stats.repairs, mean_cone, stats.max_cone, stats.full_passes, stats.fallbacks
     );
 }
 
@@ -811,7 +820,7 @@ fn parse_family_list<T, F: Fn(&str) -> Option<T>>(
 }
 
 /// `rdse corpus list|run` — the scenario-corpus batch runner with the
-/// three-way differential oracle (see the `rdse-corpus` crate docs).
+/// four-way differential oracle (see the `rdse-corpus` crate docs).
 fn run_corpus_cmd(args: &[String]) -> ExitCode {
     match args.get(1).map(String::as_str) {
         Some("list") => {
@@ -933,7 +942,7 @@ fn run_corpus_run(args: &[String]) -> ExitCode {
         );
     }
     println!(
-        "corpus: {} scenarios, all three-way oracles passed in {:?}",
+        "corpus: {} scenarios, all four-way oracles passed in {:?}",
         report.records.len(),
         report.elapsed
     );

@@ -19,7 +19,7 @@
 //! | [`sim`] | discrete-event executor validating the analytic cost model |
 //! | [`baseline`] | GA (Ben Chehida & Auguin style), random search, hill climbing |
 //! | [`workloads`] | the 28-task motion-detection benchmark, Fig. 1 example, random DAG generators |
-//! | [`corpus`] | scenario families (workload × architecture), batch runner, three-way differential verification oracle |
+//! | [`corpus`] | scenario families (workload × architecture), batch runner, four-way differential verification oracle |
 //!
 //! ## Quickstart
 //!

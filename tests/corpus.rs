@@ -1,7 +1,7 @@
 //! Corpus acceptance tests (the ISSUE-4 contract):
 //!
 //! * the pinned smoke subset covers ≥ 6 scenario families × ≥ 3 seeds;
-//! * every scenario passes the three-way differential oracle
+//! * every scenario passes the four-way differential oracle
 //!   (incremental evaluator ≡ from-scratch ≡ contention-free DES,
 //!   bit-identical makespan) — `run_corpus` returns `Err` otherwise;
 //! * the run is bit-identical across 1, 2 and 8 worker threads;
@@ -23,7 +23,7 @@ fn run_smoke(threads: usize) -> CorpusReport {
             ..CorpusOptions::default()
         },
     )
-    .expect("every smoke scenario passes the three-way oracle")
+    .expect("every smoke scenario passes the four-way oracle")
 }
 
 #[test]
