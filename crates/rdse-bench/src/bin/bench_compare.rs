@@ -91,7 +91,7 @@ fn main() {
 
     println!("bench comparison vs {baseline_path} (fail below -{max_regression:.0}%):");
     let mut compared = 0;
-    let mut failed = false;
+    let mut failures: Vec<(&String, f64, f64, f64)> = Vec::new();
     for (name, base_rate) in &baseline {
         let Some((_, cur_rate)) = current.iter().find(|(n, _)| n == name) else {
             println!("  {name:<34} missing from {current_path} (skipped)");
@@ -100,7 +100,7 @@ fn main() {
         compared += 1;
         let change = (cur_rate - base_rate) / base_rate * 100.0;
         let verdict = if change < -max_regression {
-            failed = true;
+            failures.push((name, *base_rate, *cur_rate, change));
             "REGRESSION"
         } else {
             "ok"
@@ -113,11 +113,20 @@ fn main() {
         eprintln!("error: no comparable steps_per_sec records between the two files");
         std::process::exit(2);
     }
-    if failed {
+    if !failures.is_empty() {
+        // Every failing row again, in one block, so the cause is
+        // readable from the tail of the CI log without scrolling
+        // through the passing rows.
         eprintln!(
-            "error: throughput regressed more than {max_regression:.0}% vs the committed baseline \
-             (refresh BENCH_main.json deliberately if the step-cost change is intentional)"
+            "error: {} of {compared} benchmark(s) regressed more than {max_regression:.0}%:",
+            failures.len()
         );
+        for (name, base_rate, cur_rate, change) in &failures {
+            eprintln!(
+                "  {name:<34} {base_rate:>12.0} -> {cur_rate:>12.0} steps/s ({change:>+6.1}%)"
+            );
+        }
+        eprintln!("refresh BENCH_main.json deliberately if the step-cost change is intentional");
         std::process::exit(1);
     }
 }

@@ -22,7 +22,7 @@
 use crate::cost::{CostVector, ObjectiveKey};
 use crate::error::MappingError;
 use crate::eval::{EvalSummary, Evaluation};
-use crate::evaluator::{Evaluator, EvaluatorStats};
+use crate::evaluator::{Evaluator, EvaluatorArenas, EvaluatorStats};
 use crate::init::random_initial;
 use crate::moves::{propose_impl_move, propose_pair_move, MoveDelta, MoveScratch};
 use crate::solution::Mapping;
@@ -140,6 +140,84 @@ impl Objective {
     pub fn cost_of(&self, summary: &EvalSummary) -> f64 {
         self.scalarize(&CostVector::from_summary(summary))
     }
+
+    /// Parses an objective spec string — the format shared by the
+    /// CLI's `--objective` flag and the serving layer's job specs:
+    ///
+    /// * `makespan`,
+    /// * `weighted:<w_makespan>,<w_area>,<w_reconfig>`,
+    /// * `lexi:<axis>[,<axis>...]` with axes `makespan`, `area`,
+    ///   `reconfig`, `contexts`.
+    ///
+    /// # Errors
+    ///
+    /// Names the offending part: unknown scheme, wrong weight arity,
+    /// negative/non-finite weights, unknown or duplicate axes.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        if spec == "makespan" {
+            return Ok(Objective::MinimizeMakespan);
+        }
+        if let Some(weights) = spec.strip_prefix("weighted:") {
+            let parts: Vec<&str> = weights.split(',').collect();
+            if parts.len() != 3 {
+                return Err(format!(
+                    "objective weighted takes exactly 3 weights \
+                     (w_makespan,w_area,w_reconfig), got {}",
+                    parts.len()
+                ));
+            }
+            let mut w = [0.0f64; 3];
+            for (slot, part) in w.iter_mut().zip(&parts) {
+                *slot = part
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("objective weighted: '{part}' is not a number"))?;
+            }
+            return Objective::weighted(w[0], w[1], w[2])
+                .map_err(|e| format!("objective weighted: {e}"));
+        }
+        if let Some(order) = spec.strip_prefix("lexi:") {
+            let keys: Result<Vec<ObjectiveKey>, String> = order
+                .split(',')
+                .map(|name| {
+                    let name = name.trim();
+                    ObjectiveKey::parse(name).ok_or_else(|| {
+                        format!(
+                            "objective lexi: unknown axis '{name}' \
+                             (expected makespan, area, reconfig or contexts)"
+                        )
+                    })
+                })
+                .collect();
+            return Objective::lexicographic(&keys?).map_err(|e| format!("objective lexi: {e}"));
+        }
+        Err(format!(
+            "unknown objective scheme '{spec}' \
+             (expected makespan, weighted:<w_mk>,<w_area>,<w_rc> or lexi:<order>)"
+        ))
+    }
+
+    /// Human-readable description, used by report headers everywhere
+    /// an objective is echoed back (CLI reports, serve results).
+    pub fn describe(&self) -> String {
+        match self {
+            Objective::MinimizeMakespan => "minimize makespan".into(),
+            Objective::DeadlinePenalty { deadline, .. } => {
+                format!("deadline-penalized makespan (deadline {deadline})")
+            }
+            Objective::Weighted {
+                w_makespan,
+                w_area,
+                w_reconfig,
+            } => format!(
+                "weighted sum {w_makespan}*makespan + {w_area}*area + {w_reconfig}*reconfig"
+            ),
+            Objective::Lexicographic { order } => {
+                let names: Vec<&str> = order.iter().flatten().map(|k| k.name()).collect();
+                format!("lexicographic {}", names.join(" > "))
+            }
+        }
+    }
 }
 
 impl Scalarizer<CostVector> for Objective {
@@ -248,8 +326,29 @@ impl<'a> MappingProblem<'a> {
         arch: &'a Architecture,
         mapping: Mapping,
     ) -> Result<Self, MappingError> {
+        Self::with_arenas(app, arch, mapping, None)
+    }
+
+    /// Like [`MappingProblem::new`], but revives a cached
+    /// [`EvaluatorArenas`] bundle instead of allocating fresh arenas.
+    /// Revival is observationally invisible (see
+    /// [`Evaluator::with_arenas`]): results are bit-identical either
+    /// way; only the allocator traffic differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the evaluation error if `mapping` is infeasible.
+    pub fn with_arenas(
+        app: &'a TaskGraph,
+        arch: &'a Architecture,
+        mapping: Mapping,
+        arenas: Option<EvaluatorArenas>,
+    ) -> Result<Self, MappingError> {
         mapping.validate(app, arch)?;
-        let mut evaluator = Evaluator::new(app, arch);
+        let mut evaluator = match arenas {
+            Some(a) => Evaluator::with_arenas(app, arch, a),
+            None => Evaluator::new(app, arch),
+        };
         let current = evaluator.evaluate(&mapping)?;
         Ok(MappingProblem {
             app,
@@ -292,11 +391,19 @@ impl<'a> MappingProblem<'a> {
     /// evaluation (per-task trace included), computed once on the cold
     /// path.
     pub fn into_parts(self) -> (Mapping, Evaluation) {
+        let (mapping, evaluation, _) = self.into_parts_with_arenas();
+        (mapping, evaluation)
+    }
+
+    /// [`MappingProblem::into_parts`], additionally detaching the
+    /// evaluator's arenas for reuse by a later problem over the same
+    /// `app` × `arch` pair.
+    pub fn into_parts_with_arenas(self) -> (Mapping, Evaluation, EvaluatorArenas) {
         let evaluation = self
             .evaluator
             .evaluate_full(&self.mapping)
             .expect("resident mapping is feasible by invariant");
-        (self.mapping, evaluation)
+        (self.mapping, evaluation, self.evaluator.into_arenas())
     }
 }
 
@@ -545,9 +652,28 @@ impl<'a> Explorer<'a> {
         arch: &'a Architecture,
         opts: &ExploreOptions,
     ) -> Result<Self, MappingError> {
+        Self::with_arenas(app, arch, opts, None)
+    }
+
+    /// Like [`Explorer::new`], but revives a cached
+    /// [`EvaluatorArenas`] bundle (see
+    /// [`MappingProblem::with_arenas`]); recover it afterwards with
+    /// [`Explorer::into_outcome_with_arenas`]. The walk is
+    /// bit-identical to a cold-started chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError`] if no feasible initial solution can be
+    /// constructed (e.g. the models are inconsistent).
+    pub fn with_arenas(
+        app: &'a TaskGraph,
+        arch: &'a Architecture,
+        opts: &ExploreOptions,
+        arenas: Option<EvaluatorArenas>,
+    ) -> Result<Self, MappingError> {
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let initial = random_initial(app, arch, &mut rng);
-        let problem = MappingProblem::new(app, arch, initial)?;
+        let problem = MappingProblem::with_arenas(app, arch, initial, arenas)?;
         let schedule = LamSchedule::new(opts.lambda);
         let mut annealer = Annealer::with_scalarizer(
             problem,
@@ -646,15 +772,25 @@ impl<'a> Explorer<'a> {
     /// packed into an [`ExploreOutcome`] (the full per-task evaluation
     /// is computed once here, on the cold path).
     pub fn into_outcome(self) -> ExploreOutcome {
+        self.into_outcome_with_arenas().0
+    }
+
+    /// [`Explorer::into_outcome`], additionally detaching the chain's
+    /// evaluator arenas for reuse by a later chain over the same
+    /// `app` × `arch` pair.
+    pub fn into_outcome_with_arenas(self) -> (ExploreOutcome, EvaluatorArenas) {
         let (problem, _schedule, run) = self.annealer.finish();
         let eval_stats = problem.evaluator_stats();
-        let (mapping, evaluation) = problem.into_parts();
-        ExploreOutcome {
-            mapping,
-            evaluation,
-            run,
-            eval_stats,
-        }
+        let (mapping, evaluation, arenas) = problem.into_parts_with_arenas();
+        (
+            ExploreOutcome {
+                mapping,
+                evaluation,
+                run,
+                eval_stats,
+            },
+            arenas,
+        )
     }
 }
 
@@ -793,6 +929,55 @@ pub fn explore_parallel(
     arch: &Architecture,
     opts: &ParallelOptions,
 ) -> Result<ParallelOutcome, MappingError> {
+    explore_parallel_observed(app, arch, opts, &mut Vec::new(), |_| true)
+}
+
+/// A progress snapshot delivered to the observer of
+/// [`explore_parallel_observed`] at each lock-step segment barrier
+/// (and once more when the portfolio finishes).
+#[derive(Debug)]
+pub struct SegmentUpdate<'u> {
+    /// Lock-step segments completed so far (1-based).
+    pub segment: u64,
+    /// Iterations executed so far, summed across all chains.
+    pub iterations: u64,
+    /// Scalarized objective cost of the current portfolio incumbent.
+    pub best_cost: f64,
+    /// Full cost vector of the current portfolio incumbent.
+    pub best: CostVector,
+    /// The portfolio Pareto front so far (per-chain archives merged in
+    /// chain order).
+    pub front: &'u ParetoFront<CostVector>,
+    /// `true` on the final update (budget exhausted or target hit).
+    pub finished: bool,
+}
+
+/// [`explore_parallel`] with two additions for long-lived callers (the
+/// serving layer): cached [`EvaluatorArenas`] are revived into the
+/// chains (`arenas` is drained on entry and refilled with the chains'
+/// arenas on exit, ready for the next job over the same pair), and an
+/// `observer` is called at every exchange barrier with a
+/// [`SegmentUpdate`] so progress can be streamed while the portfolio
+/// converges.
+///
+/// Observation is read-only and arena revival is observationally
+/// invisible, so for any observer that keeps returning `true` the
+/// outcome is **bit-identical to [`explore_parallel`]** with equal
+/// options. An observer returning `false` aborts the portfolio at the
+/// barrier: the outcome then reflects the best solutions found so far
+/// (and is naturally *not* comparable to a full run).
+///
+/// # Errors
+///
+/// Returns [`MappingError`] if any chain fails to construct a feasible
+/// initial solution.
+pub fn explore_parallel_observed(
+    app: &TaskGraph,
+    arch: &Architecture,
+    opts: &ParallelOptions,
+    arenas: &mut Vec<EvaluatorArenas>,
+    mut observer: impl FnMut(&SegmentUpdate<'_>) -> bool,
+) -> Result<ParallelOutcome, MappingError> {
     let start = Instant::now();
     let chains = opts.chains.max(1);
     let total = opts.base.max_iterations;
@@ -813,7 +998,7 @@ pub fn explore_parallel(
             seed: chain_seed(opts.base.seed, c),
             ..opts.base.clone()
         };
-        explorers.push(Explorer::new(app, arch, &chain_opts)?);
+        explorers.push(Explorer::with_arenas(app, arch, &chain_opts, arenas.pop())?);
     }
 
     let threads = if opts.threads == 0 {
@@ -830,6 +1015,7 @@ pub fn explore_parallel(
         opts.exchange_every
     };
 
+    let mut segments = 0u64;
     loop {
         // One lock-step segment. Chains are data-parallel within a
         // segment; splitting them into contiguous per-worker chunks
@@ -850,12 +1036,32 @@ pub fn explore_parallel(
                 }
             });
         }
+        segments += 1;
 
         let target_hit = opts
             .base
             .target_cost
             .is_some_and(|t| explorers.iter().any(|c| c.best_cost() <= t));
-        if target_hit || explorers.iter().all(Explorer::is_finished) {
+        let done = target_hit || explorers.iter().all(Explorer::is_finished);
+
+        // Observe at the barrier: a read-only snapshot of the
+        // portfolio state, never part of the walk.
+        let keep_going = {
+            let incumbent = portfolio_winner(&explorers);
+            let mut snapshot = ParetoFront::new();
+            for chain in &explorers {
+                snapshot.merge(chain.front());
+            }
+            observer(&SegmentUpdate {
+                segment: segments,
+                iterations: explorers.iter().map(Explorer::iterations).sum(),
+                best_cost: explorers[incumbent].best_cost(),
+                best: *explorers[incumbent].best_objectives(),
+                front: &snapshot,
+                finished: done,
+            })
+        };
+        if done || !keep_going {
             break;
         }
 
@@ -882,7 +1088,8 @@ pub fn explore_parallel(
     let mut front = ParetoFront::new();
     for (i, chain) in explorers.into_iter().enumerate() {
         let seed = chain.seed();
-        let outcome = chain.into_outcome();
+        let (outcome, chain_arenas) = chain.into_outcome_with_arenas();
+        arenas.push(chain_arenas);
         if i == winner {
             winner_solution = Some((outcome.mapping.clone(), outcome.evaluation.clone()));
         }

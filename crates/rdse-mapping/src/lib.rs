@@ -95,10 +95,11 @@ pub use arch_explore::{
 pub use cost::{CostVector, ObjectiveKey};
 pub use error::MappingError;
 pub use eval::{evaluate, EvalBreakdown, EvalSummary, Evaluation};
-pub use evaluator::{Evaluator, EvaluatorStats};
+pub use evaluator::{Evaluator, EvaluatorArenas, EvaluatorStats};
 pub use explorer::{
-    chain_seed, explore, explore_parallel, lexi_min, ChainStats, ExploreOptions, ExploreOutcome,
-    Explorer, MappingMove, MappingProblem, Objective, ParallelOptions, ParallelOutcome,
+    chain_seed, explore, explore_parallel, explore_parallel_observed, lexi_min, ChainStats,
+    ExploreOptions, ExploreOutcome, Explorer, MappingMove, MappingProblem, Objective,
+    ParallelOptions, ParallelOutcome, SegmentUpdate,
 };
 pub use init::random_initial;
 pub use moves::{MoveDelta, MoveKind, MoveOutcome, MoveScratch};

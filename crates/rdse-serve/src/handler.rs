@@ -1,0 +1,281 @@
+//! Transport-independent job handling: spec validation, model
+//! resolution, cache keying and job execution. Both transports (raw
+//! RPC and the HTTP/1.1 adapter) funnel into these functions, so a
+//! job behaves identically however it arrives.
+
+use crate::limits::Limits;
+use crate::protocol::{obj, AppSpec, ArchSpec, ErrorCode, JobSpec, ServeError};
+use crate::transport::FrameSink;
+use rdse_corpus::{ArchFamily, WorkloadFamily};
+use rdse_mapping::{
+    explore_parallel_observed, CostVector, EvaluatorArenas, ExploreOptions, Objective,
+    ParallelOptions, ParallelOutcome, SegmentUpdate,
+};
+use rdse_model::{Architecture, TaskGraph};
+use rdse_workloads::{epicure_architecture, figure1_app, motion_detection_app};
+use serde::{Deserialize, Serialize, Value};
+
+/// Checks everything that can be checked without building models:
+/// the objective grammar, the iteration budget and the chain count.
+/// Returns the parsed [`Objective`] on success.
+pub fn validate_spec(spec: &JobSpec, limits: &Limits) -> Result<Objective, ServeError> {
+    let objective = Objective::parse_spec(&spec.objective)
+        .map_err(|e| ServeError::new(ErrorCode::BadObjective, e))?;
+    if spec.iters > limits.max_iters {
+        return Err(ServeError::new(
+            ErrorCode::OverBudget,
+            format!(
+                "iteration budget {} exceeds the server limit {}",
+                spec.iters, limits.max_iters
+            ),
+        ));
+    }
+    if spec.chains == 0 {
+        return Err(ServeError::new(
+            ErrorCode::BadJob,
+            "'chains' must be at least 1",
+        ));
+    }
+    if spec.chains > limits.max_chains {
+        return Err(ServeError::new(
+            ErrorCode::TooManyChains,
+            format!(
+                "{} chains exceed the server limit {}",
+                spec.chains, limits.max_chains
+            ),
+        ));
+    }
+    Ok(objective)
+}
+
+/// Builds the job's models and enforces the size caps. Inline models
+/// are decoded from their JSON shape; named specs are generated.
+pub fn resolve_models(
+    spec: &JobSpec,
+    limits: &Limits,
+) -> Result<(TaskGraph, Architecture), ServeError> {
+    let app = match &spec.app {
+        AppSpec::Builtin(name) => match name.as_str() {
+            "motion" => motion_detection_app(),
+            "figure1" => figure1_app(),
+            other => {
+                return Err(ServeError::new(
+                    ErrorCode::UnknownApp,
+                    format!("unknown builtin app '{other}' (expected motion or figure1)"),
+                ))
+            }
+        },
+        AppSpec::Workload { family, seed } => WorkloadFamily::parse(family)
+            .ok_or_else(|| {
+                ServeError::new(
+                    ErrorCode::UnknownApp,
+                    format!("unknown workload family '{family}' (see `rdse corpus list`)"),
+                )
+            })?
+            .generate(*seed),
+        AppSpec::Inline(model) => {
+            let g = TaskGraph::from_value(model)
+                .map_err(|e| ServeError::new(ErrorCode::BadJob, format!("inline app: {e}")))?;
+            g.validate()
+                .map_err(|e| ServeError::new(ErrorCode::BadJob, format!("inline app: {e}")))?;
+            g
+        }
+    };
+    if app.n_tasks() == 0 {
+        return Err(ServeError::new(
+            ErrorCode::BadJob,
+            "application has no tasks",
+        ));
+    }
+    if app.n_tasks() > limits.max_tasks {
+        return Err(ServeError::new(
+            ErrorCode::TooManyTasks,
+            format!(
+                "{} tasks exceed the server limit {}",
+                app.n_tasks(),
+                limits.max_tasks
+            ),
+        ));
+    }
+    let arch = match &spec.arch {
+        ArchSpec::Clbs(n) => epicure_architecture(*n),
+        ArchSpec::Family { family, seed } => ArchFamily::parse(family)
+            .ok_or_else(|| {
+                ServeError::new(
+                    ErrorCode::UnknownArch,
+                    format!("unknown architecture family '{family}'"),
+                )
+            })?
+            .build(*seed),
+        ArchSpec::Inline(model) => Architecture::from_value(model)
+            .map_err(|e| ServeError::new(ErrorCode::BadJob, format!("inline arch: {e}")))?,
+    };
+    let devices = arch.processors().len() + arch.drlcs().len() + arch.asics().len();
+    if devices > limits.max_devices {
+        return Err(ServeError::new(
+            ErrorCode::TooManyDevices,
+            format!(
+                "{devices} devices exceed the server limit {}",
+                limits.max_devices
+            ),
+        ));
+    }
+    Ok((app, arch))
+}
+
+/// Content key of a job's `(app, arch)` pair: two jobs share a warm
+/// cache entry iff their keys are byte-equal. Named specs key on name
+/// and seed; inline models key on their canonical JSON, so identical
+/// inline submissions hit the same entry while any model difference
+/// misses.
+pub fn cache_key(spec: &JobSpec) -> String {
+    let app = match &spec.app {
+        AppSpec::Builtin(name) => format!("builtin:{name}"),
+        AppSpec::Workload { family, seed } => format!("workload:{family}:s{seed}"),
+        AppSpec::Inline(model) => format!(
+            "inline:{}",
+            serde_json::to_string(model).expect("Value serialization is infallible")
+        ),
+    };
+    let arch = match &spec.arch {
+        ArchSpec::Clbs(n) => format!("clbs:{n}"),
+        ArchSpec::Family { family, seed } => format!("family:{family}:s{seed}"),
+        ArchSpec::Inline(model) => format!(
+            "inline:{}",
+            serde_json::to_string(model).expect("Value serialization is infallible")
+        ),
+    };
+    format!("{app}|{arch}")
+}
+
+/// FNV-1a over the cache key — the worker-shard selector. Jobs over
+/// the same `(app, arch)` land on the same worker, maximizing warm
+/// arena reuse.
+pub fn shard_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn bits_hex(f: f64) -> Value {
+    Value::Str(format!("{:016x}", f.to_bits()))
+}
+
+/// The body of one streamed `Update` frame.
+pub fn update_value(job: u64, u: &SegmentUpdate<'_>) -> Value {
+    obj(vec![
+        ("type", Value::Str("update".into())),
+        ("job", job.to_value()),
+        ("segment", u.segment.to_value()),
+        ("iterations", u.iterations.to_value()),
+        ("best_makespan", u.best.makespan.to_value()),
+        ("best_makespan_bits", bits_hex(u.best.makespan)),
+        ("best_cost", u.best_cost.to_value()),
+        ("front_size", u.front.len().to_value()),
+        ("finished", Value::Bool(u.finished)),
+    ])
+}
+
+fn front_value(outcome: &ParallelOutcome) -> Value {
+    let members: Vec<Value> = outcome
+        .front
+        .sorted_members(|a: &CostVector, b: &CostVector| a.makespan.total_cmp(&b.makespan))
+        .into_iter()
+        .map(|m| {
+            obj(vec![
+                ("makespan", m.makespan.to_value()),
+                ("makespan_bits", bits_hex(m.makespan)),
+                ("clb_area", (m.clb_area as u32).to_value()),
+                ("reconfig", m.reconfig_overhead.to_value()),
+                ("reconfig_bits", bits_hex(m.reconfig_overhead)),
+                ("contexts", (m.contexts as u32).to_value()),
+            ])
+        })
+        .collect();
+    Value::Seq(members)
+}
+
+/// The body of the final `Result` frame.
+pub fn result_value(
+    job: u64,
+    spec: &JobSpec,
+    outcome: &ParallelOutcome,
+    objective: &Objective,
+    cache_hit: bool,
+) -> Value {
+    let summary = outcome.evaluation.summary();
+    let makespan = summary.makespan.value();
+    let iterations: u64 = outcome.chains.iter().map(|c| c.run.iterations).sum();
+    obj(vec![
+        ("type", Value::Str("result".into())),
+        ("job", job.to_value()),
+        ("makespan", makespan.to_value()),
+        ("makespan_bits", bits_hex(makespan)),
+        ("contexts", summary.n_contexts.to_value()),
+        ("hw_tasks", summary.n_hw_tasks.to_value()),
+        ("clb_area", summary.clb_area.value().to_value()),
+        ("objective", Value::Str(objective.describe())),
+        ("seed", spec.seed.to_value()),
+        ("chains", spec.chains.to_value()),
+        ("winner", outcome.winner.to_value()),
+        ("iterations", iterations.to_value()),
+        ("front", front_value(outcome)),
+        (
+            "cache",
+            Value::Str(if cache_hit { "hit" } else { "miss" }.into()),
+        ),
+    ])
+}
+
+/// Runs a validated job to completion, streaming a
+/// [`SegmentUpdate`] through `sink` at every exchange barrier.
+/// `arenas` follows the [`explore_parallel_observed`] contract
+/// (drained on entry, refilled on exit), so the caller's warm cache
+/// keeps paying off across jobs — while results stay bit-identical to
+/// the offline `explore`/`explore_parallel` path for the same
+/// `(seed, chains)`.
+#[allow(clippy::too_many_arguments)]
+pub fn execute(
+    job: u64,
+    spec: &JobSpec,
+    objective: Objective,
+    app: &TaskGraph,
+    arch: &Architecture,
+    arenas: &mut Vec<EvaluatorArenas>,
+    cache_hit: bool,
+    sink: &mut dyn FrameSink,
+) -> Result<Value, ServeError> {
+    let popts = ParallelOptions {
+        base: ExploreOptions {
+            max_iterations: spec.iters,
+            warmup_iterations: spec.warmup,
+            seed: spec.seed,
+            objective,
+            ..ExploreOptions::default()
+        },
+        chains: spec.chains,
+        // Parallelism comes from the worker pool: one job, one core.
+        // Never affects results.
+        threads: 1,
+        exchange_every: spec.exchange_every,
+    };
+    let mut aborted = false;
+    let outcome = explore_parallel_observed(app, arch, &popts, arenas, |u| {
+        let keep = sink.send_update(&update_value(job, u));
+        if !keep {
+            aborted = true;
+        }
+        keep
+    })
+    .map_err(|e| ServeError::new(ErrorCode::Internal, format!("exploration failed: {e}")))?;
+    if aborted {
+        return Err(ServeError::new(
+            ErrorCode::Aborted,
+            "client disconnected mid-stream; job aborted",
+        ));
+    }
+    Ok(result_value(job, spec, &outcome, &objective, cache_hit))
+}

@@ -1,0 +1,75 @@
+//! Long-running exploration service for the design-space explorer.
+//!
+//! `rdse-serve` turns the offline `explore` pipeline into a server:
+//! clients submit exploration jobs over TCP and stream back
+//! incremental Pareto-front updates followed by the final result.
+//! Everything is built on `std::net` — no async runtime, no external
+//! HTTP stack.
+//!
+//! # Architecture
+//!
+//! - [`protocol`] — the framed wire protocol: a 12-byte versioned
+//!   header (`"RDSE"` magic, version, frame type, body length) and a
+//!   UTF-8 JSON body. [`protocol::JobSpec`] is the job description.
+//! - Two transports share one handler. Raw RPC speaks frames in both
+//!   directions; the HTTP/1.1 adapter maps `POST /jobs`,
+//!   `GET /jobs/<id>`, `GET /healthz` and `POST /shutdown` onto the
+//!   same code paths, streaming job output as NDJSON. A fresh
+//!   connection is classified by peeking its first four bytes.
+//! - [`Server`] shards jobs across a fixed worker pool by hashing the
+//!   job's `(app, arch)` content key. Each worker keeps those models
+//!   and their warm [`rdse_mapping::EvaluatorArenas`] cached, so
+//!   repeat submissions skip model building and arena allocation —
+//!   observable as `evaluator_cache_hits` in the health report.
+//! - [`Limits`] bounds every request (frame size, tasks, devices,
+//!   iteration budget, chains, concurrent sessions, socket timeouts);
+//!   every violation is answered with a typed
+//!   [`protocol::ServeError`] frame, never a panic or a silent drop.
+//!
+//! Results are **bit-identical** to the offline `rdse explore` for
+//! the same `(seed, chains)`: jobs run the same deterministic
+//! portfolio with in-job `threads: 1`, and warm-arena revival fully
+//! resynchronizes evaluator state.
+//!
+//! # Example
+//!
+//! ```
+//! use rdse_serve::{client, protocol, ServeConfig, Server};
+//!
+//! let handle = Server::bind(ServeConfig::default()).unwrap().spawn().unwrap();
+//! let addr = handle.addr().to_string();
+//!
+//! let spec = protocol::JobSpec {
+//!     app: protocol::AppSpec::Builtin("motion".into()),
+//!     arch: protocol::ArchSpec::Clbs(2000),
+//!     objective: "makespan".into(),
+//!     iters: 400,
+//!     warmup: 100,
+//!     seed: 1,
+//!     chains: 1,
+//!     exchange_every: 200,
+//! };
+//! let opts = client::ClientOptions::default();
+//! let result = client::submit(&addr, &spec, &opts, |_update| {}).unwrap();
+//! assert!(matches!(result.get("makespan_bits"), Some(serde::Value::Str(_))));
+//!
+//! client::shutdown(&addr, &opts).unwrap();
+//! handle.join().unwrap();
+//! ```
+
+pub mod client;
+pub mod handler;
+pub mod limits;
+pub mod protocol;
+mod server;
+mod transport;
+mod worker;
+
+pub use client::{ClientError, ClientOptions};
+pub use limits::Limits;
+pub use protocol::{
+    AppSpec, ArchSpec, ErrorCode, FrameError, FrameType, JobSpec, ServeError, HEADER_LEN, MAGIC,
+    VERSION,
+};
+pub use server::{ServeConfig, ServeStats, Server, ServerHandle};
+pub use transport::FrameSink;

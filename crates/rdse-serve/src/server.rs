@@ -1,0 +1,354 @@
+//! The long-running server: TCP accept loop, session accounting, job
+//! registry and lifecycle.
+
+use crate::limits::Limits;
+use crate::protocol::{obj, ErrorCode, ServeError};
+use crate::transport;
+use crate::worker::{self, JobRequest, WorkerMsg};
+use serde::{Serialize, Value};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// How a server is stood up.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind (default `127.0.0.1`).
+    pub host: String,
+    /// Port to bind; `0` asks the OS for a free port — read the real
+    /// one back from [`Server::local_addr`].
+    pub port: u16,
+    /// Worker threads (each with its own warm model/arena cache).
+    pub workers: usize,
+    /// Per-request resource limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            host: "127.0.0.1".into(),
+            port: 0,
+            workers: 4,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Lifetime counters, readable while the server runs (the `healthz`
+/// endpoint reports them).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Jobs that ran to completion.
+    pub jobs_served: AtomicU64,
+    /// Jobs rejected or failed after admission.
+    pub jobs_failed: AtomicU64,
+    /// Jobs that found their `(app, arch)` models and evaluator arenas
+    /// already warm on their worker.
+    pub cache_hits: AtomicU64,
+    /// Jobs that had to resolve models from scratch.
+    pub cache_misses: AtomicU64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum JobState {
+    Queued,
+    Running,
+    Done(Value),
+    Failed(ServeError),
+}
+
+impl JobState {
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Recent job records: bounded ring, oldest evicted first.
+const MAX_JOB_RECORDS: usize = 256;
+
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    next: AtomicU64,
+    records: Mutex<Vec<(u64, JobState)>>,
+}
+
+impl Registry {
+    pub fn register(&self) -> u64 {
+        let id = self.next.fetch_add(1, Relaxed) + 1;
+        let mut records = self.records.lock().expect("registry lock");
+        if records.len() >= MAX_JOB_RECORDS {
+            records.remove(0);
+        }
+        records.push((id, JobState::Queued));
+        id
+    }
+
+    pub fn set_state(&self, id: u64, state: JobState) {
+        let mut records = self.records.lock().expect("registry lock");
+        if let Some(slot) = records.iter_mut().find(|(rid, _)| *rid == id) {
+            slot.1 = state;
+        }
+    }
+
+    pub fn record_value(&self, id: u64) -> Option<Value> {
+        let records = self.records.lock().expect("registry lock");
+        let (_, state) = records.iter().find(|(rid, _)| *rid == id)?;
+        let (result, error) = match state {
+            JobState::Done(v) => (v.clone(), Value::Null),
+            JobState::Failed(e) => (Value::Null, e.to_value()),
+            _ => (Value::Null, Value::Null),
+        };
+        Some(obj(vec![
+            ("type", Value::Str("job".into())),
+            ("job", id.to_value()),
+            ("state", Value::Str(state.name().into())),
+            ("result", result),
+            ("error", error),
+        ]))
+    }
+}
+
+/// Concurrent-session gauge: a connection holds a permit from accept
+/// until its job (if any) finishes streaming.
+#[derive(Debug)]
+pub(crate) struct SessionGauge {
+    active: AtomicUsize,
+    max: usize,
+}
+
+impl SessionGauge {
+    fn new(max: usize) -> Arc<Self> {
+        Arc::new(SessionGauge {
+            active: AtomicUsize::new(0),
+            max,
+        })
+    }
+
+    pub fn try_acquire(self: &Arc<Self>) -> Option<SessionPermit> {
+        let ok = self
+            .active
+            .fetch_update(Relaxed, Relaxed, |n| (n < self.max).then_some(n + 1))
+            .is_ok();
+        ok.then(|| SessionPermit(Arc::clone(self)))
+    }
+
+    pub fn active(&self) -> usize {
+        self.active.load(Relaxed)
+    }
+}
+
+/// RAII handle on one session slot.
+#[derive(Debug)]
+pub(crate) struct SessionPermit(Arc<SessionGauge>);
+
+impl Drop for SessionPermit {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Relaxed);
+    }
+}
+
+/// State shared with the worker pool.
+#[derive(Debug)]
+pub(crate) struct Core {
+    pub limits: Limits,
+    pub stats: ServeStats,
+    pub registry: Registry,
+}
+
+/// State shared with connection threads.
+pub(crate) struct Ctx {
+    pub core: Arc<Core>,
+    pub senders: Vec<Mutex<Sender<WorkerMsg>>>,
+    pub sessions: Arc<SessionGauge>,
+    pub shutdown: AtomicBool,
+    pub addr: SocketAddr,
+    pub workers: usize,
+}
+
+impl Ctx {
+    /// The `healthz` body, shared by both transports.
+    pub fn health_value(&self) -> Value {
+        let stats = &self.core.stats;
+        obj(vec![
+            ("status", Value::Str("ok".into())),
+            ("version", u64::from(crate::protocol::VERSION).to_value()),
+            ("jobs_served", stats.jobs_served.load(Relaxed).to_value()),
+            ("jobs_failed", stats.jobs_failed.load(Relaxed).to_value()),
+            (
+                "evaluator_cache_hits",
+                stats.cache_hits.load(Relaxed).to_value(),
+            ),
+            (
+                "evaluator_cache_misses",
+                stats.cache_misses.load(Relaxed).to_value(),
+            ),
+            ("active_sessions", self.sessions.active().to_value()),
+            ("workers", self.workers.to_value()),
+        ])
+    }
+
+    /// Queues a job on its shard. On failure the request is handed
+    /// back so the caller can report the error on its own sink.
+    pub fn dispatch(&self, req: Box<JobRequest>) -> Result<(), (Box<JobRequest>, ServeError)> {
+        if self.shutdown.load(Relaxed) {
+            return Err((
+                req,
+                ServeError::new(ErrorCode::Busy, "server is shutting down"),
+            ));
+        }
+        let shard = (crate::handler::shard_hash(&req.key) % self.workers as u64) as usize;
+        let sender = self.senders[shard].lock().expect("worker sender lock");
+        sender.send(WorkerMsg::Job(req)).map_err(|e| {
+            let WorkerMsg::Job(req) = e.0 else {
+                unreachable!("only jobs are dispatched")
+            };
+            (
+                req,
+                ServeError::new(ErrorCode::Internal, "worker pool stopped"),
+            )
+        })
+    }
+
+    /// Flags shutdown and pokes the accept loop awake with a throwaway
+    /// connection so it observes the flag.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Relaxed);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<Ctx>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`io::Error`] of a failed bind.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        let addr = listener.local_addr()?;
+        let workers_n = config.workers.max(1);
+        let core = Arc::new(Core {
+            limits: config.limits.clone(),
+            stats: ServeStats::default(),
+            registry: Registry::default(),
+        });
+        let (senders, handles) = worker::spawn(workers_n, &core);
+        let ctx = Arc::new(Ctx {
+            core,
+            senders,
+            sessions: SessionGauge::new(config.limits.max_sessions),
+            shutdown: AtomicBool::new(false),
+            addr,
+            workers: workers_n,
+        });
+        Ok(Server {
+            listener,
+            ctx,
+            workers: handles,
+        })
+    }
+
+    /// The bound address (resolves `port: 0` to the real port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`io::Error`] of `TcpListener::local_addr`.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a shutdown frame arrives. Every accepted
+    /// connection gets its own thread; queued jobs drain before the
+    /// workers exit.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after a successful bind; the signature
+    /// leaves room for fatal accept errors.
+    pub fn run(mut self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.ctx.shutdown.load(Relaxed) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let ctx = Arc::clone(&self.ctx);
+            match ctx.sessions.try_acquire() {
+                Some(permit) => {
+                    let _ = thread::Builder::new()
+                        .name("rdse-conn".into())
+                        .spawn(move || transport::handle_connection(stream, &ctx, permit));
+                }
+                None => {
+                    let _ = thread::Builder::new()
+                        .name("rdse-busy".into())
+                        .spawn(move || transport::reply_busy(stream, &ctx));
+                }
+            }
+        }
+        for sender in &self.ctx.senders {
+            let _ = sender
+                .lock()
+                .expect("worker sender lock")
+                .send(WorkerMsg::Stop);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread; mainly for tests and
+    /// embedding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`io::Error`] of `local_addr`.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let handle = thread::Builder::new()
+            .name("rdse-serve".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle { addr, handle })
+    }
+}
+
+/// Join handle for a [`Server::spawn`]ed server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    handle: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server loop's [`io::Error`]; a panicked server
+    /// thread surfaces as [`io::ErrorKind::Other`].
+    pub fn join(self) -> io::Result<()> {
+        self.handle
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}

@@ -1,0 +1,159 @@
+//! The sharded worker pool.
+//!
+//! Each worker owns a private warm cache of resolved `(app, arch)`
+//! models plus their [`EvaluatorArenas`]. Jobs are routed to a worker
+//! by hashing the cache key, so repeat submissions of the same pair
+//! always land where the warm arenas live — no cross-thread sharing,
+//! no locks on the hot path.
+
+use crate::handler;
+use crate::protocol::{ErrorCode, JobSpec, ServeError};
+use crate::server::{Core, JobState, SessionPermit};
+use crate::transport::FrameSink;
+use rdse_mapping::{EvaluatorArenas, Objective};
+use rdse_model::{Architecture, TaskGraph};
+use serde::Value;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Warm entries kept per worker before least-recently-used eviction.
+const MAX_CACHE_ENTRIES: usize = 8;
+
+pub(crate) enum WorkerMsg {
+    Job(Box<JobRequest>),
+    /// Drain the queue, then exit the worker thread.
+    Stop,
+}
+
+/// A fully validated job, ready to run. The sink is the live client
+/// connection; the permit keeps the session slot occupied until the
+/// job finishes.
+pub(crate) struct JobRequest {
+    pub id: u64,
+    pub spec: JobSpec,
+    pub objective: Objective,
+    pub key: String,
+    pub sink: Box<dyn FrameSink>,
+    #[allow(dead_code)] // held for its Drop
+    pub permit: Option<SessionPermit>,
+}
+
+struct CacheEntry {
+    app: TaskGraph,
+    arch: Architecture,
+    arenas: Vec<EvaluatorArenas>,
+    last_used: u64,
+}
+
+pub(crate) fn spawn(
+    n: usize,
+    core: &Arc<Core>,
+) -> (Vec<Mutex<Sender<WorkerMsg>>>, Vec<JoinHandle<()>>) {
+    let mut senders = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for w in 0..n {
+        let (tx, rx) = mpsc::channel();
+        let core = Arc::clone(core);
+        let handle = thread::Builder::new()
+            .name(format!("rdse-worker-{w}"))
+            .spawn(move || worker_loop(rx, &core))
+            .expect("spawn worker thread");
+        senders.push(Mutex::new(tx));
+        handles.push(handle);
+    }
+    (senders, handles)
+}
+
+fn worker_loop(rx: Receiver<WorkerMsg>, core: &Arc<Core>) {
+    let mut cache: HashMap<String, CacheEntry> = HashMap::new();
+    let mut tick = 0u64;
+    while let Ok(msg) = rx.recv() {
+        let mut req = match msg {
+            WorkerMsg::Job(r) => r,
+            WorkerMsg::Stop => break,
+        };
+        core.registry.set_state(req.id, JobState::Running);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_one(&mut cache, &mut tick, &mut req, core)
+        }));
+        match outcome {
+            Ok(Ok(v)) => {
+                core.registry.set_state(req.id, JobState::Done(v.clone()));
+                core.stats.jobs_served.fetch_add(1, Relaxed);
+                req.sink.send_result(&v);
+            }
+            Ok(Err(e)) => {
+                core.registry.set_state(req.id, JobState::Failed(e.clone()));
+                core.stats.jobs_failed.fetch_add(1, Relaxed);
+                req.sink.send_error(&e);
+            }
+            Err(_) => {
+                // A panicking job must not take the worker (or the
+                // server) down, and its cache entry can no longer be
+                // trusted.
+                cache.remove(&req.key);
+                let e = ServeError::new(
+                    ErrorCode::Internal,
+                    "job panicked; its evaluator cache entry was dropped",
+                );
+                core.registry.set_state(req.id, JobState::Failed(e.clone()));
+                core.stats.jobs_failed.fetch_add(1, Relaxed);
+                req.sink.send_error(&e);
+            }
+        }
+        req.sink.finish();
+    }
+}
+
+fn run_one(
+    cache: &mut HashMap<String, CacheEntry>,
+    tick: &mut u64,
+    req: &mut JobRequest,
+    core: &Arc<Core>,
+) -> Result<Value, ServeError> {
+    let hit = cache.contains_key(&req.key);
+    if hit {
+        core.stats.cache_hits.fetch_add(1, Relaxed);
+    } else {
+        core.stats.cache_misses.fetch_add(1, Relaxed);
+        let (app, arch) = handler::resolve_models(&req.spec, &core.limits)?;
+        if cache.len() >= MAX_CACHE_ENTRIES {
+            let oldest = cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = oldest {
+                cache.remove(&k);
+            }
+        }
+        cache.insert(
+            req.key.clone(),
+            CacheEntry {
+                app,
+                arch,
+                arenas: Vec::new(),
+                last_used: 0,
+            },
+        );
+    }
+    *tick += 1;
+    let entry = cache.get_mut(&req.key).expect("entry ensured above");
+    entry.last_used = *tick;
+    let mut arenas = std::mem::take(&mut entry.arenas);
+    let result = handler::execute(
+        req.id,
+        &req.spec,
+        req.objective,
+        &entry.app,
+        &entry.arch,
+        &mut arenas,
+        hit,
+        req.sink.as_mut(),
+    );
+    entry.arenas = arenas;
+    result
+}

@@ -3,8 +3,8 @@
 //! grids, render schedules, and validate them by simulation.
 //!
 //! ```text
-//! rdse generate <motion|figure1|layered|series-parallel> [--clbs N] [--seed N]
-//!               [--sections N] [--branches N] [--dir D]
+//! rdse generate <motion|figure1|layered|series-parallel|scenario> [--clbs N] [--seed N]
+//!               [--sections N] [--branches N] [--workload FAM] [--arch-family FAM] [--dir D]
 //! rdse explore  --app F.json --arch F.json [--iters N] [--warmup N]
 //!               [--seed N] [--lambda X] [--chains K] [--threads T]
 //!               [--exchange-every E] [--gantt] [--profile]
@@ -20,6 +20,15 @@
 //!               [--iters N] [--warmup N] [--chains K] [--threads T]
 //!               [--exchange-every E] [--walk-steps W] [--out F.ndjson]
 //!               [--golden F] [--write-golden F]
+//! rdse serve    [--host H] [--port P] [--workers N] [--max-frame-len B]
+//!               [--max-tasks N] [--max-iters N] [--max-chains N]
+//!               [--max-sessions N] [--read-timeout-ms N]
+//! rdse submit   --addr HOST:PORT (--app F.json | --builtin NAME | --workload FAM)
+//!               (--arch F.json | --clbs N | --arch-family FAM)
+//!               [--app-seed N] [--arch-seed N] [--objective SPEC] [--iters N]
+//!               [--warmup N] [--seed N] [--chains K] [--exchange-every E]
+//!               [--quiet]
+//! rdse submit   --addr HOST:PORT (--health | --shutdown | --get-job ID)
 //! ```
 
 use rdse::corpus::{
@@ -27,10 +36,15 @@ use rdse::corpus::{
 };
 use rdse::mapping::{
     chain_seed, evaluate, explore, explore_parallel, lexi_min, CostVector, Dominance,
-    ExploreOptions, GanttChart, Mapping, Objective, ObjectiveKey, ParallelOptions, ParetoFront,
+    ExploreOptions, GanttChart, Mapping, Objective, ParallelOptions, ParetoFront,
 };
 use rdse::model::units::{Clbs, Micros};
 use rdse::model::{Architecture, TaskGraph};
+use rdse::serve::{
+    client as serve_client,
+    protocol::{AppSpec, ArchSpec, JobSpec},
+    ClientOptions, Limits, ServeConfig, Server,
+};
 use rdse::sim::{simulate, SimConfig};
 use rdse::workloads::{
     epicure_architecture, figure1_app, layered_dag, motion_detection_app, series_parallel_dag,
@@ -62,7 +76,9 @@ fn usage() -> ExitCode {
          rdse simulate --app F.json --arch F.json --mapping F.json [--contention]\n  \
          rdse space    --app F.json\n  \
          rdse corpus   list\n  \
-         rdse corpus   run [--smoke] [--families a,b] [--arches a,b] [--seeds 1,2] [--iters N]\n                [--warmup N] [--chains K] [--threads T] [--exchange-every E] [--walk-steps W]\n                [--out F.ndjson] [--golden F] [--write-golden F]"
+         rdse corpus   run [--smoke] [--families a,b] [--arches a,b] [--seeds 1,2] [--iters N]\n                [--warmup N] [--chains K] [--threads T] [--exchange-every E] [--walk-steps W]\n                [--out F.ndjson] [--golden F] [--write-golden F]\n  \
+         rdse serve    [--host H] [--port P] [--workers N] [--max-frame-len B] [--max-tasks N]\n                [--max-iters N] [--max-chains N] [--max-sessions N] [--read-timeout-ms N]\n  \
+         rdse submit   --addr HOST:PORT (--app F.json | --builtin NAME | --workload FAM)\n                (--arch F.json | --clbs N | --arch-family FAM) [--objective SPEC] [--iters N]\n                [--seed N] [--chains K] [--quiet] | (--health | --shutdown | --get-job ID)"
     );
     ExitCode::FAILURE
 }
@@ -79,6 +95,8 @@ fn main() -> ExitCode {
         "simulate" => run_simulate(&args),
         "space" => run_space(&args),
         "corpus" => run_corpus_cmd(&args),
+        "serve" => run_serve(&args),
+        "submit" => run_submit(&args),
         _ => usage(),
     }
 }
@@ -99,69 +117,12 @@ fn parse_objective(args: &[String]) -> Result<Option<Objective>, String> {
     let Some(spec) = arg_value(args, "--objective") else {
         return Ok(None);
     };
-    if spec == "makespan" {
-        return Ok(Some(Objective::MinimizeMakespan));
-    }
-    if let Some(weights) = spec.strip_prefix("weighted:") {
-        let parts: Vec<&str> = weights.split(',').collect();
-        if parts.len() != 3 {
-            return Err(format!(
-                "--objective weighted takes exactly 3 weights \
-                 (w_makespan,w_area,w_reconfig), got {}",
-                parts.len()
-            ));
-        }
-        let mut w = [0.0f64; 3];
-        for (slot, part) in w.iter_mut().zip(&parts) {
-            *slot = part
-                .trim()
-                .parse()
-                .map_err(|_| format!("--objective weighted: '{part}' is not a number"))?;
-        }
-        return Objective::weighted(w[0], w[1], w[2])
-            .map(Some)
-            .map_err(|e| format!("--objective weighted: {e}"));
-    }
-    if let Some(order) = spec.strip_prefix("lexi:") {
-        let keys: Result<Vec<ObjectiveKey>, String> = order
-            .split(',')
-            .map(|name| {
-                let name = name.trim();
-                ObjectiveKey::parse(name).ok_or_else(|| {
-                    format!(
-                        "--objective lexi: unknown axis '{name}' \
-                         (expected makespan, area, reconfig or contexts)"
-                    )
-                })
-            })
-            .collect();
-        return Objective::lexicographic(&keys?)
-            .map(Some)
-            .map_err(|e| format!("--objective lexi: {e}"));
-    }
-    Err(format!(
-        "unknown --objective scheme '{spec}' \
-         (expected makespan, weighted:<w_mk>,<w_area>,<w_rc> or lexi:<order>)"
-    ))
-}
-
-/// Human-readable description of an objective for report headers.
-fn describe_objective(objective: &Objective) -> String {
-    match objective {
-        Objective::MinimizeMakespan => "minimize makespan".into(),
-        Objective::DeadlinePenalty { deadline, .. } => {
-            format!("deadline-penalized makespan (deadline {deadline})")
-        }
-        Objective::Weighted {
-            w_makespan,
-            w_area,
-            w_reconfig,
-        } => format!("weighted sum {w_makespan}*makespan + {w_area}*area + {w_reconfig}*reconfig"),
-        Objective::Lexicographic { order } => {
-            let names: Vec<&str> = order.iter().flatten().map(|k| k.name()).collect();
-            format!("lexicographic {}", names.join(" > "))
-        }
-    }
+    // The shared grammar lives on Objective so the server validates
+    // submissions identically; its messages say "objective ...", which
+    // becomes "--objective ..." here to name the offending flag.
+    Objective::parse_spec(&spec)
+        .map(Some)
+        .map_err(|e| e.replacen("objective", "--objective", 1))
 }
 
 /// Prints the Pareto front of an exploration in canonical
@@ -192,24 +153,45 @@ fn generate(args: &[String]) -> ExitCode {
     let clbs: u32 = arg_num(args, "--clbs", 2000);
     let seed: u64 = arg_num(args, "--seed", 1);
     let dir = arg_value(args, "--dir").unwrap_or_else(|| ".".into());
-    let (app, name) = match kind {
-        "motion" => (motion_detection_app(), "motion"),
-        "figure1" => (figure1_app(), "figure1"),
-        "layered" => (layered_dag(&LayeredDagConfig::default(), seed), "layered"),
+    let (app, arch, name) = match kind {
+        "motion" => (motion_detection_app(), epicure_architecture(clbs), "motion"),
+        "figure1" => (figure1_app(), epicure_architecture(clbs), "figure1"),
+        "layered" => (
+            layered_dag(&LayeredDagConfig::default(), seed),
+            epicure_architecture(clbs),
+            "layered",
+        ),
         "series-parallel" => {
             let sections: usize = arg_num(args, "--sections", 4);
             let branches: usize = arg_num(args, "--branches", 3);
             (
                 series_parallel_dag(sections, branches, seed),
+                epicure_architecture(clbs),
                 "series-parallel",
             )
+        }
+        // A corpus scenario (workload family × platform template ×
+        // seed), saved as files so the offline explore path can be
+        // compared bit-for-bit against a served job naming the same
+        // scenario.
+        "scenario" => {
+            let workload = arg_value(args, "--workload").unwrap_or_else(|| "layered".into());
+            let arch_family = arg_value(args, "--arch-family").unwrap_or_else(|| "epicure".into());
+            let Some(wf) = WorkloadFamily::parse(&workload) else {
+                eprintln!("error: unknown --workload family '{workload}' (see `rdse corpus list`)");
+                return ExitCode::from(EXIT_USAGE);
+            };
+            let Some(af) = ArchFamily::parse(&arch_family) else {
+                eprintln!("error: unknown --arch-family '{arch_family}' (see `rdse corpus list`)");
+                return ExitCode::from(EXIT_USAGE);
+            };
+            (wf.generate(seed), af.build(seed), "scenario")
         }
         other => {
             eprintln!("unknown workload '{other}'");
             return usage();
         }
     };
-    let arch = epicure_architecture(clbs);
     let app_path = format!("{dir}/{name}-app.json");
     let arch_path = format!("{dir}/{name}-arch.json");
     if let Err(e) = app.save(&app_path).and_then(|()| arch.save(&arch_path)) {
@@ -292,6 +274,12 @@ fn run_explore(args: &[String]) -> ExitCode {
         outcome.run.stop_description(),
         100.0 * outcome.run.best_cost / outcome.run.initial_cost
     );
+    // Exact bit pattern for cross-process identity checks (the serve
+    // path asserts its results against this line).
+    println!(
+        "makespan bits : {:016x}",
+        outcome.evaluation.makespan.value().to_bits()
+    );
     println!(
         "contexts      : {} | hardware tasks: {}/{}",
         outcome.evaluation.n_contexts,
@@ -304,7 +292,7 @@ fn run_explore(args: &[String]) -> ExitCode {
         outcome.evaluation.breakdown.dynamic_reconfig,
         outcome.evaluation.breakdown.computation_communication
     );
-    println!("objective     : {}", describe_objective(&opts.objective));
+    println!("objective     : {}", opts.objective.describe());
     let front = match &portfolio {
         Some(p) => &p.front,
         None => outcome.front(),
@@ -982,6 +970,302 @@ fn run_corpus_run(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `rdse serve` — stand up the long-running exploration service (see
+/// the `rdse-serve` crate docs for the protocol and limits).
+fn run_serve(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help") {
+        println!(
+            "usage: rdse serve [--host H] [--port P] [--workers N] [--max-frame-len B]\n\
+             \x20                 [--max-tasks N] [--max-iters N] [--max-chains N]\n\
+             \x20                 [--max-sessions N] [--read-timeout-ms N]\n\
+             \n\
+             Serves exploration jobs over TCP (framed RPC and HTTP/1.1 on the same\n\
+             port). --port 0 picks a free port; the bound address is printed on\n\
+             stdout as 'rdse serve listening on HOST:PORT'. Stop it with\n\
+             `rdse submit --addr HOST:PORT --shutdown`."
+        );
+        return ExitCode::SUCCESS;
+    }
+    let host = arg_value(args, "--host").unwrap_or_else(|| "127.0.0.1".into());
+    let port: u16 = arg_num(args, "--port", 0);
+    let workers: usize = arg_num(args, "--workers", 4);
+    let defaults = Limits::default();
+    let limits = Limits {
+        max_frame_len: arg_num(args, "--max-frame-len", defaults.max_frame_len),
+        max_tasks: arg_num(args, "--max-tasks", defaults.max_tasks),
+        max_devices: arg_num(args, "--max-devices", defaults.max_devices),
+        max_iters: arg_num(args, "--max-iters", defaults.max_iters),
+        max_chains: arg_num(args, "--max-chains", defaults.max_chains),
+        max_sessions: arg_num(args, "--max-sessions", defaults.max_sessions),
+        read_timeout: std::time::Duration::from_millis(arg_num(
+            args,
+            "--read-timeout-ms",
+            defaults.read_timeout.as_millis() as u64,
+        )),
+        write_timeout: defaults.write_timeout,
+    };
+    let server = match Server::bind(ServeConfig {
+        host: host.clone(),
+        port,
+        workers,
+        limits,
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {host}:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // CI and scripts parse this line for the bound port, so it
+            // must reach the pipe before the accept loop blocks.
+            println!("rdse serve listening on {addr} ({workers} workers)");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("error: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("rdse serve: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn value_f64(v: &serde::Value, field: &str) -> Option<f64> {
+    match v.get(field) {
+        Some(serde::Value::F64(x)) => Some(*x),
+        Some(serde::Value::I64(x)) => Some(*x as f64),
+        Some(serde::Value::U64(x)) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+fn value_u64(v: &serde::Value, field: &str) -> Option<u64> {
+    match v.get(field) {
+        Some(serde::Value::I64(x)) if *x >= 0 => Some(*x as u64),
+        Some(serde::Value::U64(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+fn value_str<'v>(v: &'v serde::Value, field: &str) -> Option<&'v str> {
+    match v.get(field) {
+        Some(serde::Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Prints a served job result in the offline `explore` report shape,
+/// including the bit-exact makespan line the CI identity check diffs.
+fn print_submit_result(v: &serde::Value) {
+    if let Some(job) = value_u64(v, "job") {
+        println!("job           : {job}");
+    }
+    if let Some(mk) = value_f64(v, "makespan") {
+        println!("best makespan : {mk:.1} us");
+    }
+    if let Some(bits) = value_str(v, "makespan_bits") {
+        println!("makespan bits : {bits}");
+    }
+    if let (Some(ctx), Some(hw)) = (value_u64(v, "contexts"), value_u64(v, "hw_tasks")) {
+        println!("contexts      : {ctx} | hardware tasks: {hw}");
+    }
+    if let Some(objective) = value_str(v, "objective") {
+        println!("objective     : {objective}");
+    }
+    if let Some(serde::Value::Seq(front)) = v.get("front") {
+        println!(
+            "pareto front  : {} non-dominated point(s) (makespan_us, clb_area, reconfig_us, contexts)",
+            front.len()
+        );
+        for m in front {
+            println!(
+                "  ({:.1}, {}, {:.1}, {})",
+                value_f64(m, "makespan").unwrap_or(f64::NAN),
+                value_u64(m, "clb_area").unwrap_or(0),
+                value_f64(m, "reconfig").unwrap_or(f64::NAN),
+                value_u64(m, "contexts").unwrap_or(0),
+            );
+        }
+    }
+    if let (Some(chains), Some(winner)) = (value_u64(v, "chains"), value_u64(v, "winner")) {
+        println!("portfolio     : {chains} chains, winner {winner}");
+    }
+    if let Some(cache) = value_str(v, "cache") {
+        println!("evaluator     : warm-arena cache {cache}");
+    }
+}
+
+/// `rdse submit` — submit a job to (or probe / stop) a running
+/// `rdse serve` instance.
+fn run_submit(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help") {
+        println!(
+            "usage: rdse submit --addr HOST:PORT (--app F.json | --builtin NAME | --workload FAM)\n\
+             \x20                  (--arch F.json | --clbs N | --arch-family FAM)\n\
+             \x20                  [--app-seed N] [--arch-seed N] [--objective SPEC] [--iters N]\n\
+             \x20                  [--warmup N] [--seed N] [--chains K] [--exchange-every E] [--quiet]\n\
+             \x20      rdse submit --addr HOST:PORT (--health | --shutdown | --get-job ID)\n\
+             \n\
+             Submits one exploration job over the framed RPC transport and streams\n\
+             progress updates to stderr until the final result. Results are\n\
+             bit-identical to `rdse explore` for the same models, seed and chains.\n\
+             Malformed input (bad --objective, over-limit job) exits with code 2\n\
+             and a named cause; transport and server failures exit with code 1."
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(addr) = arg_value(args, "--addr") else {
+        eprintln!("error: missing --addr HOST:PORT");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let mut opts = ClientOptions::default();
+    opts.max_frame_len = arg_num(args, "--max-frame-len", opts.max_frame_len);
+    if args.iter().any(|a| a == "--health") {
+        return match serve_client::health(&addr, &opts) {
+            Ok(v) => {
+                println!("{}", serde_json::to_string_pretty(&v).unwrap_or_default());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--shutdown") {
+        return match serve_client::shutdown(&addr, &opts) {
+            Ok(_) => {
+                println!("server at {addr} acknowledged shutdown");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(id) = arg_value(args, "--get-job") {
+        let Ok(id) = id.parse::<u64>() else {
+            eprintln!("error: --get-job takes a numeric job id, got '{id}'");
+            return ExitCode::from(EXIT_USAGE);
+        };
+        return match serve_client::get_job(&addr, id, &opts) {
+            Ok(v) => {
+                println!("{}", serde_json::to_string_pretty(&v).unwrap_or_default());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                if e.code.as_deref() == Some("unknown-job") {
+                    ExitCode::from(EXIT_USAGE)
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+        };
+    }
+
+    // Job submission. Inline models are validated locally (so a bad
+    // file is a usage error here, not a server round-trip), and the
+    // objective grammar is checked before connecting.
+    let app = if let Some(path) = arg_value(args, "--app") {
+        match TaskGraph::load(&path) {
+            Ok(g) => AppSpec::Inline(g.to_value()),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    } else if let Some(name) = arg_value(args, "--builtin") {
+        AppSpec::Builtin(name)
+    } else if let Some(family) = arg_value(args, "--workload") {
+        AppSpec::Workload {
+            family,
+            seed: arg_num(args, "--app-seed", 1),
+        }
+    } else {
+        eprintln!("error: missing application (--app F.json, --builtin NAME or --workload FAM)");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let arch = if let Some(path) = arg_value(args, "--arch") {
+        match Architecture::load(&path) {
+            Ok(a) => ArchSpec::Inline(a.to_value()),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    } else if let Some(clbs) = arg_value(args, "--clbs") {
+        match clbs.parse::<u32>() {
+            Ok(n) => ArchSpec::Clbs(n),
+            Err(_) => {
+                eprintln!("error: --clbs takes a CLB count, got '{clbs}'");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    } else if let Some(family) = arg_value(args, "--arch-family") {
+        ArchSpec::Family {
+            family,
+            seed: arg_num(args, "--arch-seed", 1),
+        }
+    } else {
+        eprintln!("error: missing architecture (--arch F.json, --clbs N or --arch-family FAM)");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let objective = arg_value(args, "--objective").unwrap_or_else(|| "makespan".into());
+    if let Err(e) = Objective::parse_spec(&objective) {
+        eprintln!("error: {}", e.replacen("objective", "--objective", 1));
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let spec = JobSpec {
+        app,
+        arch,
+        objective,
+        iters: arg_num(args, "--iters", 5_000),
+        warmup: arg_num(args, "--warmup", 1_200),
+        seed: arg_num(args, "--seed", 1),
+        chains: arg_num(args, "--chains", 1),
+        exchange_every: arg_num(args, "--exchange-every", 500),
+    };
+    let quiet = args.iter().any(|a| a == "--quiet");
+    match serve_client::submit(&addr, &spec, &opts, |u| {
+        if !quiet {
+            if let (Some(seg), Some(best)) =
+                (value_u64(u, "segment"), value_f64(u, "best_makespan"))
+            {
+                eprintln!(
+                    "segment {seg:>4}: best {best:.1} us, front {}",
+                    value_u64(u, "front_size").unwrap_or(0)
+                );
+            }
+        }
+    }) {
+        Ok(result) => {
+            print_submit_result(&result);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            if e.is_usage() {
+                ExitCode::from(EXIT_USAGE)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
 }
 
 fn run_space(args: &[String]) -> ExitCode {

@@ -20,6 +20,7 @@
 //! | [`baseline`] | GA (Ben Chehida & Auguin style), random search, hill climbing |
 //! | [`workloads`] | the 28-task motion-detection benchmark, Fig. 1 example, random DAG generators |
 //! | [`corpus`] | scenario families (workload × architecture), batch runner, four-way differential verification oracle |
+//! | [`serve`] | long-running exploration service: framed RPC + HTTP transports, sharded worker pool with warm evaluator arenas, streaming Pareto-front updates |
 //!
 //! ## Quickstart
 //!
@@ -86,5 +87,6 @@ pub use rdse_corpus as corpus;
 pub use rdse_graph as graph;
 pub use rdse_mapping as mapping;
 pub use rdse_model as model;
+pub use rdse_serve as serve;
 pub use rdse_sim as sim;
 pub use rdse_workloads as workloads;

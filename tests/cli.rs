@@ -102,3 +102,145 @@ fn valid_objective_specs_run_and_report_a_front() {
     let out = explore_with_objective("lexi:makespan,area");
     assert!(String::from_utf8_lossy(&out.stdout).contains("lexi winner"));
 }
+
+#[test]
+fn serve_and_submit_help_exit_zero() {
+    for (sub, expect) in [
+        ("serve", "usage: rdse serve"),
+        ("submit", "usage: rdse submit"),
+    ] {
+        let out = rdse(&[sub, "--help"]);
+        assert!(out.status.success(), "{sub} --help failed: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(expect), "{sub} --help:\n{stdout}");
+    }
+}
+
+#[test]
+fn submit_usage_errors_exit_with_code_2_and_a_named_cause() {
+    // None of these reach the network: the address below never
+    // answers, and every case is rejected client-side first.
+    let base = [
+        "submit",
+        "--addr",
+        "127.0.0.1:9",
+        "--builtin",
+        "motion",
+        "--clbs",
+        "2000",
+    ];
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["submit", "--builtin", "motion", "--clbs", "2000"],
+            "missing --addr",
+        ),
+        (
+            &["submit", "--addr", "127.0.0.1:9", "--clbs", "2000"],
+            "missing application",
+        ),
+        (
+            &["submit", "--addr", "127.0.0.1:9", "--builtin", "motion"],
+            "missing architecture",
+        ),
+    ];
+    for (args, expect) in cases {
+        let out = rdse(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(expect), "{args:?}:\n{stderr}");
+    }
+    // Malformed --objective: same grammar, same messages, same exit
+    // code as the offline explore path.
+    for (spec, expect) in [
+        ("bogus:1", "unknown --objective scheme"),
+        ("weighted:1,2", "exactly 3 weights"),
+        ("lexi:makespan,energy", "unknown axis 'energy'"),
+    ] {
+        let mut args = base.to_vec();
+        args.extend(["--objective", spec]);
+        let out = rdse(&args);
+        assert_eq!(out.status.code(), Some(2), "spec '{spec}': {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(expect), "spec '{spec}':\n{stderr}");
+    }
+    // A job whose encoded body exceeds the frame limit is refused
+    // before connecting, with the client-side code as the cause.
+    let mut args = base.to_vec();
+    args.extend(["--max-frame-len", "32"]);
+    let out = rdse(&args);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("job-too-large"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn served_job_matches_offline_explore_bit_for_bit() {
+    use std::io::BufRead;
+
+    // The same end-to-end contract the CI smoke job enforces: a job
+    // served over TCP reports the same `makespan bits` line as the
+    // offline explorer on the same models, seed and chains.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_rdse"))
+        .args(["serve", "--port", "0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let stdout = server.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("server prints its address")
+        .expect("readable line");
+    let addr = banner
+        .strip_prefix("rdse serve listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let knobs = [
+        "--iters",
+        "300",
+        "--warmup",
+        "60",
+        "--seed",
+        "1",
+        "--chains",
+        "2",
+        "--exchange-every",
+        "100",
+    ];
+    let mut submit_args = vec![
+        "submit",
+        "--addr",
+        &addr,
+        "--builtin",
+        "motion",
+        "--clbs",
+        "2000",
+        "--quiet",
+    ];
+    submit_args.extend(knobs);
+    let served = rdse(&submit_args);
+    let (app, arch) = models();
+    let mut explore_args = vec!["explore", "--app", app, "--arch", arch];
+    explore_args.extend(knobs);
+    let offline = rdse(&explore_args);
+
+    let shutdown = rdse(&["submit", "--addr", &addr, "--shutdown"]);
+    assert!(shutdown.status.success(), "{shutdown:?}");
+    assert!(server.wait().expect("server exits").success());
+
+    assert!(served.status.success(), "{served:?}");
+    assert!(offline.status.success(), "{offline:?}");
+    let bits_line = |out: &Output| {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("makespan bits :"))
+            .map(str::to_owned)
+    };
+    let served_bits = bits_line(&served).expect("served bits line");
+    let offline_bits = bits_line(&offline).expect("offline bits line");
+    assert_eq!(served_bits, offline_bits, "served ≠ offline");
+}
