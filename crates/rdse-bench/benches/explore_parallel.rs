@@ -65,6 +65,7 @@ fn bench_portfolio(c: &mut Criterion) {
                                 chains: 4,
                                 threads,
                                 exchange_every: 250,
+                                warm_start: None,
                             },
                         )
                         .expect("explores cleanly"),

@@ -1,0 +1,151 @@
+//! Append throughput of the persistent result store under each
+//! [`SyncPolicy`].
+//!
+//! Every policy writes every record; they differ only in how often the
+//! file is `fsync`ed — `always` once per append, `interval:N` every
+//! Nth append, `never` only on close. The durability trade is the
+//! point of the knob, so this bench pins down what each setting costs:
+//! the acceptance bar is `interval`/`never` at or above `always`
+//! throughput. Each timed run ends with one explicit `sync()` so
+//! `never` cannot win by leaving bytes in the page cache, and each
+//! store is reopened afterwards to assert the replay sees every record
+//! before the number is reported.
+//!
+//! Results append to `RDSE_BENCH_JSON` (NDJSON) with `steps_per_sec` =
+//! appends/second, gated by `bench_compare`.
+//!
+//! Knobs: `RDSE_BENCH_STEPS` overrides the per-policy append count.
+
+use rdse_store::{CostBits, KeySpec, ResultStore, StoreRecord, SyncPolicy};
+use serde::Value;
+use std::io::Write as _;
+use std::time::Instant;
+
+fn append_record(record: &str) {
+    let Ok(path) = std::env::var("RDSE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| writeln!(file, "{record}"));
+    if let Err(e) = written {
+        eprintln!("warning: cannot append bench record: {e}");
+    }
+}
+
+/// A record of realistic shape: a 3-member front and a mapping body in
+/// the same ballpark as a served motion-detection result. `seed` keeps
+/// the content keys distinct so the archive grows like a real log.
+fn record(seed: u64) -> StoreRecord {
+    let spec = KeySpec {
+        app_json: r#"{"name":"motion","tasks":29}"#,
+        arch_json: r#"{"family":"epicure","clbs":2000}"#,
+        objective: "makespan",
+        seed,
+        iters: 5_000,
+        warmup: 1_200,
+        chains: 4,
+        exchange_every: 500,
+    };
+    let best = CostBits::from_values(1234.5 + seed as f64, 1800.0, 42.25, 3.0);
+    let mapping = Value::Map(vec![
+        (
+            "contexts".into(),
+            Value::Seq((0..8).map(Value::U64).collect()),
+        ),
+        (
+            "implementations".into(),
+            Value::Seq((0..29).map(|t| Value::U64(t % 3)).collect()),
+        ),
+    ]);
+    StoreRecord {
+        key: spec.key(),
+        pair: spec.pair(),
+        objective: spec.objective.into(),
+        seed,
+        chains: spec.chains,
+        iters: spec.iters,
+        warmup: spec.warmup,
+        exchange_every: spec.exchange_every,
+        winner: 1,
+        iterations: spec.iters,
+        contexts: 3,
+        hw_tasks: 12,
+        clb_area: 1800,
+        makespan_bits: best.makespan,
+        best,
+        front: vec![
+            best,
+            CostBits::from_values(1300.0, 1500.0, 40.0, 2.0),
+            CostBits::from_values(1400.0, 1200.0, 38.0, 2.0),
+        ],
+        mapping,
+    }
+}
+
+fn run_policy(label: &str, policy: SyncPolicy, appends: u64) -> f64 {
+    let dir = std::env::temp_dir().join(format!("rdse_bench_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{label}.aof"));
+    let _ = std::fs::remove_file(&path);
+
+    let mut store = ResultStore::open(&path, policy).expect("open store");
+    let start = Instant::now();
+    for seed in 0..appends {
+        store.append(record(seed)).expect("append");
+    }
+    store.sync().expect("final sync");
+    let elapsed = start.elapsed();
+    drop(store);
+
+    // The throughput number is only worth reporting if the log is
+    // complete: replay must reconstruct every appended record.
+    let reopened = ResultStore::open(&path, SyncPolicy::Never).expect("reopen");
+    assert_eq!(
+        reopened.archive().len() as u64,
+        appends,
+        "{label}: replay lost records"
+    );
+    assert!(
+        reopened.replay_report().tail.is_none(),
+        "{label}: torn tail after a clean run"
+    );
+    drop(reopened);
+    let _ = std::fs::remove_file(&path);
+
+    let rate = appends as f64 / elapsed.as_secs_f64();
+    println!("bench store_sync/{label:<11} {rate:>12.0} appends/s ({appends} in {elapsed:?})");
+    append_record(&format!(
+        "{{\"name\":\"store_sync/{label}\",\"steps_per_sec\":{rate:.0},\
+         \"steps\":{appends},\"seconds\":{:.6}}}",
+        elapsed.as_secs_f64()
+    ));
+    rate
+}
+
+fn main() {
+    let appends: u64 = std::env::var("RDSE_BENCH_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+
+    let always = run_policy("always", SyncPolicy::Always, appends);
+    let interval = run_policy("interval64", SyncPolicy::Interval(64), appends);
+    let never = run_policy("never", SyncPolicy::Never, appends);
+
+    let interval_x = interval / always;
+    let never_x = never / always;
+    println!("bench store_sync/interval64_vs_always {interval_x:>8.2}x");
+    println!("bench store_sync/never_vs_always      {never_x:>8.2}x");
+    append_record(&format!(
+        "{{\"name\":\"store_sync/interval64_vs_always\",\"ratio\":{interval_x:.3}}}"
+    ));
+    append_record(&format!(
+        "{{\"name\":\"store_sync/never_vs_always\",\"ratio\":{never_x:.3}}}"
+    ));
+}

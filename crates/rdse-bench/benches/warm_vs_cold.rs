@@ -1,0 +1,140 @@
+//! Convergence value of the archive warm start: iterations a
+//! warm-started exploration needs to reach the makespan a cold run
+//! ends at, against the cold run's own count.
+//!
+//! The protocol is fully deterministic, so the committed numbers are
+//! machine-independent and exact:
+//!
+//! 1. A **donor** run (different seed, bigger budget) plays the role of
+//!    an archived result — its best mapping is what
+//!    [`Archive::warm_candidate`] would hand a later job.
+//! 2. A **cold reference** run (the request's own seed) fixes the
+//!    target: its final best makespan.
+//! 3. The cold run is repeated with `target_cost` set to that makespan
+//!    — the iteration where it first reaches its own final quality.
+//! 4. The **warm** run uses the same options plus `warm_start` from the
+//!    donor (chain 0 seeded, RNG streams untouched) and the same
+//!    target, with the same budget ceiling.
+//!
+//! The gated row reuses `steps_per_sec` for the dimensionless ratio
+//! cold-iterations / warm-iterations on purpose: being deterministic,
+//! it gates exactly — any engine change that erodes how much the warm
+//! start saves trips `bench_compare`, with zero machine noise. The raw
+//! per-run counts are emitted as ungated info rows.
+//!
+//! [`Archive::warm_candidate`]: rdse_store::Archive::warm_candidate
+//!
+//! Knobs: `RDSE_BENCH_STEPS` overrides the cold/warm iteration budget.
+
+use rdse_anneal::StopReason;
+use rdse_mapping::{explore_parallel, ExploreOptions, ParallelOptions, WarmStart};
+use rdse_workloads::{epicure_architecture, motion_detection_app};
+use std::io::Write as _;
+
+fn append_record(record: &str) {
+    let Ok(path) = std::env::var("RDSE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| writeln!(file, "{record}"));
+    if let Err(e) = written {
+        eprintln!("warning: cannot append bench record: {e}");
+    }
+}
+
+fn options(seed: u64, iters: u64, target: Option<f64>, warm: Option<WarmStart>) -> ParallelOptions {
+    ParallelOptions {
+        base: ExploreOptions {
+            max_iterations: iters,
+            warmup_iterations: iters / 5,
+            seed,
+            target_cost: target,
+            ..ExploreOptions::default()
+        },
+        chains: 1,
+        threads: 1,
+        exchange_every: 0,
+        warm_start: warm,
+    }
+}
+
+fn main() {
+    let budget: u64 = std::env::var("RDSE_BENCH_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3_000);
+
+    let app = motion_detection_app();
+    let arch = epicure_architecture(2000);
+
+    // The "archived" donor: another seed, twice the budget — the shape
+    // of a result the store would already hold for this (app, arch).
+    let donor =
+        explore_parallel(&app, &arch, &options(7, budget * 2, None, None)).expect("donor run");
+    let donor_makespan = donor.evaluation.makespan.value();
+
+    // Cold reference fixes the bar: the makespan this seed ends at.
+    let cold_ref =
+        explore_parallel(&app, &arch, &options(1, budget, None, None)).expect("cold reference");
+    let target = cold_ref.chains[0].run.best_cost;
+
+    // Same walk again, stopping the moment the bar is reached.
+    let cold = explore_parallel(&app, &arch, &options(1, budget, Some(target), None))
+        .expect("cold timed run");
+    assert_eq!(
+        cold.chains[0].run.stop,
+        StopReason::TargetReached,
+        "a run must reach its own final cost"
+    );
+    let cold_iters = cold.chains[0].run.iterations.max(1);
+
+    let warm = explore_parallel(
+        &app,
+        &arch,
+        &options(
+            1,
+            budget,
+            Some(target),
+            Some(WarmStart {
+                mapping: donor.mapping.clone(),
+            }),
+        ),
+    )
+    .expect("warm timed run");
+    let warm_reached = warm.chains[0].run.stop == StopReason::TargetReached;
+    let warm_iters = warm.chains[0].run.iterations.max(1);
+    let ratio = cold_iters as f64 / warm_iters as f64;
+
+    println!(
+        "bench warm_vs_cold/target          {target:>12.3} us \
+         (donor best {donor_makespan:.3} us, budget {budget})"
+    );
+    println!("bench warm_vs_cold/cold_iters      {cold_iters:>12}");
+    println!(
+        "bench warm_vs_cold/warm_iters      {warm_iters:>12} ({})",
+        if warm_reached {
+            "target reached"
+        } else {
+            "budget exhausted before target"
+        }
+    );
+    println!("bench warm_vs_cold/cold_over_warm  {ratio:>12.1}x");
+
+    append_record(&format!(
+        "{{\"name\":\"warm_vs_cold/cold_iters\",\"iters\":{cold_iters}}}"
+    ));
+    append_record(&format!(
+        "{{\"name\":\"warm_vs_cold/warm_iters\",\"iters\":{warm_iters},\
+         \"target_reached\":{warm_reached}}}"
+    ));
+    append_record(&format!(
+        "{{\"name\":\"warm_vs_cold/cold_over_warm\",\"steps_per_sec\":{ratio:.3},\
+         \"steps\":{cold_iters},\"seconds\":0}}"
+    ));
+}

@@ -7,7 +7,11 @@
 //! bench harness (`RDSE_BENCH_JSON`). Records are matched by `name`;
 //! for every pair carrying a `steps_per_sec` field the relative change
 //! is printed, and the process exits non-zero when any drops by more
-//! than the allowed regression (default 25%).
+//! than the allowed regression (default 25%). Rows present in only one
+//! of the files are listed by name on both sides — a bench that
+//! silently stopped running (or a baseline row nothing produces
+//! anymore) is drift worth seeing, even though only regressions fail
+//! the gate.
 //!
 //! CI runners and developer machines differ in absolute speed, so the
 //! generous default only catches step-cost blowups, not noise; the
@@ -91,9 +95,11 @@ fn main() {
 
     println!("bench comparison vs {baseline_path} (fail below -{max_regression:.0}%):");
     let mut compared = 0;
+    let mut baseline_only: Vec<&String> = Vec::new();
     let mut failures: Vec<(&String, f64, f64, f64)> = Vec::new();
     for (name, base_rate) in &baseline {
         let Some((_, cur_rate)) = current.iter().find(|(n, _)| n == name) else {
+            baseline_only.push(name);
             println!("  {name:<34} missing from {current_path} (skipped)");
             continue;
         };
@@ -107,6 +113,37 @@ fn main() {
         };
         println!(
             "  {name:<34} {base_rate:>12.0} -> {cur_rate:>12.0} steps/s ({change:>+6.1}%)  {verdict}"
+        );
+    }
+    // One-sided rows, both directions, as a summary block: names in
+    // the baseline nothing produced, and names the current run emitted
+    // that the baseline has never seen (a new bench whose row should
+    // be committed).
+    let current_only: Vec<&String> = current
+        .iter()
+        .map(|(n, _)| n)
+        .filter(|n| !baseline.iter().any(|(b, _)| b == *n))
+        .collect();
+    if !baseline_only.is_empty() {
+        println!(
+            "  {} baseline row(s) not produced by {current_path}: {}",
+            baseline_only.len(),
+            baseline_only
+                .iter()
+                .map(|n| n.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    if !current_only.is_empty() {
+        println!(
+            "  {} new row(s) absent from {baseline_path}: {}",
+            current_only.len(),
+            current_only
+                .iter()
+                .map(|n| n.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     if compared == 0 {

@@ -69,6 +69,7 @@ fn main() {
                 chains,
                 threads: 0,
                 exchange_every: 250,
+                warm_start: None,
             },
         )
         .expect("motion benchmark explores cleanly");

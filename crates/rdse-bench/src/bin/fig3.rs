@@ -60,6 +60,7 @@ fn main() {
                 chains: runs as usize,
                 threads,
                 exchange_every: 0,
+                warm_start: None,
             },
         )
         .expect("motion benchmark explores cleanly");

@@ -269,6 +269,7 @@ fn run_scenario(
         // thread-count invariant anyway).
         threads: 1,
         exchange_every: opts.exchange_every,
+        warm_start: None,
     };
     let portfolio =
         explore_parallel(&app, &arch, &popts).map_err(|e| fail(format!("exploration: {e}")))?;

@@ -671,8 +671,41 @@ impl<'a> Explorer<'a> {
         opts: &ExploreOptions,
         arenas: Option<EvaluatorArenas>,
     ) -> Result<Self, MappingError> {
-        let mut rng = StdRng::seed_from_u64(opts.seed);
-        let initial = random_initial(app, arch, &mut rng);
+        Self::with_initial(app, arch, opts, arenas, None)
+    }
+
+    /// Like [`Explorer::with_arenas`], but an explicit `initial`
+    /// mapping replaces the seed-drawn random initial solution — the
+    /// warm-start primitive used by [`explore_parallel`] (see
+    /// [`WarmStart`]).
+    ///
+    /// Only the starting point changes: with `initial: None` this *is*
+    /// [`Explorer::with_arenas`], and with `Some(_)` the annealer's
+    /// walk RNG stream (seeded independently of the initial-solution
+    /// draw) is identical to the cold chain's, so a warm chain is a
+    /// pure function of `(options, initial)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError`] if the initial solution (provided or
+    /// drawn) is infeasible for `app` × `arch`.
+    pub fn with_initial(
+        app: &'a TaskGraph,
+        arch: &'a Architecture,
+        opts: &ExploreOptions,
+        arenas: Option<EvaluatorArenas>,
+        initial: Option<Mapping>,
+    ) -> Result<Self, MappingError> {
+        let initial = match initial {
+            Some(mapping) => {
+                mapping.validate(app, arch)?;
+                mapping
+            }
+            None => {
+                let mut rng = StdRng::seed_from_u64(opts.seed);
+                random_initial(app, arch, &mut rng)
+            }
+        };
         let problem = MappingProblem::with_arenas(app, arch, initial, arenas)?;
         let schedule = LamSchedule::new(opts.lambda);
         let mut annealer = Annealer::with_scalarizer(
@@ -815,6 +848,28 @@ pub fn chain_seed(seed: u64, chain: usize) -> u64 {
     }
 }
 
+/// Opt-in warm-start seeding for [`explore_parallel`]: chain 0 starts
+/// from this mapping instead of its seed-drawn random initial
+/// solution.
+///
+/// # Determinism
+///
+/// Warm-starting changes **only** chain 0's starting point. The
+/// initial-solution RNG and the annealing-walk RNG are independently
+/// seeded streams, and the warm path simply skips the former — every
+/// chain's walk stream, the exchange schedule and the other chains'
+/// initial draws are untouched. A warm-started run is therefore a pure
+/// function of `(options, warm mapping)`: reproducible given the
+/// archive state that supplied the mapping, and with `warm_start:
+/// None` (the default) the engine is bit-identical to previous
+/// releases.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Chain 0's initial mapping. Must be feasible for the run's
+    /// `app` × `arch` (checked at chain construction).
+    pub mapping: Mapping,
+}
+
 /// Options of a parallel portfolio exploration.
 #[derive(Debug, Clone)]
 pub struct ParallelOptions {
@@ -833,6 +888,10 @@ pub struct ParallelOptions {
     /// Per-chain iterations between best-solution exchanges (`0` = the
     /// chains run fully independently).
     pub exchange_every: u64,
+    /// Opt-in warm start: chain 0 begins from this mapping instead of
+    /// its random initial solution. `None` (the default) keeps the
+    /// engine bit-identical to a cold run — see [`WarmStart`].
+    pub warm_start: Option<WarmStart>,
 }
 
 impl Default for ParallelOptions {
@@ -842,6 +901,7 @@ impl Default for ParallelOptions {
             chains: 8,
             threads: 0,
             exchange_every: 500,
+            warm_start: None,
         }
     }
 }
@@ -915,6 +975,7 @@ pub struct ParallelOutcome {
 ///     chains: 4,
 ///     threads: 2,
 ///     exchange_every: 250,
+///     warm_start: None,
 /// };
 /// let portfolio = explore_parallel(&app, &arch, &opts)?;
 /// assert_eq!(portfolio.chains.len(), 4);
@@ -998,7 +1059,20 @@ pub fn explore_parallel_observed(
             seed: chain_seed(opts.base.seed, c),
             ..opts.base.clone()
         };
-        explorers.push(Explorer::with_arenas(app, arch, &chain_opts, arenas.pop())?);
+        // Warm start replaces chain 0's random initial; other chains
+        // always draw their own.
+        let initial = if c == 0 {
+            opts.warm_start.as_ref().map(|w| w.mapping.clone())
+        } else {
+            None
+        };
+        explorers.push(Explorer::with_initial(
+            app,
+            arch,
+            &chain_opts,
+            arenas.pop(),
+            initial,
+        )?);
     }
 
     let threads = if opts.threads == 0 {
@@ -1300,6 +1374,7 @@ mod tests {
                 chains: 1,
                 threads: 4,
                 exchange_every: 300,
+                warm_start: None,
             },
         )
         .unwrap();
@@ -1329,6 +1404,7 @@ mod tests {
                     chains: 5,
                     threads,
                     exchange_every: 200,
+                    warm_start: None,
                 },
             )
             .unwrap()
@@ -1365,6 +1441,7 @@ mod tests {
                 chains: 4,
                 threads: 2,
                 exchange_every: 0,
+                warm_start: None,
             },
         )
         .unwrap();
@@ -1392,6 +1469,7 @@ mod tests {
                 chains: 4,
                 threads: 2,
                 exchange_every: 100,
+                warm_start: None,
             },
         )
         .unwrap();
@@ -1403,6 +1481,7 @@ mod tests {
                 chains: 4,
                 threads: 2,
                 exchange_every: 0,
+                warm_start: None,
             },
         )
         .unwrap();
@@ -1437,6 +1516,147 @@ mod tests {
                 .map(|c| c.run.best_cost)
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn warm_start_is_deterministic_and_thread_invariant() {
+        let (app, arch) = fixture();
+        // Any feasible mapping works as a warm seed; use a short cold
+        // run's winner like the store's warm path does.
+        let donor = explore(
+            &app,
+            &arch,
+            &ExploreOptions {
+                max_iterations: 500,
+                warmup_iterations: 100,
+                seed: 7,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let run = |threads: usize| {
+            explore_parallel(
+                &app,
+                &arch,
+                &ParallelOptions {
+                    base: ExploreOptions {
+                        max_iterations: 2_000,
+                        warmup_iterations: 400,
+                        seed: 42,
+                        ..ExploreOptions::default()
+                    },
+                    chains: 4,
+                    threads,
+                    exchange_every: 200,
+                    warm_start: Some(WarmStart {
+                        mapping: donor.mapping.clone(),
+                    }),
+                },
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(
+            a.evaluation.makespan.value().to_bits(),
+            b.evaluation.makespan.value().to_bits()
+        );
+        a.mapping.validate(&app, &arch).unwrap();
+    }
+
+    #[test]
+    fn warm_start_seeds_only_chain_zero() {
+        let (app, arch) = fixture();
+        let donor = explore(
+            &app,
+            &arch,
+            &ExploreOptions {
+                max_iterations: 500,
+                warmup_iterations: 100,
+                seed: 7,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        let run = |warm: Option<WarmStart>| {
+            explore_parallel(
+                &app,
+                &arch,
+                &ParallelOptions {
+                    base: ExploreOptions {
+                        max_iterations: 2_000,
+                        warmup_iterations: 400,
+                        seed: 42,
+                        ..ExploreOptions::default()
+                    },
+                    chains: 3,
+                    threads: 2,
+                    // Independent chains: the warm seed must not leak
+                    // past chain 0 through exchanges.
+                    exchange_every: 0,
+                    warm_start: warm,
+                },
+            )
+            .unwrap()
+        };
+        let cold = run(None);
+        let warm = run(Some(WarmStart {
+            mapping: donor.mapping.clone(),
+        }));
+        // Chains 1.. are bit-identical to the cold run; only chain 0's
+        // trajectory may move.
+        for (c, w) in cold.chains.iter().zip(&warm.chains).skip(1) {
+            assert_eq!(c.run.best_cost.to_bits(), w.run.best_cost.to_bits());
+            assert_eq!(c.run.accepted, w.run.accepted);
+            assert_eq!(
+                c.evaluation.makespan.value().to_bits(),
+                w.evaluation.makespan.value().to_bits()
+            );
+        }
+        warm.mapping.validate(&app, &arch).unwrap();
+    }
+
+    #[test]
+    fn warm_start_rejects_an_infeasible_mapping() {
+        let (app, arch) = fixture();
+        let donor = explore(
+            &app,
+            &arch,
+            &ExploreOptions {
+                max_iterations: 200,
+                warmup_iterations: 50,
+                seed: 1,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        // A mapping for a *different* application shape must be turned
+        // away at chain construction, not crash mid-search.
+        let mut small = TaskGraph::new("tiny");
+        small
+            .add_task(
+                "only",
+                "F",
+                us(100.0),
+                vec![HwImpl::new(Clbs::new(40), us(10.0))],
+            )
+            .unwrap();
+        let err = explore_parallel(
+            &small,
+            &arch,
+            &ParallelOptions {
+                base: ExploreOptions::default(),
+                chains: 2,
+                threads: 1,
+                exchange_every: 0,
+                warm_start: Some(WarmStart {
+                    mapping: donor.mapping,
+                }),
+            },
+        );
+        assert!(err.is_err(), "8-task mapping accepted for a 1-task app");
     }
 
     #[test]

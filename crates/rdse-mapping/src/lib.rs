@@ -99,7 +99,7 @@ pub use evaluator::{Evaluator, EvaluatorArenas, EvaluatorStats};
 pub use explorer::{
     chain_seed, explore, explore_parallel, explore_parallel_observed, lexi_min, ChainStats,
     ExploreOptions, ExploreOutcome, Explorer, MappingMove, MappingProblem, Objective,
-    ParallelOptions, ParallelOutcome, SegmentUpdate,
+    ParallelOptions, ParallelOutcome, SegmentUpdate, WarmStart,
 };
 pub use init::random_initial;
 pub use moves::{MoveDelta, MoveKind, MoveOutcome, MoveScratch};

@@ -9,9 +9,10 @@ use crate::transport::FrameSink;
 use rdse_corpus::{ArchFamily, WorkloadFamily};
 use rdse_mapping::{
     explore_parallel_observed, CostVector, EvaluatorArenas, ExploreOptions, Objective,
-    ParallelOptions, ParallelOutcome, SegmentUpdate,
+    ParallelOptions, ParallelOutcome, SegmentUpdate, WarmStart,
 };
 use rdse_model::{Architecture, TaskGraph};
+use rdse_store::{CostBits, KeySpec, PairKey, StoreKey, StoreRecord};
 use rdse_workloads::{epicure_architecture, figure1_app, motion_detection_app};
 use serde::{Deserialize, Serialize, Value};
 
@@ -164,6 +165,73 @@ fn bits_hex(f: f64) -> Value {
     Value::Str(format!("{:016x}", f.to_bits()))
 }
 
+/// Content keys of a job for the result store, hashed over the
+/// **resolved** models' canonical JSON — two specs that build the same
+/// models (however they were spelled) share a key, while any model,
+/// objective or knob difference separates them.
+pub fn store_keys(
+    app: &TaskGraph,
+    arch: &Architecture,
+    spec: &JobSpec,
+    objective: &Objective,
+) -> (StoreKey, PairKey) {
+    let app_json = serde_json::to_string(&app.to_value()).expect("Value serialization");
+    let arch_json = serde_json::to_string(&arch.to_value()).expect("Value serialization");
+    let ks = KeySpec {
+        app_json: &app_json,
+        arch_json: &arch_json,
+        objective: &objective.describe(),
+        seed: spec.seed,
+        iters: spec.iters,
+        warmup: spec.warmup,
+        chains: spec.chains as u64,
+        exchange_every: spec.exchange_every,
+    };
+    (ks.key(), ks.pair())
+}
+
+/// Packs a finished exploration into its archived form under `key`.
+pub fn store_record(
+    key: StoreKey,
+    pair: PairKey,
+    spec: &JobSpec,
+    objective: &Objective,
+    outcome: &ParallelOutcome,
+) -> StoreRecord {
+    let summary = outcome.evaluation.summary();
+    let best = CostVector::from_summary(&summary);
+    let front = outcome
+        .front
+        .sorted_members(|a: &CostVector, b: &CostVector| a.makespan.total_cmp(&b.makespan))
+        .into_iter()
+        .map(|m| CostBits::from_values(m.makespan, m.clb_area, m.reconfig_overhead, m.contexts))
+        .collect();
+    StoreRecord {
+        key,
+        pair,
+        objective: objective.describe(),
+        seed: spec.seed,
+        chains: spec.chains as u64,
+        iters: spec.iters,
+        warmup: spec.warmup,
+        exchange_every: spec.exchange_every,
+        winner: outcome.winner as u64,
+        iterations: outcome.chains.iter().map(|c| c.run.iterations).sum(),
+        contexts: summary.n_contexts as u64,
+        hw_tasks: summary.n_hw_tasks as u64,
+        clb_area: u64::from(summary.clb_area.value()),
+        makespan_bits: summary.makespan.value().to_bits(),
+        best: CostBits::from_values(
+            best.makespan,
+            best.clb_area,
+            best.reconfig_overhead,
+            best.contexts,
+        ),
+        front,
+        mapping: outcome.mapping.to_value(),
+    }
+}
+
 /// The body of one streamed `Update` frame.
 pub fn update_value(job: u64, u: &SegmentUpdate<'_>) -> Value {
     obj(vec![
@@ -198,13 +266,16 @@ fn front_value(outcome: &ParallelOutcome) -> Value {
     Value::Seq(members)
 }
 
-/// The body of the final `Result` frame.
+/// The body of the final `Result` frame. `store` names how the result
+/// store participated: `"off"`, `"miss"`, `"warm"`, `"exact"` or
+/// `"dominated"`.
 pub fn result_value(
     job: u64,
     spec: &JobSpec,
     outcome: &ParallelOutcome,
     objective: &Objective,
     cache_hit: bool,
+    store: &str,
 ) -> Value {
     let summary = outcome.evaluation.summary();
     let makespan = summary.makespan.value();
@@ -227,6 +298,47 @@ pub fn result_value(
             "cache",
             Value::Str(if cache_hit { "hit" } else { "miss" }.into()),
         ),
+        ("store", Value::Str(store.into())),
+    ])
+}
+
+/// The body of a `Result` frame answered straight from the archive —
+/// every float re-emitted from its stored bit pattern, so the frame is
+/// bit-identical to the one the original run produced.
+pub fn stored_result_value(job: u64, record: &StoreRecord, cache_hit: bool, store: &str) -> Value {
+    let members: Vec<Value> = record
+        .front
+        .iter()
+        .map(|m| {
+            obj(vec![
+                ("makespan", m.makespan_f64().to_value()),
+                ("makespan_bits", bits_hex(m.makespan_f64())),
+                ("clb_area", (m.clb_area_f64() as u32).to_value()),
+                ("reconfig", m.reconfig_f64().to_value()),
+                ("reconfig_bits", bits_hex(m.reconfig_f64())),
+                ("contexts", (m.contexts_f64() as u32).to_value()),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("type", Value::Str("result".into())),
+        ("job", job.to_value()),
+        ("makespan", record.makespan().to_value()),
+        ("makespan_bits", bits_hex(record.makespan())),
+        ("contexts", record.contexts.to_value()),
+        ("hw_tasks", record.hw_tasks.to_value()),
+        ("clb_area", record.clb_area.to_value()),
+        ("objective", Value::Str(record.objective.clone())),
+        ("seed", record.seed.to_value()),
+        ("chains", record.chains.to_value()),
+        ("winner", record.winner.to_value()),
+        ("iterations", record.iterations.to_value()),
+        ("front", Value::Seq(members)),
+        (
+            "cache",
+            Value::Str(if cache_hit { "hit" } else { "miss" }.into()),
+        ),
+        ("store", Value::Str(store.into())),
     ])
 }
 
@@ -236,7 +348,9 @@ pub fn result_value(
 /// (drained on entry, refilled on exit), so the caller's warm cache
 /// keeps paying off across jobs — while results stay bit-identical to
 /// the offline `explore`/`explore_parallel` path for the same
-/// `(seed, chains)`.
+/// `(seed, chains)`. A `warm` mapping (from the result store) seeds
+/// chain 0; `None` is the bit-identical cold path. Returns the result
+/// frame alongside the raw outcome so the caller can archive it.
 #[allow(clippy::too_many_arguments)]
 pub fn execute(
     job: u64,
@@ -246,8 +360,10 @@ pub fn execute(
     arch: &Architecture,
     arenas: &mut Vec<EvaluatorArenas>,
     cache_hit: bool,
+    warm: Option<WarmStart>,
+    store: &str,
     sink: &mut dyn FrameSink,
-) -> Result<Value, ServeError> {
+) -> Result<(Value, ParallelOutcome), ServeError> {
     let popts = ParallelOptions {
         base: ExploreOptions {
             max_iterations: spec.iters,
@@ -261,6 +377,7 @@ pub fn execute(
         // Never affects results.
         threads: 1,
         exchange_every: spec.exchange_every,
+        warm_start: warm,
     };
     let mut aborted = false;
     let outcome = explore_parallel_observed(app, arch, &popts, arenas, |u| {
@@ -277,5 +394,6 @@ pub fn execute(
             "client disconnected mid-stream; job aborted",
         ));
     }
-    Ok(result_value(job, spec, &outcome, &objective, cache_hit))
+    let value = result_value(job, spec, &outcome, &objective, cache_hit, store);
+    Ok((value, outcome))
 }

@@ -5,9 +5,11 @@ use crate::limits::Limits;
 use crate::protocol::{obj, ErrorCode, ServeError};
 use crate::transport;
 use crate::worker::{self, JobRequest, WorkerMsg};
+use rdse_store::{ResultStore, SyncPolicy};
 use serde::{Serialize, Value};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
@@ -25,6 +27,11 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Per-request resource limits.
     pub limits: Limits,
+    /// Path of the persistent result store (`None` = no persistence;
+    /// every job explores from cold exactly as before).
+    pub store: Option<PathBuf>,
+    /// Fsync cadence of the store's append-only log.
+    pub store_sync: SyncPolicy,
 }
 
 impl Default for ServeConfig {
@@ -34,6 +41,8 @@ impl Default for ServeConfig {
             port: 0,
             workers: 4,
             limits: Limits::default(),
+            store: None,
+            store_sync: SyncPolicy::Always,
         }
     }
 }
@@ -51,6 +60,14 @@ pub struct ServeStats {
     pub cache_hits: AtomicU64,
     /// Jobs that had to resolve models from scratch.
     pub cache_misses: AtomicU64,
+    /// Jobs answered from the result store with zero search (identical
+    /// content key).
+    pub store_exact_hits: AtomicU64,
+    /// Jobs answered by an archived run over the same `(app, arch)`
+    /// and objective with an iteration budget ≥ the request's.
+    pub store_dominated_hits: AtomicU64,
+    /// Jobs that explored, but with chain 0 seeded from the archive.
+    pub store_warm_starts: AtomicU64,
 }
 
 #[derive(Debug, Clone)]
@@ -162,6 +179,10 @@ pub(crate) struct Core {
     pub limits: Limits,
     pub stats: ServeStats,
     pub registry: Registry,
+    /// The shared result store, if persistence is on. Workers take the
+    /// lock only around archive lookups and appends — never across a
+    /// search — so contention stays off the hot path.
+    pub store: Option<Mutex<ResultStore>>,
 }
 
 /// State shared with connection threads.
@@ -190,6 +211,25 @@ impl Ctx {
             (
                 "evaluator_cache_misses",
                 stats.cache_misses.load(Relaxed).to_value(),
+            ),
+            (
+                "store_exact_hits",
+                stats.store_exact_hits.load(Relaxed).to_value(),
+            ),
+            (
+                "store_dominated_hits",
+                stats.store_dominated_hits.load(Relaxed).to_value(),
+            ),
+            (
+                "store_warm_starts",
+                stats.store_warm_starts.load(Relaxed).to_value(),
+            ),
+            (
+                "store_records",
+                match &self.core.store {
+                    Some(s) => s.lock().expect("store lock").archive().len().to_value(),
+                    None => Value::Null,
+                },
             ),
             ("active_sessions", self.sessions.active().to_value()),
             ("workers", self.workers.to_value()),
@@ -243,10 +283,25 @@ impl Server {
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
         let addr = listener.local_addr()?;
         let workers_n = config.workers.max(1);
+        let store = match &config.store {
+            Some(path) => {
+                let store = ResultStore::open(path, config.store_sync)?;
+                if let Some(tail) = &store.replay_report().tail {
+                    eprintln!(
+                        "rdse serve: store {}: torn tail skipped {tail}; {} record(s) replayed",
+                        path.display(),
+                        store.replay_report().records
+                    );
+                }
+                Some(Mutex::new(store))
+            }
+            None => None,
+        };
         let core = Arc::new(Core {
             limits: config.limits.clone(),
             stats: ServeStats::default(),
             registry: Registry::default(),
+            store,
         });
         let (senders, handles) = worker::spawn(workers_n, &core);
         let ctx = Arc::new(Ctx {

@@ -10,9 +10,10 @@ use crate::handler;
 use crate::protocol::{ErrorCode, JobSpec, ServeError};
 use crate::server::{Core, JobState, SessionPermit};
 use crate::transport::FrameSink;
-use rdse_mapping::{EvaluatorArenas, Objective};
+use rdse_mapping::{CostVector, EvaluatorArenas, Mapping, Objective, Scalarizer, WarmStart};
 use rdse_model::{Architecture, TaskGraph};
-use serde::Value;
+use rdse_store::{PairKey, StoreKey};
+use serde::{Deserialize, Value};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering::Relaxed;
@@ -143,6 +144,55 @@ fn run_one(
     *tick += 1;
     let entry = cache.get_mut(&req.key).expect("entry ensured above");
     entry.last_used = *tick;
+
+    // The result store's three read paths, cheapest first: exact hit
+    // (no search), dominated hit (no search), warm start (search from
+    // an archived incumbent). All lookups happen under one short lock;
+    // the search itself never holds it.
+    let mut store_label = if core.store.is_some() { "miss" } else { "off" };
+    let mut warm: Option<WarmStart> = None;
+    let mut keys: Option<(StoreKey, PairKey)> = None;
+    if let Some(store) = &core.store {
+        let objective = req.objective;
+        let (skey, pkey) = handler::store_keys(&entry.app, &entry.arch, &req.spec, &objective);
+        let store = store.lock().expect("store lock");
+        if let Some(record) = store.archive().exact(&skey) {
+            core.stats.store_exact_hits.fetch_add(1, Relaxed);
+            return Ok(handler::stored_result_value(req.id, record, hit, "exact"));
+        }
+        if let Some(record) =
+            store
+                .archive()
+                .dominating(&pkey, &objective.describe(), req.spec.iters)
+        {
+            core.stats.store_dominated_hits.fetch_add(1, Relaxed);
+            return Ok(handler::stored_result_value(
+                req.id,
+                record,
+                hit,
+                "dominated",
+            ));
+        }
+        let candidate = store.archive().warm_candidate(&pkey, |b| {
+            objective.scalarize(&CostVector {
+                makespan: b.makespan_f64(),
+                clb_area: b.clb_area_f64(),
+                reconfig_overhead: b.reconfig_f64(),
+                contexts: b.contexts_f64(),
+            })
+        });
+        if let Some(record) = candidate {
+            // An archived mapping that no longer fits the models (it
+            // shouldn't — the pair key covers them) falls back to cold.
+            if let Ok(mapping) = Mapping::from_value(&record.mapping) {
+                core.stats.store_warm_starts.fetch_add(1, Relaxed);
+                store_label = "warm";
+                warm = Some(WarmStart { mapping });
+            }
+        }
+        keys = Some((skey, pkey));
+    }
+
     let mut arenas = std::mem::take(&mut entry.arenas);
     let result = handler::execute(
         req.id,
@@ -152,8 +202,20 @@ fn run_one(
         &entry.arch,
         &mut arenas,
         hit,
+        warm,
+        store_label,
         req.sink.as_mut(),
     );
     entry.arenas = arenas;
-    result
+    let (value, outcome) = result?;
+
+    // Archive the finished run. A failed append costs persistence of
+    // this one result, never the job.
+    if let (Some(store), Some((skey, pkey))) = (&core.store, keys) {
+        let record = handler::store_record(skey, pkey, &req.spec, &req.objective, &outcome);
+        if let Err(e) = store.lock().expect("store lock").append(record) {
+            eprintln!("rdse serve: store append failed: {e}");
+        }
+    }
+    Ok(value)
 }

@@ -18,6 +18,7 @@ fn spawn_with(limits: Limits) -> ServerHandle {
         port: 0,
         workers: 2,
         limits,
+        ..ServeConfig::default()
     })
     .expect("bind")
     .spawn()

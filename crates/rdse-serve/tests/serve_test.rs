@@ -80,6 +80,7 @@ fn offline_bits(
             chains: spec.chains,
             threads: 0,
             exchange_every: spec.exchange_every,
+            warm_start: None,
         },
     )
     .expect("offline exploration succeeds");

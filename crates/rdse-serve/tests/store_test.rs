@@ -1,0 +1,198 @@
+//! End-to-end guarantees of the persistent result store:
+//!
+//! 1. **Exact hit** — resubmitting an identical job against a server
+//!    that was restarted on the same store file returns the archived
+//!    result with the original `f64` bit patterns and zero search,
+//!    observable via `"store": "exact"` and the healthz counter.
+//! 2. **Dominated hit** — a smaller-budget job over an archived
+//!    `(app, arch)` and objective is answered by the bigger archived
+//!    run in O(lookup).
+//! 3. **Warm start** — a different-seed job over a known pair explores
+//!    with chain 0 seeded from the archive (`"store": "warm"`), and the
+//!    store-off path stays bit-identical to the store-on cold miss.
+
+use rdse_serve::client::{self, ClientOptions};
+use rdse_serve::protocol::{AppSpec, ArchSpec, JobSpec};
+use rdse_serve::{ServeConfig, Server, ServerHandle};
+use serde::Value;
+use std::path::{Path, PathBuf};
+
+fn spawn_with_store(path: &Path) -> ServerHandle {
+    Server::bind(ServeConfig {
+        store: Some(path.to_path_buf()),
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn()
+    .expect("spawn")
+}
+
+fn as_str(v: &Value, field: &str) -> String {
+    match v.get(field) {
+        Some(Value::Str(s)) => s.clone(),
+        other => panic!("field '{field}' missing or not a string: {other:?}"),
+    }
+}
+
+fn as_u64(v: &Value, field: &str) -> u64 {
+    match v.get(field) {
+        Some(Value::U64(n)) => *n,
+        Some(Value::I64(n)) if *n >= 0 => *n as u64,
+        other => panic!("field '{field}' missing or not an integer: {other:?}"),
+    }
+}
+
+/// `(makespan_bits, per-front-member (makespan_bits, reconfig_bits, contexts))`
+/// of a served result body.
+fn served_bits(result: &Value) -> (String, Vec<(String, String, u64)>) {
+    let Some(Value::Seq(front)) = result.get("front") else {
+        panic!("result without a front: {result:?}");
+    };
+    let members = front
+        .iter()
+        .map(|m| {
+            (
+                as_str(m, "makespan_bits"),
+                as_str(m, "reconfig_bits"),
+                as_u64(m, "contexts"),
+            )
+        })
+        .collect();
+    (as_str(result, "makespan_bits"), members)
+}
+
+fn motion_spec() -> JobSpec {
+    JobSpec {
+        app: AppSpec::Builtin("motion".into()),
+        arch: ArchSpec::Clbs(2000),
+        objective: "makespan".into(),
+        iters: 600,
+        warmup: 150,
+        seed: 1,
+        chains: 2,
+        exchange_every: 150,
+    }
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rdse_store_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn exact_hit_is_bit_identical_across_a_server_restart() {
+    let path = temp_store("exact.aof");
+    let _ = std::fs::remove_file(&path);
+    let opts = ClientOptions::default();
+    let spec = motion_spec();
+
+    // First life: a cold miss that lands in the archive.
+    let handle = spawn_with_store(&path);
+    let addr = handle.addr().to_string();
+    let first = client::submit(&addr, &spec, &opts, |_| {}).expect("first run");
+    assert_eq!(as_str(&first, "store"), "miss");
+    client::shutdown(&addr, &opts).expect("shutdown");
+    handle.join().expect("clean exit");
+
+    // Second life: replay rebuilds the archive from disk; the same job
+    // must come back bit-identical with no search at all.
+    let handle = spawn_with_store(&path);
+    let addr = handle.addr().to_string();
+    let mut updates = 0usize;
+    let second = client::submit(&addr, &spec, &opts, |_| updates += 1).expect("replayed run");
+    assert_eq!(as_str(&second, "store"), "exact");
+    assert_eq!(updates, 0, "an exact hit must not stream search updates");
+    assert_eq!(
+        served_bits(&first),
+        served_bits(&second),
+        "archived result lost bits across the restart"
+    );
+    assert_eq!(as_u64(&first, "iterations"), as_u64(&second, "iterations"));
+
+    let health = client::health(&addr, &opts).expect("health");
+    assert_eq!(as_u64(&health, "store_exact_hits"), 1);
+    assert_eq!(as_u64(&health, "store_records"), 1);
+
+    client::shutdown(&addr, &opts).expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn dominated_and_warm_paths_answer_from_the_archive() {
+    let path = temp_store("paths.aof");
+    let _ = std::fs::remove_file(&path);
+    let opts = ClientOptions::default();
+    let handle = spawn_with_store(&path);
+    let addr = handle.addr().to_string();
+
+    let big = motion_spec();
+    let first = client::submit(&addr, &big, &opts, |_| {}).expect("archive run");
+    assert_eq!(as_str(&first, "store"), "miss");
+
+    // Same pair, same objective, smaller budget: the archived bigger
+    // run dominates and answers without searching.
+    let small = JobSpec {
+        iters: 300,
+        warmup: 75,
+        ..motion_spec()
+    };
+    let dominated = client::submit(&addr, &small, &opts, |_| {}).expect("dominated run");
+    assert_eq!(as_str(&dominated, "store"), "dominated");
+    assert_eq!(
+        served_bits(&dominated),
+        served_bits(&first),
+        "dominated hit must return the archived front"
+    );
+
+    // Same pair but a bigger budget: nothing dominates, so the job
+    // explores — warm-started from the archived winner.
+    let bigger = JobSpec {
+        iters: 900,
+        warmup: 225,
+        seed: 17,
+        ..motion_spec()
+    };
+    let warm = client::submit(&addr, &bigger, &opts, |_| {}).expect("warm run");
+    assert_eq!(as_str(&warm, "store"), "warm");
+
+    let health = client::health(&addr, &opts).expect("health");
+    assert_eq!(as_u64(&health, "store_dominated_hits"), 1);
+    assert_eq!(as_u64(&health, "store_warm_starts"), 1);
+    assert_eq!(as_u64(&health, "store_exact_hits"), 0);
+
+    client::shutdown(&addr, &opts).expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn store_off_and_store_miss_results_are_bit_identical() {
+    let opts = ClientOptions::default();
+    let spec = motion_spec();
+
+    // Store off: today's path, "store": "off".
+    let handle = Server::bind(ServeConfig::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr().to_string();
+    let off = client::submit(&addr, &spec, &opts, |_| {}).expect("store-off run");
+    assert_eq!(as_str(&off, "store"), "off");
+    client::shutdown(&addr, &opts).expect("shutdown");
+    handle.join().expect("clean exit");
+
+    // Store on, empty archive: the cold miss must not perturb a bit.
+    let path = temp_store("identity.aof");
+    let _ = std::fs::remove_file(&path);
+    let handle = spawn_with_store(&path);
+    let addr = handle.addr().to_string();
+    let miss = client::submit(&addr, &spec, &opts, |_| {}).expect("store-miss run");
+    assert_eq!(as_str(&miss, "store"), "miss");
+    assert_eq!(
+        served_bits(&off),
+        served_bits(&miss),
+        "an empty store changed the cold path"
+    );
+    client::shutdown(&addr, &opts).expect("shutdown");
+    handle.join().expect("clean exit");
+}

@@ -1,0 +1,80 @@
+//! Persistent result store: a content-addressed, append-only archive
+//! of completed explorations.
+//!
+//! The serving layer recomputes every job from a cold initial solution
+//! even when an identical or near-identical job was already explored.
+//! This crate removes that waste with one file and three read paths:
+//!
+//! 1. **Exact hit** — a job whose resolved content hashes to an
+//!    archived [`StoreKey`] is answered from the archive with its
+//!    original `f64` bit patterns, no search at all.
+//! 2. **Dominated hit** — a job over an archived `(app, arch)` pair and
+//!    objective whose budget is ≤ an archived run's is answered by that
+//!    run's Pareto front in O(lookup).
+//! 3. **Warm start** — everything else over a known pair seeds chain 0
+//!    of the new exploration with the best archived winner, converging
+//!    to the cold run's quality in far fewer iterations.
+//!
+//! # Layout
+//!
+//! - [`key`] — 128-bit FNV-1a content hashes ([`StoreKey`], [`PairKey`])
+//!   over the *resolved* job, tagged and length-prefixed per field.
+//! - [`record`] — the archived form of one run ([`StoreRecord`]): every
+//!   `f64` as raw bits, the winning mapping as index-only JSON.
+//! - [`log`] — the append-only file format: length-prefixed,
+//!   checksummed frames in the serve protocol's framing discipline,
+//!   replayed by [`log::scan`] with torn-tail tolerance.
+//! - [`archive`] — the in-memory [`Archive`] replay rebuilds, with the
+//!   three deterministic queries above.
+//! - [`store`] — [`ResultStore`]: open/replay, append under a
+//!   [`SyncPolicy`], atomic [`compaction`](ResultStore::compact) and
+//!   read-only [`verification`](store::verify).
+//!
+//! # Durability
+//!
+//! Appends are length-prefixed and checksummed, so a crash mid-write
+//! leaves a tail that replay detects, reports and skips — never a
+//! panic, never a poisoned archive. The [`SyncPolicy`] knob trades
+//! fsync cost for the window of appends an OS crash could lose; the
+//! `store_sync` bench measures the trade.
+//!
+//! # Example
+//!
+//! ```
+//! use rdse_store::{KeySpec, ResultStore, StoreRecord, CostBits, SyncPolicy};
+//! use serde::Value;
+//!
+//! let spec = KeySpec {
+//!     app_json: r#"{"tasks":[]}"#,
+//!     arch_json: r#"{"clbs":2000}"#,
+//!     objective: "makespan",
+//!     seed: 1, iters: 3000, warmup: 600, chains: 4, exchange_every: 250,
+//! };
+//! let mut store = ResultStore::in_memory(SyncPolicy::Never);
+//! store.append(StoreRecord {
+//!     key: spec.key(), pair: spec.pair(), objective: "makespan".into(),
+//!     seed: 1, chains: 4, iters: 3000, warmup: 600, exchange_every: 250,
+//!     winner: 0, iterations: 3000, contexts: 2, hw_tasks: 5, clb_area: 800,
+//!     makespan_bits: 123.5f64.to_bits(),
+//!     best: CostBits::from_values(123.5, 800.0, 10.0, 2.0),
+//!     front: vec![CostBits::from_values(123.5, 800.0, 10.0, 2.0)],
+//!     mapping: Value::Map(vec![]),
+//! })?;
+//! let hit = store.archive().exact(&spec.key()).expect("archived");
+//! assert_eq!(hit.makespan().to_bits(), 123.5f64.to_bits());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod key;
+pub mod log;
+pub mod record;
+pub mod store;
+
+pub use archive::Archive;
+pub use key::{KeySpec, PairKey, StoreKey};
+pub use log::{ReplayReport, TailIssue};
+pub use record::{CostBits, StoreRecord};
+pub use store::{verify, CompactReport, ResultStore, SyncPolicy};

@@ -1,0 +1,106 @@
+//! The archived form of one completed exploration.
+//!
+//! A [`StoreRecord`] captures everything needed to (a) answer the same
+//! query again **bit-identically** and (b) seed a new exploration's
+//! chain 0 with the archived winner. Every `f64` is persisted as its
+//! raw IEEE-754 bit pattern (a `u64`), never as decimal text, so a
+//! record survives any number of serialize → replay round trips with
+//! its original bits; the winning mapping itself contains only indices
+//! and is stored as its plain JSON value.
+
+use crate::key::{PairKey, StoreKey};
+use serde::{Deserialize, Serialize, Value};
+
+/// One cost vector with every axis as raw `f64` bits — the lossless
+/// persisted form of a Pareto-front member or a winner's cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostBits {
+    /// Bits of the makespan (µs).
+    pub makespan: u64,
+    /// Bits of the peak context CLB occupancy.
+    pub clb_area: u64,
+    /// Bits of the reconfiguration overhead (µs).
+    pub reconfig: u64,
+    /// Bits of the context count.
+    pub contexts: u64,
+}
+
+impl CostBits {
+    /// Packs four axis values into their bit patterns.
+    pub fn from_values(makespan: f64, clb_area: f64, reconfig: f64, contexts: f64) -> Self {
+        CostBits {
+            makespan: makespan.to_bits(),
+            clb_area: clb_area.to_bits(),
+            reconfig: reconfig.to_bits(),
+            contexts: contexts.to_bits(),
+        }
+    }
+
+    /// The makespan axis, reconstructed bit-exactly.
+    pub fn makespan_f64(&self) -> f64 {
+        f64::from_bits(self.makespan)
+    }
+
+    /// The CLB-area axis, reconstructed bit-exactly.
+    pub fn clb_area_f64(&self) -> f64 {
+        f64::from_bits(self.clb_area)
+    }
+
+    /// The reconfiguration-overhead axis, reconstructed bit-exactly.
+    pub fn reconfig_f64(&self) -> f64 {
+        f64::from_bits(self.reconfig)
+    }
+
+    /// The context-count axis, reconstructed bit-exactly.
+    pub fn contexts_f64(&self) -> f64 {
+        f64::from_bits(self.contexts)
+    }
+}
+
+/// One completed exploration: identity, knobs, summary, Pareto front
+/// and the winning mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreRecord {
+    /// Full content key (see [`crate::KeySpec::key`]).
+    pub key: StoreKey,
+    /// `(app, arch)` grouping key (see [`crate::KeySpec::pair`]).
+    pub pair: PairKey,
+    /// Canonical objective description.
+    pub objective: String,
+    /// Master RNG seed of the run.
+    pub seed: u64,
+    /// Portfolio chain count.
+    pub chains: u64,
+    /// Total iteration budget.
+    pub iters: u64,
+    /// Warm-up iterations.
+    pub warmup: u64,
+    /// Per-chain iterations between exchanges.
+    pub exchange_every: u64,
+    /// Index of the winning chain.
+    pub winner: u64,
+    /// Iterations actually executed, summed across chains.
+    pub iterations: u64,
+    /// Context count of the winning mapping.
+    pub contexts: u64,
+    /// Hardware-task count of the winning mapping.
+    pub hw_tasks: u64,
+    /// Peak context CLB occupancy of the winning mapping.
+    pub clb_area: u64,
+    /// Raw bits of the winning makespan (µs).
+    pub makespan_bits: u64,
+    /// Full cost vector of the winner, as bits.
+    pub best: CostBits,
+    /// The portfolio Pareto front, sorted by ascending makespan bits'
+    /// numeric value, each member as bits.
+    pub front: Vec<CostBits>,
+    /// The winning mapping's JSON value (indices only — lossless).
+    pub mapping: Value,
+}
+
+impl StoreRecord {
+    /// The winning makespan, reconstructed bit-exactly.
+    pub fn makespan(&self) -> f64 {
+        f64::from_bits(self.makespan_bits)
+    }
+}

@@ -1,0 +1,263 @@
+//! The store itself: an AOF on disk plus the replayed [`Archive`].
+//!
+//! [`ResultStore::open`] replays the log (tolerating a torn tail),
+//! rebuilds the archive and positions the file at the end of the last
+//! intact record, so the next append overwrites any damaged tail
+//! instead of burying it. [`append`](ResultStore::append) writes one
+//! frame and applies the [`SyncPolicy`]; [`compact`](ResultStore::compact)
+//! rewrites the log keeping only the latest record per key, atomically
+//! (temp file + rename).
+
+use crate::archive::Archive;
+use crate::log::{encode_record, scan, ReplayReport};
+use crate::record::StoreRecord;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// When appended records are forced to stable storage.
+///
+/// | policy | fsync cadence | survives |
+/// |--------|---------------|----------|
+/// | `Always` | every append | power loss up to the last append |
+/// | `Interval(n)` | every `n` appends (and on drop) | power loss up to the last sync; process crash up to the last append |
+/// | `Never` | only on drop | process crash up to the last append |
+///
+/// All policies *write* on every append — they differ only in when
+/// `fsync` is paid, which the `store_sync` bench measures. Torn-write
+/// recovery makes the relaxed policies safe: a partial tail is skipped
+/// on replay, never fatal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every append.
+    Always,
+    /// `fsync` after every `n` appends (`Interval(1)` ≡ `Always`).
+    Interval(u32),
+    /// Leave syncing to the OS (and the final flush on drop).
+    Never,
+}
+
+impl SyncPolicy {
+    /// Parses the CLI form: `always`, `interval:N` (N ≥ 1) or `never`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(SyncPolicy::Always),
+            "never" => Some(SyncPolicy::Never),
+            other => {
+                let n: u32 = other.strip_prefix("interval:")?.parse().ok()?;
+                (n >= 1).then_some(SyncPolicy::Interval(n))
+            }
+        }
+    }
+
+    /// The canonical CLI form.
+    pub fn describe(&self) -> String {
+        match self {
+            SyncPolicy::Always => "always".into(),
+            SyncPolicy::Interval(n) => format!("interval:{n}"),
+            SyncPolicy::Never => "never".into(),
+        }
+    }
+}
+
+/// Outcome of one [`ResultStore::compact`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Records in the log before compaction (including superseded
+    /// duplicates; a damaged tail counts zero).
+    pub records_before: usize,
+    /// Records after (one per unique key).
+    pub records_after: usize,
+    /// Log bytes before.
+    pub bytes_before: u64,
+    /// Log bytes after.
+    pub bytes_after: u64,
+}
+
+/// A result store: the replayed in-memory [`Archive`] plus (unless
+/// in-memory only) the append-only log backing it.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: Option<PathBuf>,
+    file: Option<File>,
+    sync: SyncPolicy,
+    unsynced: u32,
+    archive: Archive,
+    replay: ReplayReport,
+}
+
+impl ResultStore {
+    /// Opens (creating if absent) the log at `path`, replays it and
+    /// rebuilds the archive. A torn or corrupt tail is skipped and
+    /// reported via [`replay_report`](Self::replay_report); the file
+    /// cursor is positioned after the last intact record so the next
+    /// append reclaims the damaged bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of opening, reading or seeking the log.
+    pub fn open(path: impl Into<PathBuf>, sync: SyncPolicy) -> io::Result<Self> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let bytes = {
+            let mut buf = Vec::new();
+            io::Read::read_to_end(&mut file, &mut buf)?;
+            buf
+        };
+        let mut archive = Archive::new();
+        let replay = scan(&bytes, |record| archive.insert(record));
+        file.seek(SeekFrom::Start(replay.bytes))?;
+        file.set_len(replay.bytes)?;
+        Ok(ResultStore {
+            path: Some(path),
+            file: Some(file),
+            sync,
+            unsynced: 0,
+            archive,
+            replay,
+        })
+    }
+
+    /// A store with no backing file — archive-only mode, for tests and
+    /// benches.
+    pub fn in_memory(sync: SyncPolicy) -> Self {
+        ResultStore {
+            path: None,
+            file: None,
+            sync,
+            unsynced: 0,
+            archive: Archive::new(),
+            replay: ReplayReport::default(),
+        }
+    }
+
+    /// The backing log path, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// The replayed archive.
+    pub fn archive(&self) -> &Archive {
+        &self.archive
+    }
+
+    /// What [`open`](Self::open) found (record count, intact bytes,
+    /// torn tail if any).
+    pub fn replay_report(&self) -> &ReplayReport {
+        &self.replay
+    }
+
+    /// Appends one record to the log (honoring the sync policy) and
+    /// inserts it into the archive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/sync errors; the archive is only updated after
+    /// the frame is written.
+    pub fn append(&mut self, record: StoreRecord) -> io::Result<()> {
+        if let Some(file) = &mut self.file {
+            file.write_all(&encode_record(&record))?;
+            match self.sync {
+                SyncPolicy::Always => file.sync_data()?,
+                SyncPolicy::Interval(n) => {
+                    self.unsynced += 1;
+                    if self.unsynced >= n {
+                        file.sync_data()?;
+                        self.unsynced = 0;
+                    }
+                }
+                SyncPolicy::Never => {}
+            }
+        }
+        self.archive.insert(record);
+        Ok(())
+    }
+
+    /// Forces any unsynced appends to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `fsync` error.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(file) = &mut self.file {
+            file.sync_data()?;
+        }
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Rewrites the log keeping exactly one (the latest) record per
+    /// key, in ascending key order, via a temp file renamed over the
+    /// original — a crash mid-compaction leaves either the old or the
+    /// new log, never a mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the original log is untouched on error.
+    pub fn compact(&mut self) -> io::Result<CompactReport> {
+        let Some(path) = self.path.clone() else {
+            let n = self.archive.len();
+            return Ok(CompactReport {
+                records_before: n,
+                records_after: n,
+                bytes_before: 0,
+                bytes_after: 0,
+            });
+        };
+        let bytes_before = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let records_before = {
+            // Count raw log records (duplicates included) for the
+            // report; the archive itself is already deduplicated.
+            let bytes = std::fs::read(&path)?;
+            scan(&bytes, |_| {}).records
+        };
+
+        let tmp = path.with_extension("compact.tmp");
+        let mut out = File::create(&tmp)?;
+        for record in self.archive.records() {
+            out.write_all(&encode_record(record))?;
+        }
+        out.sync_data()?;
+        let bytes_after = out.metadata()?.len();
+        drop(out);
+        std::fs::rename(&tmp, &path)?;
+
+        // Reopen the handle on the new inode, positioned at the end.
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = Some(file);
+        self.unsynced = 0;
+        Ok(CompactReport {
+            records_before,
+            records_after: self.archive.len(),
+            bytes_before,
+            bytes_after,
+        })
+    }
+}
+
+impl Drop for ResultStore {
+    fn drop(&mut self) {
+        if let Some(file) = &mut self.file {
+            let _ = file.sync_data();
+        }
+    }
+}
+
+/// Read-only integrity scan of a log file: replays without building an
+/// archive and reports `(replay, file_len)` — a clean log has
+/// `replay.bytes == file_len` and no tail issue.
+///
+/// # Errors
+///
+/// Propagates the error of reading the file.
+pub fn verify(path: impl AsRef<Path>) -> io::Result<(ReplayReport, u64)> {
+    let bytes = std::fs::read(path)?;
+    let report = scan(&bytes, |_| {});
+    Ok((report, bytes.len() as u64))
+}

@@ -1,0 +1,164 @@
+//! Property tests for the store's two foundations:
+//!
+//! 1. **Key stability** — equal resolved specs hash to equal keys, and
+//!    flipping any single field yields a different key (with the pair
+//!    key changing iff a model field changed).
+//! 2. **AOF round-trip** — appending N records and replaying the bytes
+//!    rebuilds an archive identical to the in-memory one, fronts
+//!    bit-identical.
+
+use proptest::prelude::*;
+use rdse_store::log::{encode_record, scan};
+use rdse_store::{Archive, CostBits, KeySpec, StoreRecord};
+use serde::Value;
+
+/// The owned form of a [`KeySpec`], easy to generate and perturb.
+#[derive(Debug, Clone, PartialEq)]
+struct OwnedSpec {
+    app_json: String,
+    arch_json: String,
+    objective: String,
+    seed: u64,
+    iters: u64,
+    warmup: u64,
+    chains: u64,
+    exchange_every: u64,
+}
+
+impl OwnedSpec {
+    fn as_key_spec(&self) -> KeySpec<'_> {
+        KeySpec {
+            app_json: &self.app_json,
+            arch_json: &self.arch_json,
+            objective: &self.objective,
+            seed: self.seed,
+            iters: self.iters,
+            warmup: self.warmup,
+            chains: self.chains,
+            exchange_every: self.exchange_every,
+        }
+    }
+}
+
+const OBJECTIVES: [&str; 3] = ["makespan", "weighted(1, 5, 0.5)", "lexi(makespan, area)"];
+
+fn spec_strategy() -> impl Strategy<Value = OwnedSpec> {
+    (
+        (0u64..1000, 0u64..1000, 0usize..OBJECTIVES.len()),
+        (0u64..u64::MAX / 2, 1u64..1_000_000, 0u64..100_000),
+        (1u64..64, 0u64..10_000),
+    )
+        .prop_map(
+            |((app_tag, arch_tag, obj_pick), (seed, iters, warmup), (chains, exchange_every))| {
+                OwnedSpec {
+                    app_json: format!(r#"{{"tasks":[{app_tag}]}}"#),
+                    arch_json: format!(r#"{{"clbs":{arch_tag}}}"#),
+                    objective: OBJECTIVES[obj_pick].to_string(),
+                    seed,
+                    iters,
+                    warmup,
+                    chains,
+                    exchange_every,
+                }
+            },
+        )
+}
+
+fn record_for(spec: &OwnedSpec, makespan_bits: u64, front_len: usize) -> StoreRecord {
+    let ks = spec.as_key_spec();
+    let front = (0..front_len.max(1))
+        .map(|i| CostBits {
+            makespan: makespan_bits.wrapping_add(i as u64),
+            clb_area: (500.0 + i as f64).to_bits(),
+            reconfig: (7.25 * (i + 1) as f64).to_bits(),
+            contexts: (i as f64 + 1.0).to_bits(),
+        })
+        .collect::<Vec<_>>();
+    StoreRecord {
+        key: ks.key(),
+        pair: ks.pair(),
+        objective: spec.objective.clone(),
+        seed: spec.seed,
+        chains: spec.chains,
+        iters: spec.iters,
+        warmup: spec.warmup,
+        exchange_every: spec.exchange_every,
+        winner: spec.seed % spec.chains,
+        iterations: spec.iters,
+        contexts: 2,
+        hw_tasks: 5,
+        clb_area: 800,
+        makespan_bits,
+        best: front[0],
+        front,
+        mapping: Value::Map(vec![(
+            "placement".into(),
+            Value::Seq(vec![Value::I64(spec.seed as i64 % 97)]),
+        )]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn equal_specs_give_equal_keys_and_any_field_flip_changes_the_key(
+        spec in spec_strategy(),
+        bump in 1u64..1_000,
+    ) {
+        let base = spec.as_key_spec();
+        prop_assert_eq!(spec.clone().as_key_spec().key(), base.key());
+        prop_assert_eq!(spec.clone().as_key_spec().pair(), base.pair());
+
+        // Flip each field in turn; every flip must change the full
+        // key, and exactly the model flips must change the pair key.
+        let mut flips: Vec<(OwnedSpec, bool)> = Vec::new();
+        let mut flip = |f: &dyn Fn(&mut OwnedSpec), model: bool| {
+            let mut s = spec.clone();
+            f(&mut s);
+            flips.push((s, model));
+        };
+        flip(&|s| s.app_json.push(' '), true);
+        flip(&|s| s.arch_json.push(' '), true);
+        flip(&|s| s.objective.push('!'), false);
+        flip(&|s| s.seed = s.seed.wrapping_add(bump), false);
+        flip(&|s| s.iters = s.iters.wrapping_add(bump), false);
+        flip(&|s| s.warmup = s.warmup.wrapping_add(bump), false);
+        flip(&|s| s.chains = s.chains.wrapping_add(bump), false);
+        flip(&|s| s.exchange_every = s.exchange_every.wrapping_add(bump), false);
+        for (flipped, is_model_field) in &flips {
+            prop_assert_ne!(flipped.as_key_spec().key(), base.key());
+            prop_assert_eq!(flipped.as_key_spec().pair() != base.pair(), *is_model_field);
+        }
+    }
+
+    #[test]
+    fn append_n_then_replay_rebuilds_the_identical_archive(
+        specs in collection::vec((spec_strategy(), 1u64..u64::MAX / 2, 0usize..4), 1..12),
+    ) {
+        // Build the log bytes and the reference archive in one pass.
+        let mut log = Vec::new();
+        let mut reference = Archive::new();
+        for (spec, raw_bits, front_len) in &specs {
+            let record = record_for(spec, *raw_bits, *front_len);
+            log.extend_from_slice(&encode_record(&record));
+            reference.insert(record);
+        }
+
+        // Replay the bytes into a fresh archive.
+        let mut replayed = Archive::new();
+        let report = scan(&log, |r| replayed.insert(r));
+        prop_assert_eq!(report.records, specs.len());
+        prop_assert!(report.tail.is_none(), "{:?}", report.tail);
+        prop_assert_eq!(report.bytes, log.len() as u64);
+
+        // Replay ≡ in-memory: same size, and every record — fronts
+        // included — bit-identical.
+        prop_assert_eq!(replayed.len(), reference.len());
+        prop_assert_eq!(replayed.pairs(), reference.pairs());
+        for original in reference.records() {
+            let got = replayed.exact(&original.key);
+            prop_assert_eq!(got, Some(original));
+        }
+    }
+}

@@ -23,6 +23,8 @@
 //! rdse serve    [--host H] [--port P] [--workers N] [--max-frame-len B]
 //!               [--max-tasks N] [--max-iters N] [--max-chains N]
 //!               [--max-sessions N] [--read-timeout-ms N]
+//!               [--store F.aof] [--store-sync always|interval:N|never]
+//! rdse store    <stats|compact|verify> --path F.aof
 //! rdse submit   --addr HOST:PORT (--app F.json | --builtin NAME | --workload FAM)
 //!               (--arch F.json | --clbs N | --arch-family FAM)
 //!               [--app-seed N] [--arch-seed N] [--objective SPEC] [--iters N]
@@ -46,6 +48,7 @@ use rdse::serve::{
     ClientOptions, Limits, ServeConfig, Server,
 };
 use rdse::sim::{simulate, SimConfig};
+use rdse::store::{log::scan, Archive, ResultStore, SyncPolicy};
 use rdse::workloads::{
     epicure_architecture, figure1_app, layered_dag, motion_detection_app, series_parallel_dag,
     LayeredDagConfig,
@@ -77,7 +80,8 @@ fn usage() -> ExitCode {
          rdse space    --app F.json\n  \
          rdse corpus   list\n  \
          rdse corpus   run [--smoke] [--families a,b] [--arches a,b] [--seeds 1,2] [--iters N]\n                [--warmup N] [--chains K] [--threads T] [--exchange-every E] [--walk-steps W]\n                [--out F.ndjson] [--golden F] [--write-golden F]\n  \
-         rdse serve    [--host H] [--port P] [--workers N] [--max-frame-len B] [--max-tasks N]\n                [--max-iters N] [--max-chains N] [--max-sessions N] [--read-timeout-ms N]\n  \
+         rdse serve    [--host H] [--port P] [--workers N] [--max-frame-len B] [--max-tasks N]\n                [--max-iters N] [--max-chains N] [--max-sessions N] [--read-timeout-ms N]\n                [--store F.aof] [--store-sync always|interval:N|never]\n  \
+         rdse store    <stats|compact|verify> --path F.aof\n  \
          rdse submit   --addr HOST:PORT (--app F.json | --builtin NAME | --workload FAM)\n                (--arch F.json | --clbs N | --arch-family FAM) [--objective SPEC] [--iters N]\n                [--seed N] [--chains K] [--quiet] | (--health | --shutdown | --get-job ID)"
     );
     ExitCode::FAILURE
@@ -97,6 +101,7 @@ fn main() -> ExitCode {
         "corpus" => run_corpus_cmd(&args),
         "serve" => run_serve(&args),
         "submit" => run_submit(&args),
+        "store" => run_store(&args),
         _ => usage(),
     }
 }
@@ -236,6 +241,7 @@ fn run_explore(args: &[String]) -> ExitCode {
             chains,
             threads: arg_num(args, "--threads", 0),
             exchange_every: arg_num(args, "--exchange-every", 500),
+            warm_start: None,
         };
         match explore_parallel(&app, &arch, &popts) {
             Ok(p) => {
@@ -602,6 +608,7 @@ fn run_sweep(args: &[String]) -> ExitCode {
                     chains,
                     threads: inner_threads,
                     exchange_every,
+                    warm_start: None,
                 };
                 match explore_parallel(&app, &arch, &popts) {
                     Ok(p) => {
@@ -980,11 +987,18 @@ fn run_serve(args: &[String]) -> ExitCode {
             "usage: rdse serve [--host H] [--port P] [--workers N] [--max-frame-len B]\n\
              \x20                 [--max-tasks N] [--max-iters N] [--max-chains N]\n\
              \x20                 [--max-sessions N] [--read-timeout-ms N]\n\
+             \x20                 [--store F.aof] [--store-sync always|interval:N|never]\n\
              \n\
              Serves exploration jobs over TCP (framed RPC and HTTP/1.1 on the same\n\
              port). --port 0 picks a free port; the bound address is printed on\n\
              stdout as 'rdse serve listening on HOST:PORT'. Stop it with\n\
-             `rdse submit --addr HOST:PORT --shutdown`."
+             `rdse submit --addr HOST:PORT --shutdown`.\n\
+             \n\
+             --store persists every finished exploration to an append-only log and\n\
+             answers repeat submissions from it: identical jobs return the archived\n\
+             result bit-identically with no search, and new jobs over a known\n\
+             (app, arch) pair warm-start from the best archived mapping.\n\
+             --store-sync sets the fsync cadence (default: always)."
         );
         return ExitCode::SUCCESS;
     }
@@ -1006,11 +1020,26 @@ fn run_serve(args: &[String]) -> ExitCode {
         )),
         write_timeout: defaults.write_timeout,
     };
+    let store = arg_value(args, "--store").map(std::path::PathBuf::from);
+    let store_sync = match arg_value(args, "--store-sync") {
+        Some(spec) => match SyncPolicy::parse(&spec) {
+            Some(p) => p,
+            None => {
+                eprintln!(
+                    "error: --store-sync takes always, interval:N (N >= 1) or never, got '{spec}'"
+                );
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+        None => SyncPolicy::Always,
+    };
     let server = match Server::bind(ServeConfig {
         host: host.clone(),
         port,
         workers,
         limits,
+        store,
+        store_sync,
     }) {
         Ok(s) => s,
         Err(e) => {
@@ -1040,6 +1069,117 @@ fn run_serve(args: &[String]) -> ExitCode {
             eprintln!("error: server failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `rdse store` — inspect and maintain a persistent result store
+/// off-line (the serving path opens the same file via `--store`).
+fn run_store(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help") {
+        println!(
+            "usage: rdse store <stats|compact|verify> --path F.aof\n\
+             \n\
+             stats    replay the log read-only and report record, pair and byte\n\
+             \x20        counts (a torn tail is reported, not repaired)\n\
+             compact  atomically rewrite the log keeping the latest record per\n\
+             \x20        key (temp file + rename; also repairs a torn tail)\n\
+             verify   replay the log read-only; exit 0 if every record is intact,\n\
+             \x20        1 naming the byte offset of the first damaged record"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let sub = match args.get(1).map(String::as_str) {
+        Some(s @ ("stats" | "compact" | "verify")) => s,
+        Some(other) => {
+            eprintln!(
+                "error: unknown store subcommand '{other}' (expected stats, compact or verify)"
+            );
+            return ExitCode::from(EXIT_USAGE);
+        }
+        None => {
+            eprintln!("error: missing store subcommand (expected stats, compact or verify)");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let Some(path) = arg_value(args, "--path") else {
+        eprintln!("error: missing --path F.aof");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    match sub {
+        "stats" => {
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut archive = Archive::new();
+            let report = scan(&bytes, |r| archive.insert(r));
+            println!("store         : {path}");
+            println!("file bytes    : {}", bytes.len());
+            println!("raw records   : {}", report.records);
+            println!(
+                "live records  : {} ({} pair(s))",
+                archive.len(),
+                archive.pairs()
+            );
+            match &report.tail {
+                Some(tail) => println!("tail          : torn ({tail})"),
+                None => println!("tail          : clean"),
+            }
+            ExitCode::SUCCESS
+        }
+        "compact" => {
+            let mut store = match ResultStore::open(&path, SyncPolicy::Always) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(tail) = &store.replay_report().tail {
+                eprintln!("warning: torn tail skipped ({tail})");
+            }
+            match store.compact() {
+                Ok(report) => {
+                    println!(
+                        "compacted     : {} -> {} record(s), {} -> {} bytes",
+                        report.records_before,
+                        report.records_after,
+                        report.bytes_before,
+                        report.bytes_after
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: compaction failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => match rdse::store::verify(&path) {
+            Ok((report, file_len)) => match report.tail {
+                Some(tail) => {
+                    eprintln!(
+                        "error: {path}: damaged record {tail} ({} intact record(s), {} of {file_len} bytes verified)",
+                        report.records, report.bytes
+                    );
+                    ExitCode::FAILURE
+                }
+                None => {
+                    println!(
+                        "verified      : {} record(s), {} bytes, all checksums intact",
+                        report.records, report.bytes
+                    );
+                    ExitCode::SUCCESS
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
     }
 }
 
@@ -1105,6 +1245,11 @@ fn print_submit_result(v: &serde::Value) {
     }
     if let Some(cache) = value_str(v, "cache") {
         println!("evaluator     : warm-arena cache {cache}");
+    }
+    if let Some(store) = value_str(v, "store") {
+        if store != "off" {
+            println!("result store  : {store}");
+        }
     }
 }
 

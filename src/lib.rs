@@ -21,6 +21,7 @@
 //! | [`workloads`] | the 28-task motion-detection benchmark, Fig. 1 example, random DAG generators |
 //! | [`corpus`] | scenario families (workload × architecture), batch runner, four-way differential verification oracle |
 //! | [`serve`] | long-running exploration service: framed RPC + HTTP transports, sharded worker pool with warm evaluator arenas, streaming Pareto-front updates |
+//! | [`store`] | persistent result store: content-addressed append-only archive with exact/dominated O(lookup) answers and warm-start seeding |
 //!
 //! ## Quickstart
 //!
@@ -72,6 +73,7 @@
 //!     chains: 4,
 //!     threads: 0, // all cores; never changes the result
 //!     exchange_every: 250,
+//!     warm_start: None, // opt-in archive seeding; None = bit-identical cold run
 //! })?;
 //! assert_eq!(portfolio.chains.len(), 4);
 //! # Ok(())
@@ -89,4 +91,5 @@ pub use rdse_mapping as mapping;
 pub use rdse_model as model;
 pub use rdse_serve as serve;
 pub use rdse_sim as sim;
+pub use rdse_store as store;
 pub use rdse_workloads as workloads;

@@ -108,12 +108,73 @@ fn serve_and_submit_help_exit_zero() {
     for (sub, expect) in [
         ("serve", "usage: rdse serve"),
         ("submit", "usage: rdse submit"),
+        ("store", "usage: rdse store"),
     ] {
         let out = rdse(&[sub, "--help"]);
         assert!(out.status.success(), "{sub} --help failed: {out:?}");
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains(expect), "{sub} --help:\n{stdout}");
     }
+}
+
+#[test]
+fn store_usage_errors_exit_with_code_2_and_a_named_cause() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["store"], "missing store subcommand"),
+        (&["store", "prune"], "unknown store subcommand 'prune'"),
+        (&["store", "stats"], "missing --path"),
+        (&["store", "compact"], "missing --path"),
+        (&["store", "verify"], "missing --path"),
+    ];
+    for (args, expect) in cases {
+        let out = rdse(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(expect), "{args:?}:\n{stderr}");
+    }
+    // A bad --store-sync spec is a serve usage error too.
+    let out = rdse(&["serve", "--port", "0", "--store-sync", "sometimes"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--store-sync takes"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn store_stats_compact_and_verify_roundtrip_on_a_real_log() {
+    let dir: PathBuf = std::env::temp_dir().join(format!("rdse_cli_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("cli.aof");
+    let path_s = path.to_str().unwrap();
+
+    // An empty (freshly created) log: stats and verify are clean noops.
+    std::fs::write(&path, b"").expect("create empty log");
+    let stats = rdse(&["store", "stats", "--path", path_s]);
+    assert!(stats.status.success(), "{stats:?}");
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    assert!(stdout.contains("raw records   : 0"), "{stdout}");
+    assert!(stdout.contains("tail          : clean"), "{stdout}");
+
+    let verify = rdse(&["store", "verify", "--path", path_s]);
+    assert!(verify.status.success(), "{verify:?}");
+
+    let compact = rdse(&["store", "compact", "--path", path_s]);
+    assert!(compact.status.success(), "{compact:?}");
+
+    // Garbage is not a panic: verify exits 1 naming the byte offset.
+    std::fs::write(&path, b"not a store log at all").expect("write garbage");
+    let verify = rdse(&["store", "verify", "--path", path_s]);
+    assert_eq!(verify.status.code(), Some(1), "{verify:?}");
+    assert!(
+        String::from_utf8_lossy(&verify.stderr).contains("at byte 0"),
+        "{verify:?}"
+    );
+
+    // A missing file is a runtime failure (1), not a usage error.
+    let missing = dir.join("nope.aof");
+    let verify = rdse(&["store", "verify", "--path", missing.to_str().unwrap()]);
+    assert_eq!(verify.status.code(), Some(1), "{verify:?}");
 }
 
 #[test]

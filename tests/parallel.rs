@@ -23,6 +23,7 @@ fn motion_portfolio(threads: usize, chains: usize, total_iters: u64, seed: u64) 
             chains,
             threads,
             exchange_every: 250,
+            warm_start: None,
         },
     )
     .expect("motion benchmark explores cleanly")
@@ -78,6 +79,7 @@ fn one_chain_portfolio_equals_single_chain_explore() {
             chains: 1,
             threads: 8,
             exchange_every: 250,
+            warm_start: None,
         },
     )
     .expect("explores cleanly");
