@@ -22,6 +22,75 @@ use rand::RngCore;
 /// Floor weight so no class ever starves.
 const MIN_WEIGHT: f64 = 0.05;
 
+/// UCB exploration coefficient. Credits are EWMA-normalized into
+/// [0, 1], so a moderate coefficient keeps exploration alive without
+/// drowning the credit signal.
+const UCB_EXPLORATION: f64 = 0.5;
+
+/// Deterministic UCB1 state over move classes, credited by realized
+/// improvement rather than raw acceptance.
+#[derive(Debug, Clone)]
+struct Bandit {
+    /// Times each class was drawn (feasible or not).
+    pulls: Vec<u64>,
+    /// EWMA of the normalized improvement each pull realized.
+    credit: Vec<Ewma>,
+    /// Total pulls across classes.
+    total: u64,
+    /// Running maximum raw improvement, the normalization scale.
+    max_gain: f64,
+}
+
+impl Bandit {
+    fn new(n_classes: usize) -> Self {
+        Bandit {
+            pulls: vec![0; n_classes],
+            credit: vec![Ewma::with_initial(0.99, 0.0); n_classes],
+            total: 0,
+            max_gain: 0.0,
+        }
+    }
+
+    /// Argmax of the UCB score; unpulled classes first, ties to the
+    /// lowest index. Fully deterministic — consumes no randomness.
+    fn pick(&self) -> usize {
+        if let Some(unpulled) = self.pulls.iter().position(|&p| p == 0) {
+            return unpulled;
+        }
+        let ln_total = (self.total.max(1) as f64).ln();
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for c in 0..self.pulls.len() {
+            let score =
+                self.credit[c].value() + UCB_EXPLORATION * (ln_total / self.pulls[c] as f64).sqrt();
+            if score > best_score {
+                best = c;
+                best_score = score;
+            }
+        }
+        best
+    }
+
+    fn record(&mut self, class: usize, feasible: bool, accepted: bool, delta: f64) {
+        let gain = if feasible && accepted {
+            (-delta).max(0.0)
+        } else {
+            0.0
+        };
+        if gain > self.max_gain {
+            self.max_gain = gain;
+        }
+        let reward = if self.max_gain > 0.0 {
+            gain / self.max_gain
+        } else {
+            0.0
+        };
+        self.credit[class].update(reward);
+        self.pulls[class] += 1;
+        self.total += 1;
+    }
+}
+
 /// Adaptive roulette over move classes.
 ///
 /// # Examples
@@ -40,6 +109,7 @@ const MIN_WEIGHT: f64 = 0.05;
 pub struct MoveClassController {
     acceptance: Vec<Ewma>,
     adaptive: bool,
+    bandit: Option<Bandit>,
 }
 
 impl MoveClassController {
@@ -53,6 +123,7 @@ impl MoveClassController {
         MoveClassController {
             acceptance: vec![Ewma::with_initial(0.99, 0.5); n_classes],
             adaptive: true,
+            bandit: None,
         }
     }
 
@@ -65,6 +136,28 @@ impl MoveClassController {
     pub fn uniform(n_classes: usize) -> Self {
         let mut c = MoveClassController::new(n_classes);
         c.adaptive = false;
+        c
+    }
+
+    /// Creates a deterministic UCB1 bandit over the classes, credited
+    /// by *realized improvement* ([`record_delta`]) rather than
+    /// acceptance rate: a class whose accepted moves actually lower
+    /// the cost earns weight, one that only produces plateau or uphill
+    /// acceptances does not.
+    ///
+    /// Selection is the UCB argmax (unpulled classes first, ties to
+    /// the lowest index) and consumes **no randomness** — the walk is
+    /// a pure function of the recorded rewards, so a bandit run is
+    /// deterministic per seed by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0`.
+    ///
+    /// [`record_delta`]: MoveClassController::record_delta
+    pub fn bandit(n_classes: usize) -> Self {
+        let mut c = MoveClassController::new(n_classes);
+        c.bandit = Some(Bandit::new(n_classes));
         c
     }
 
@@ -87,11 +180,15 @@ impl MoveClassController {
         }
     }
 
-    /// Draws a class according to the current weights.
+    /// Draws a class according to the current weights. A bandit
+    /// controller picks its UCB argmax and leaves `rng` untouched.
     pub fn pick(&self, rng: &mut dyn RngCore) -> usize {
         let n = self.n_classes();
         if n == 1 {
             return 0;
+        }
+        if let Some(bandit) = &self.bandit {
+            return bandit.pick();
         }
         let total: f64 = (0..n).map(|c| self.weight(c)).sum();
         let mut x: f64 = rng.random::<f64>() * total;
@@ -112,7 +209,22 @@ impl MoveClassController {
     ///
     /// Panics if `class` is out of range.
     pub fn record(&mut self, class: usize, feasible: bool, accepted: bool) {
+        self.record_delta(class, feasible, accepted, 0.0);
+    }
+
+    /// Records the outcome of a move of `class` together with the
+    /// realized scalarized cost delta (negative = improvement). The
+    /// acceptance EWMA is always updated; a bandit controller
+    /// additionally credits the class with the normalized improvement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn record_delta(&mut self, class: usize, feasible: bool, accepted: bool, delta: f64) {
         self.acceptance[class].update(if feasible && accepted { 1.0 } else { 0.0 });
+        if let Some(bandit) = &mut self.bandit {
+            bandit.record(class, feasible, accepted, delta);
+        }
     }
 }
 
@@ -178,5 +290,67 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_classes_rejected() {
         let _ = MoveClassController::new(0);
+    }
+
+    #[test]
+    fn bandit_pick_consumes_no_randomness() {
+        let mut ctl = MoveClassController::bandit(3);
+        let mut rng = StdRng::seed_from_u64(42);
+        for i in 0..100 {
+            let class = ctl.pick(&mut rng);
+            ctl.record_delta(class, true, true, -(f64::from(i % 5)));
+        }
+        // The RNG stream is exactly where a fresh one starts.
+        let mut fresh = StdRng::seed_from_u64(42);
+        assert_eq!(rng.random::<u64>(), fresh.random::<u64>());
+    }
+
+    #[test]
+    fn bandit_is_deterministic() {
+        let drive = || {
+            let mut ctl = MoveClassController::bandit(2);
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut picks = Vec::new();
+            for i in 0..500u32 {
+                let class = ctl.pick(&mut rng);
+                picks.push(class);
+                // Class 0 improves on a fixed cadence; class 1 never.
+                let delta = if class == 0 && i % 3 == 0 { -2.0 } else { 0.0 };
+                ctl.record_delta(class, true, delta < 0.0, delta);
+            }
+            picks
+        };
+        assert_eq!(drive(), drive());
+    }
+
+    #[test]
+    fn bandit_prefers_the_improving_class() {
+        let mut ctl = MoveClassController::bandit(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            let class = ctl.pick(&mut rng);
+            counts[class] += 1;
+            // Class 0 reliably realizes improvement, class 1 never does.
+            let delta = if class == 0 { -1.0 } else { 0.0 };
+            ctl.record_delta(class, true, true, delta);
+        }
+        assert!(
+            counts[0] > counts[1] * 3,
+            "improving class starved: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn bandit_tries_every_class_first() {
+        let ctl = MoveClassController::bandit(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        // All classes unpulled: the lowest index goes first.
+        assert_eq!(ctl.pick(&mut rng), 0);
+        let mut ctl = MoveClassController::bandit(4);
+        ctl.record_delta(0, true, true, -1.0);
+        ctl.record_delta(1, true, false, 0.0);
+        // 2 and 3 are still unpulled; 2 comes first.
+        assert_eq!(ctl.pick(&mut rng), 2);
     }
 }

@@ -56,7 +56,7 @@ pub mod stats;
 
 pub use controller::MoveClassController;
 pub use cost::{Cost, DefaultScalar, Lexicographic, Scalarizer, WeightedSum};
-pub use pareto::{Dominance, ParetoFront};
+pub use pareto::{crowding_distance, hypervolume, non_dominated_rank, Dominance, ParetoFront};
 pub use problem::Problem;
 pub use runner::{anneal, Annealer, RunOptions, RunResult, StopReason, TracePoint};
 pub use schedule::{GeometricSchedule, InfiniteTemperature, LamSchedule, Schedule};

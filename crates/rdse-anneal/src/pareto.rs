@@ -158,6 +158,165 @@ impl<'a, P> IntoIterator for &'a ParetoFront<P> {
     }
 }
 
+/// Fast non-dominated sorting (NSGA-II): assigns every point its
+/// Pareto rank.
+///
+/// Rank 0 is the set of points dominated by nothing (the Pareto front
+/// of the input); rank `r + 1` is the front of what remains after
+/// removing ranks `0..=r`. Duplicates share a rank (equal points never
+/// dominate each other). Ranks are a property of the point *values*,
+/// so the result is independent of input order: permuting the input
+/// permutes the output identically.
+///
+/// Runs in O(n²) dominance checks — the classic Deb et al. bound,
+/// fine for the population sizes a GA generation produces.
+///
+/// # Examples
+///
+/// ```
+/// use rdse_anneal::non_dominated_rank;
+///
+/// // f64 is a one-objective Cost: rank = order of distinct values.
+/// assert_eq!(non_dominated_rank(&[3.0f64, 1.0, 2.0, 1.0]), vec![2, 0, 1, 0]);
+/// ```
+pub fn non_dominated_rank<P: Dominance>(points: &[P]) -> Vec<usize> {
+    let n = points.len();
+    let mut n_dominators = vec![0usize; n];
+    let mut dominated: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if points[i].dominates(&points[j]) {
+                dominated[i].push(j);
+                n_dominators[j] += 1;
+            } else if points[j].dominates(&points[i]) {
+                dominated[j].push(i);
+                n_dominators[i] += 1;
+            }
+        }
+    }
+    let mut rank = vec![0usize; n];
+    let mut current: Vec<usize> = (0..n).filter(|&i| n_dominators[i] == 0).collect();
+    let mut r = 0usize;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            rank[i] = r;
+            for &j in &dominated[i] {
+                n_dominators[j] -= 1;
+                if n_dominators[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        r += 1;
+    }
+    rank
+}
+
+/// NSGA-II crowding distance of each point within one rank class.
+///
+/// Per objective the points are sorted (ties broken by input index, so
+/// the result is deterministic) and each interior point accumulates
+/// the normalized span of its neighbours; the two boundary points of
+/// every axis get `f64::INFINITY`, which keeps objective-extremal
+/// solutions alive through crowded-tournament selection. Classes of
+/// one or two points are all-infinite by convention.
+///
+/// The input should be a single rank class (see
+/// [`non_dominated_rank`]); mixing ranks yields distances that are
+/// meaningless for selection.
+pub fn crowding_distance<C: Cost>(points: &[C]) -> Vec<f64> {
+    let n = points.len();
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let n_obj = points[0].n_objectives();
+    let mut dist = vec![0.0f64; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    for m in 0..n_obj {
+        order.sort_by(|&a, &b| {
+            points[a]
+                .objective(m)
+                .total_cmp(&points[b].objective(m))
+                .then(a.cmp(&b))
+        });
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let span = points[order[n - 1]].objective(m) - points[order[0]].objective(m);
+        if span <= 0.0 {
+            continue;
+        }
+        for k in 1..n - 1 {
+            dist[order[k]] +=
+                (points[order[k + 1]].objective(m) - points[order[k - 1]].objective(m)) / span;
+        }
+    }
+    dist
+}
+
+/// Exact hypervolume of `points` with respect to a reference point
+/// (all objectives minimized; the reference bounds the dominated
+/// region from above).
+///
+/// Uses the WFG-style inclusion–exclusion recursion: each point
+/// contributes the volume of its box to the reference minus the
+/// hypervolume of the *later* points clamped into that box. Exact and
+/// dependency-free, with worst-case exponential time in the number of
+/// points — intended for the small fronts (tens of points) the
+/// explorers produce, where it is effectively instant.
+///
+/// Points at or beyond the reference on any axis contribute nothing.
+/// Returns `0.0` for an empty set.
+///
+/// # Panics
+///
+/// Panics if `reference.len()` differs from a point's
+/// [`n_objectives`](Cost::n_objectives).
+pub fn hypervolume<C: Cost>(points: &[C], reference: &[f64]) -> f64 {
+    let rows: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            assert_eq!(
+                p.n_objectives(),
+                reference.len(),
+                "reference point must match the objective count"
+            );
+            (0..p.n_objectives()).map(|i| p.objective(i)).collect()
+        })
+        .collect();
+    hv_recurse(&rows, reference)
+}
+
+fn hv_recurse(rows: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for (k, s) in rows.iter().enumerate() {
+        let vol: f64 = s
+            .iter()
+            .zip(reference)
+            .map(|(&a, &r)| (r - a).max(0.0))
+            .product();
+        if vol <= 0.0 {
+            continue;
+        }
+        // Later points, worsened to the corner of `s` (their overlap
+        // with s's box), minus anything dominated after clamping.
+        let mut limited: Vec<Vec<f64>> = Vec::with_capacity(rows.len() - k - 1);
+        for q in &rows[k + 1..] {
+            let clamped: Vec<f64> = q.iter().zip(s).map(|(&qv, &sv)| qv.max(sv)).collect();
+            let redundant = limited
+                .iter()
+                .any(|m: &Vec<f64>| m.iter().zip(&clamped).all(|(a, b)| a <= b));
+            if !redundant {
+                limited.retain(|m| !clamped.iter().zip(m).all(|(a, b)| a <= b));
+                limited.push(clamped);
+            }
+        }
+        total += vol - hv_recurse(&limited, reference);
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,5 +385,77 @@ mod tests {
         f.insert(P2(1.0, 5.0));
         let sorted = f.sorted_members(|a, b| a.0.total_cmp(&b.0));
         assert_eq!(sorted, vec![P2(1.0, 5.0), P2(5.0, 1.0)]);
+    }
+
+    #[test]
+    fn rank_layers_peel_successive_fronts() {
+        // Front 0: (1,4), (4,1). Front 1: (2,5), (5,2). Front 2: (6,6).
+        let pts = [
+            P2(2.0, 5.0),
+            P2(1.0, 4.0),
+            P2(6.0, 6.0),
+            P2(4.0, 1.0),
+            P2(5.0, 2.0),
+        ];
+        assert_eq!(non_dominated_rank(&pts), vec![1, 0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn equal_points_share_a_rank() {
+        let pts = [P2(1.0, 1.0), P2(1.0, 1.0), P2(2.0, 2.0)];
+        assert_eq!(non_dominated_rank(&pts), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn crowding_marks_boundaries_infinite() {
+        let pts = [
+            P2(1.0, 5.0),
+            P2(2.0, 4.0),
+            P2(3.0, 3.0),
+            P2(4.0, 2.0),
+            P2(5.0, 1.0),
+        ];
+        let d = crowding_distance(&pts);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[4], f64::INFINITY);
+        // Interior points on an evenly spaced front share one finite
+        // distance: (gap left + gap right) / span, per axis.
+        assert!(d[1].is_finite() && d[2].is_finite() && d[3].is_finite());
+        assert_eq!(d[1].to_bits(), d[2].to_bits());
+        assert_eq!(d[2].to_bits(), d[3].to_bits());
+    }
+
+    #[test]
+    fn tiny_classes_are_all_infinite() {
+        assert!(crowding_distance::<P2>(&[]).is_empty());
+        assert_eq!(crowding_distance(&[P2(1.0, 2.0)]), vec![f64::INFINITY]);
+        let two = crowding_distance(&[P2(1.0, 2.0), P2(2.0, 1.0)]);
+        assert_eq!(two, vec![f64::INFINITY, f64::INFINITY]);
+    }
+
+    #[test]
+    fn hypervolume_of_rectangles() {
+        // One point: a plain box.
+        assert_eq!(hypervolume(&[P2(1.0, 1.0)], &[3.0, 3.0]), 4.0);
+        // Two incomparable points: union of boxes minus the overlap.
+        // (1,2) -> 2x1 = 2; (2,1) -> 1x2 = 2; overlap (2,2) -> 1.
+        let hv = hypervolume(&[P2(1.0, 2.0), P2(2.0, 1.0)], &[3.0, 3.0]);
+        assert!((hv - 3.0).abs() < 1e-12, "hv = {hv}");
+        // A dominated point adds nothing; beyond-reference adds nothing.
+        let hv2 = hypervolume(
+            &[P2(1.0, 2.0), P2(2.0, 1.0), P2(2.5, 2.5), P2(4.0, 0.0)],
+            &[3.0, 3.0],
+        );
+        assert!((hv2 - 3.0).abs() < 1e-12, "hv2 = {hv2}");
+        // Empty set: zero.
+        assert_eq!(hypervolume::<P2>(&[], &[3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_under_improvement() {
+        let base = [P2(2.0, 2.0)];
+        let better = [P2(1.0, 1.0)];
+        let r = [5.0, 5.0];
+        assert!(hypervolume(&better, &r) > hypervolume(&base, &r));
     }
 }

@@ -53,6 +53,11 @@ pub struct RunOptions {
     /// Use the adaptive move-class controller; when `false` classes are
     /// drawn uniformly.
     pub adaptive_moves: bool,
+    /// Select move classes with a deterministic UCB bandit credited by
+    /// realized improvement instead of the acceptance-rate roulette.
+    /// Takes precedence over `adaptive_moves`; the bandit consumes no
+    /// randomness, so runs stay deterministic per seed.
+    pub bandit_moves: bool,
 }
 
 impl Default for RunOptions {
@@ -66,6 +71,7 @@ impl Default for RunOptions {
             freeze_window: 0,
             trace_every: 0,
             adaptive_moves: true,
+            bandit_moves: false,
         }
     }
 }
@@ -285,10 +291,13 @@ impl<P: Problem, S: Schedule, Z: Scalarizer<P::Cost>> Annealer<P, S, Z> {
     pub fn with_scalarizer(problem: P, mut schedule: S, opts: RunOptions, scalarizer: Z) -> Self {
         let rng = StdRng::seed_from_u64(opts.seed);
         schedule.reset();
-        let controller = if opts.adaptive_moves {
-            MoveClassController::new(problem.n_move_classes().max(1))
+        let n_classes = problem.n_move_classes().max(1);
+        let controller = if opts.bandit_moves {
+            MoveClassController::bandit(n_classes)
+        } else if opts.adaptive_moves {
+            MoveClassController::new(n_classes)
         } else {
-            MoveClassController::uniform(problem.n_move_classes().max(1))
+            MoveClassController::uniform(n_classes)
         };
         let initial_objectives = problem.cost();
         let initial_cost = scalarizer.scalarize(&initial_objectives);
@@ -551,7 +560,9 @@ impl<P: Problem, S: Schedule, Z: Scalarizer<P::Cost>> Annealer<P, S, Z> {
                     self.problem.undo(mv);
                     self.rejected += 1;
                 }
-                self.controller.record(class, true, accept);
+                // The realized scalarized delta credits the class in
+                // bandit mode; acceptance-rate controllers ignore it.
+                self.controller.record_delta(class, true, accept, delta);
                 IterationOutcome {
                     cost: self.cost,
                     accepted: accept,
@@ -761,6 +772,36 @@ mod tests {
         assert!(a.is_finished());
         assert_eq!(a.stop_reason(), Some(StopReason::IterationBudget));
         assert_eq!(a.iterations(), 50);
+    }
+
+    #[test]
+    fn bandit_moves_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = Sphere::new(5, 3.0, 7);
+            let mut s = LamSchedule::new(1.0);
+            let r = anneal(
+                &mut p,
+                &mut s,
+                &RunOptions {
+                    bandit_moves: true,
+                    ..quick_opts(5000, seed)
+                },
+            );
+            r.best_cost
+        };
+        assert_eq!(run(11).to_bits(), run(11).to_bits());
+        // The bandit still anneals: the walk improves on the start.
+        let mut p = Sphere::new(5, 3.0, 7);
+        let mut s = LamSchedule::new(1.0);
+        let r = anneal(
+            &mut p,
+            &mut s,
+            &RunOptions {
+                bandit_moves: true,
+                ..quick_opts(5000, 11)
+            },
+        );
+        assert!(r.best_cost < r.initial_cost);
     }
 
     #[test]

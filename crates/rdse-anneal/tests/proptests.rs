@@ -9,7 +9,7 @@
 //! 3. the resulting front *set* does not depend on insertion order.
 
 use proptest::prelude::*;
-use rdse_anneal::{Cost, Dominance, ParetoFront};
+use rdse_anneal::{crowding_distance, non_dominated_rank, Cost, Dominance, ParetoFront};
 
 /// A small integer-valued cost vector: integer axes make collisions
 /// (ties, duplicates, partial dominance) common enough to matter.
@@ -110,5 +110,106 @@ proptest! {
         let mut merged = build_front(left);
         merged.merge(&build_front(right));
         prop_assert_eq!(member_set(&merged), member_set(&build_front(&points)));
+    }
+
+    #[test]
+    fn rank_zero_is_exactly_the_pareto_front(points in arb_points(40)) {
+        // NSGA-II's first front and the incremental archive must agree
+        // on what "non-dominated" means — they share the Dominance
+        // impl, and this pins that they stay in sync.
+        let ranks = non_dominated_rank(&points);
+        let front = member_set(&build_front(&points));
+        let mut rank0: Vec<(i8, i8, i8)> = points
+            .iter()
+            .zip(&ranks)
+            .filter(|&(_, &r)| r == 0)
+            .map(|(v, _)| (v.0, v.1, v.2))
+            .collect();
+        rank0.sort_unstable();
+        rank0.dedup();
+        prop_assert_eq!(rank0, front);
+    }
+
+    #[test]
+    fn ranks_are_insertion_order_independent(points in arb_points(32)) {
+        // A rank belongs to the point's value, not its position: any
+        // permutation of the input permutes the ranks identically.
+        let forward = non_dominated_rank(&points);
+        let mut reversed = points.clone();
+        reversed.reverse();
+        let mut back = non_dominated_rank(&reversed);
+        back.reverse();
+        prop_assert_eq!(&forward, &back);
+        // Deterministic stride shuffle as a third order.
+        let n = points.len();
+        let mut perm: Vec<usize> = Vec::with_capacity(n);
+        for offset in 0..7.min(n) {
+            perm.extend((offset..n).step_by(7));
+        }
+        if perm.len() == n {
+            let strided: Vec<V3> = perm.iter().map(|&i| points[i]).collect();
+            let strided_ranks = non_dominated_rank(&strided);
+            let mut unshuffled = vec![0usize; n];
+            for (k, &i) in perm.iter().enumerate() {
+                unshuffled[i] = strided_ranks[k];
+            }
+            prop_assert_eq!(&forward, &unshuffled);
+        }
+    }
+
+    #[test]
+    fn ranks_respect_dominance(points in arb_points(32)) {
+        // If a dominates b, a's rank is strictly lower; equal points
+        // always land in the same rank.
+        let ranks = non_dominated_rank(&points);
+        for (i, a) in points.iter().enumerate() {
+            for (j, b) in points.iter().enumerate() {
+                if a.dominates(b) {
+                    prop_assert!(
+                        ranks[i] < ranks[j],
+                        "{a:?} (rank {}) dominates {b:?} (rank {})", ranks[i], ranks[j]
+                    );
+                }
+                if a == b {
+                    prop_assert_eq!(ranks[i], ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite(points in arb_points(32)) {
+        // Per objective, some holder of the minimum and some holder of
+        // the maximum must be marked infinite — extremal solutions
+        // never lose a crowded tournament to interior ones.
+        let dist = crowding_distance(&points);
+        prop_assert_eq!(dist.len(), points.len());
+        let infinite = |i: usize| dist[i] == f64::INFINITY;
+        for m in 0..3 {
+            let lo = points
+                .iter()
+                .map(|p| p.objective(m))
+                .fold(f64::INFINITY, f64::min);
+            let hi = points
+                .iter()
+                .map(|p| p.objective(m))
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(
+                (0..points.len()).any(|i| points[i].objective(m) == lo && infinite(i)),
+                "no infinite point at the axis-{m} minimum"
+            );
+            prop_assert!(
+                (0..points.len()).any(|i| points[i].objective(m) == hi && infinite(i)),
+                "no infinite point at the axis-{m} maximum"
+            );
+        }
+        // Interior distances are finite, non-negative, deterministic.
+        for &d in &dist {
+            prop_assert!(d >= 0.0);
+        }
+        let again = crowding_distance(&points);
+        for (a, b) in dist.iter().zip(&again) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -66,6 +66,7 @@ fn bench_portfolio(c: &mut Criterion) {
                                 threads,
                                 exchange_every: 250,
                                 warm_start: None,
+                                front_exchange: false,
                             },
                         )
                         .expect("explores cleanly"),

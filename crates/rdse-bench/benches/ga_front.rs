@@ -1,0 +1,142 @@
+//! Multi-objective quality of the evolutionary layer: NSGA-II front
+//! versus the scalar GA's single point, and the operator bandit versus
+//! the default uniform move mix.
+//!
+//! Every number here is **deterministic** — fixed seeds, no wall-clock
+//! input — so the committed rows are machine-independent and exact:
+//!
+//! * `ga_front/hv_over_point` — hypervolume of the NSGA-II front over
+//!   the hypervolume of the scalar GA's point, both against the same
+//!   reference point (per-axis max over front ∪ point, + 1). A drop
+//!   means the front stopped covering objective space it used to.
+//! * `ga_front/front_size` — number of mutually non-dominated cost
+//!   vectors the NSGA-II archive ends with.
+//! * `ga_front/bandit_over_default` — best makespan of a default
+//!   (uniform move mix) annealing run over the best makespan of the
+//!   same run with the UCB operator bandit (`bandit_moves`). Above 1
+//!   the bandit helps; the gate trips if the bandit starts hurting.
+//!
+//! The gated rows reuse the `steps_per_sec` key on purpose: being
+//! deterministic they gate exactly through `bench_compare`, with zero
+//! machine noise. Raw makespans are emitted as ungated info rows.
+//!
+//! Knobs: `RDSE_BENCH_STEPS` overrides the GA generation budget.
+
+use rdse_baseline::{GaOptions, GeneticExplorer};
+use rdse_mapping::{explore, hypervolume, Cost, CostVector, Dominance, ExploreOptions};
+use rdse_workloads::{epicure_architecture, motion_detection_app};
+use std::io::Write as _;
+
+fn append_record(record: &str) {
+    let Ok(path) = std::env::var("RDSE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| writeln!(file, "{record}"));
+    if let Err(e) = written {
+        eprintln!("warning: cannot append bench record: {e}");
+    }
+}
+
+fn main() {
+    let generations: usize = std::env::var("RDSE_BENCH_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+
+    let app = motion_detection_app();
+    let arch = epicure_architecture(2000);
+
+    let ga_opts = |nsga2| GaOptions {
+        population: 60,
+        generations,
+        stall_generations: generations,
+        nsga2,
+        seed: 1,
+        ..GaOptions::default()
+    };
+
+    let scalar = GeneticExplorer::new(&app, &arch, ga_opts(false))
+        .run()
+        .expect("scalar GA runs cleanly");
+    let nsga2 = GeneticExplorer::new(&app, &arch, ga_opts(true))
+        .run()
+        .expect("NSGA-II GA runs cleanly");
+
+    let point = CostVector::from_summary(&scalar.evaluation.summary());
+    let members = nsga2.front.members();
+    let reference: Vec<f64> = (0..point.n_objectives())
+        .map(|m| {
+            members
+                .iter()
+                .map(|c| c.objective(m))
+                .fold(point.objective(m), f64::max)
+                + 1.0
+        })
+        .collect();
+    let hv_front = hypervolume(members, &reference);
+    let hv_point = hypervolume(&[point], &reference);
+    let hv_ratio = hv_front / hv_point.max(f64::MIN_POSITIVE);
+    assert!(
+        members.iter().any(|m| m.dominates(&point) || *m == point),
+        "the NSGA-II front must weakly dominate the scalar GA's point"
+    );
+
+    // Same annealing walk with and without the deterministic UCB
+    // operator bandit — the only difference is how move kinds are
+    // picked, so the makespan ratio isolates the bandit's value.
+    let sa_opts = |bandit| ExploreOptions {
+        max_iterations: 5_000,
+        warmup_iterations: 1_200,
+        seed: 1,
+        bandit_moves: bandit,
+        ..ExploreOptions::default()
+    };
+    let default_run = explore(&app, &arch, &sa_opts(false)).expect("default SA runs cleanly");
+    let bandit_run = explore(&app, &arch, &sa_opts(true)).expect("bandit SA runs cleanly");
+    let default_us = default_run.evaluation.makespan.value();
+    let bandit_us = bandit_run.evaluation.makespan.value();
+    let bandit_ratio = default_us / bandit_us.max(f64::MIN_POSITIVE);
+
+    println!(
+        "bench ga_front/scalar_makespan      {:>12.3} us",
+        point.makespan
+    );
+    println!(
+        "bench ga_front/nsga2_makespan       {:>12.3} us",
+        nsga2.evaluation.makespan.value()
+    );
+    println!("bench ga_front/front_size           {:>12}", members.len());
+    println!("bench ga_front/hv_over_point        {hv_ratio:>12.3}");
+    println!("bench ga_front/default_sa_makespan  {default_us:>12.3} us");
+    println!("bench ga_front/bandit_sa_makespan   {bandit_us:>12.3} us");
+    println!("bench ga_front/bandit_over_default  {bandit_ratio:>12.4}");
+
+    append_record(&format!(
+        "{{\"name\":\"ga_front/scalar_makespan_us\",\"makespan_us\":{:.3}}}",
+        point.makespan
+    ));
+    append_record(&format!(
+        "{{\"name\":\"ga_front/nsga2_makespan_us\",\"makespan_us\":{:.3}}}",
+        nsga2.evaluation.makespan.value()
+    ));
+    append_record(&format!(
+        "{{\"name\":\"ga_front/front_size\",\"steps_per_sec\":{},\
+         \"steps\":{generations},\"seconds\":0}}",
+        members.len()
+    ));
+    append_record(&format!(
+        "{{\"name\":\"ga_front/hv_over_point\",\"steps_per_sec\":{hv_ratio:.3},\
+         \"steps\":{generations},\"seconds\":0}}"
+    ));
+    append_record(&format!(
+        "{{\"name\":\"ga_front/bandit_over_default\",\"steps_per_sec\":{bandit_ratio:.4},\
+         \"steps\":5000,\"seconds\":0}}"
+    ));
+}

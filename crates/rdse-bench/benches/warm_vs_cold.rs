@@ -61,6 +61,7 @@ fn options(seed: u64, iters: u64, target: Option<f64>, warm: Option<WarmStart>) 
         threads: 1,
         exchange_every: 0,
         warm_start: warm,
+        front_exchange: false,
     }
 }
 

@@ -12,10 +12,20 @@
 //! comparison.
 //!
 //! Usage: `compare_ga [--runs N] [--clbs N] [--seed N] [--out F]`
+//!
+//! `--fronts` switches to the multi-objective view instead: per seed
+//! it runs the scalar GA and the NSGA-II GA ([--pop N] [--gens N])
+//! and reports front size, exact hypervolume against a shared
+//! reference point, and whether the front weakly dominates the scalar
+//! specialist's point.
 
 use rdse_baseline::{hill_climb, random_search, GaOptions, GeneticExplorer, HillClimbOptions};
 use rdse_bench::{arg_num, arg_value, mean, std_dev, write_csv};
-use rdse_mapping::{explore, explore_parallel, ExploreOptions, ParallelOptions};
+use rdse_mapping::{
+    explore, explore_parallel, hypervolume, Cost, CostVector, Dominance, ExploreOptions,
+    ParallelOptions,
+};
+use rdse_model::{Architecture, TaskGraph};
 use rdse_workloads::{epicure_architecture, motion_detection_app};
 use std::time::Instant;
 
@@ -28,6 +38,13 @@ fn main() {
 
     let app = motion_detection_app();
     let arch = epicure_architecture(clbs);
+
+    if args.iter().any(|a| a == "--fronts") {
+        let population: usize = arg_num(&args, "--pop", 300);
+        let generations: usize = arg_num(&args, "--gens", 200);
+        compare_fronts(&app, &arch, runs, seed0, population, generations, &out);
+        return;
+    }
 
     let mut sa_ms = Vec::new();
     let mut sa_secs = Vec::new();
@@ -70,6 +87,7 @@ fn main() {
                 threads: 0,
                 exchange_every: 250,
                 warm_start: None,
+                front_exchange: false,
             },
         )
         .expect("motion benchmark explores cleanly");
@@ -191,6 +209,101 @@ fn main() {
             "sa_secs",
             "portfolio_sa_secs",
             "ga_secs",
+        ],
+        &rows,
+    );
+}
+
+/// The multi-objective extension of the §5 comparison: the scalar GA
+/// optimizes makespan alone and yields one point; the NSGA-II GA
+/// yields a front over (makespan, CLB area, reconfiguration overhead,
+/// contexts). Both hypervolumes are measured against the same
+/// reference point (per-axis max over front ∪ scalar point, + 1), so
+/// the ratio reads "how much objective-space volume the front covers
+/// beyond the single specialist".
+#[allow(clippy::too_many_arguments)]
+fn compare_fronts(
+    app: &TaskGraph,
+    arch: &Architecture,
+    runs: u64,
+    seed0: u64,
+    population: usize,
+    generations: usize,
+    out: &str,
+) {
+    println!(
+        "run  scalar(ms)  nsga2 best(ms)  front  covers  hv(front)      hv(point)      hv ratio"
+    );
+    let mut rows = Vec::new();
+    for r in 0..runs {
+        let opts = |nsga2| GaOptions {
+            population,
+            generations,
+            nsga2,
+            seed: seed0 + r,
+            ..GaOptions::default()
+        };
+        let scalar = GeneticExplorer::new(app, arch, opts(false))
+            .run()
+            .expect("scalar GA runs cleanly");
+        let nsga2 = GeneticExplorer::new(app, arch, opts(true))
+            .run()
+            .expect("NSGA-II GA runs cleanly");
+
+        let point = CostVector::from_summary(&scalar.evaluation.summary());
+        let members = nsga2.front.members();
+
+        // Shared reference point: per-axis maximum over everything
+        // being measured, pushed out by 1 so boundary points still
+        // contribute volume. Deterministic — no wall-clock input.
+        let reference: Vec<f64> = (0..point.n_objectives())
+            .map(|m| {
+                members
+                    .iter()
+                    .map(|c| c.objective(m))
+                    .fold(point.objective(m), f64::max)
+                    + 1.0
+            })
+            .collect();
+
+        let hv_front = hypervolume(members, &reference);
+        let hv_point = hypervolume(&[point], &reference);
+        let covers = members.iter().any(|m| m.dominates(&point) || *m == point);
+        let ratio = hv_front / hv_point.max(f64::MIN_POSITIVE);
+
+        println!(
+            "{:>3}  {:>10.1}  {:>14.1}  {:>5}  {:>6}  {:>13.5e}  {:>13.5e}  {:>8.3}",
+            r,
+            point.makespan / 1_000.0,
+            nsga2.evaluation.makespan.as_millis(),
+            members.len(),
+            if covers { "yes" } else { "NO" },
+            hv_front,
+            hv_point,
+            ratio,
+        );
+        rows.push(vec![
+            r as f64,
+            point.makespan / 1_000.0,
+            nsga2.evaluation.makespan.as_millis(),
+            members.len() as f64,
+            if covers { 1.0 } else { 0.0 },
+            hv_front,
+            hv_point,
+            ratio,
+        ]);
+    }
+    write_csv(
+        out,
+        &[
+            "run",
+            "scalar_ms",
+            "nsga2_ms",
+            "front_size",
+            "covers_scalar",
+            "hv_front",
+            "hv_point",
+            "hv_ratio",
         ],
         &rows,
     );

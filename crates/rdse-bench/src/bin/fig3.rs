@@ -61,6 +61,7 @@ fn main() {
                 threads,
                 exchange_every: 0,
                 warm_start: None,
+                front_exchange: false,
             },
         )
         .expect("motion benchmark explores cleanly");

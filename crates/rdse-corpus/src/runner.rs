@@ -12,7 +12,9 @@
 
 use crate::oracle::{differential_check, front_check};
 use crate::scenario::ScenarioSpec;
-use rdse_mapping::{explore_parallel, CostVector, ExploreOptions, ParallelOptions};
+use rdse_mapping::{
+    explore_parallel, hypervolume, Cost, CostVector, ExploreOptions, ParallelOptions,
+};
 use rdse_model::units::Micros;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -86,6 +88,11 @@ pub struct ScenarioRecord {
     /// Members of the portfolio Pareto front (makespan × area ×
     /// reconfig × contexts), invariant-checked by the oracle.
     pub front_size: usize,
+    /// Exact hypervolume of that front against the deterministic
+    /// reference point "per-axis max over the members, + 1" (NDJSON
+    /// only; the golden projection predates the front metrics and
+    /// stays byte-stable).
+    pub front_hypervolume: f64,
     /// Annealing iterations executed (all chains).
     pub iterations: u64,
     /// Accepted moves (all chains).
@@ -158,8 +165,11 @@ impl ScenarioRecord {
         line.truncate(line.len() - 1); // strip the closing brace
         line.push_str(&format!(
             ",\"steps_per_sec\":{:.0},\"oracle_repair_checked\":{},\
-             \"oracle_batch_checked\":{}}}",
-            self.steps_per_sec, self.oracle_repair_checked, self.oracle_batch_checked
+             \"oracle_batch_checked\":{},\"front_hypervolume\":{:.3}}}",
+            self.steps_per_sec,
+            self.oracle_repair_checked,
+            self.oracle_batch_checked,
+            self.front_hypervolume
         ));
         line
     }
@@ -270,6 +280,7 @@ fn run_scenario(
         threads: 1,
         exchange_every: opts.exchange_every,
         warm_start: None,
+        front_exchange: false,
     };
     let portfolio =
         explore_parallel(&app, &arch, &popts).map_err(|e| fail(format!("exploration: {e}")))?;
@@ -310,6 +321,19 @@ fn run_scenario(
         clb_area: portfolio.evaluation.clb_area.value(),
         reconfig_us: best_vector.reconfig_overhead,
         front_size: portfolio.front.len(),
+        front_hypervolume: {
+            let members = portfolio.front.members();
+            let reference: Vec<f64> = (0..best_vector.n_objectives())
+                .map(|m| {
+                    members
+                        .iter()
+                        .map(|c| c.objective(m))
+                        .fold(f64::NEG_INFINITY, f64::max)
+                        + 1.0
+                })
+                .collect();
+            hypervolume(members, &reference)
+        },
         iterations,
         accepted,
         rejected,
@@ -469,9 +493,14 @@ mod tests {
         assert!(full.contains("\"steps_per_sec\":"));
         assert!(full.contains("\"oracle_repair_checked\":"));
         assert!(full.contains("\"oracle_batch_checked\":"));
+        assert!(full.contains("\"front_hypervolume\":"));
         assert!(!golden.contains("steps_per_sec"));
         assert!(!golden.contains("oracle_repair_checked"));
         assert!(!golden.contains("oracle_batch_checked"));
+        assert!(!golden.contains("front_hypervolume"));
+        // Front hypervolume is deterministic (unlike throughput): every
+        // member weakly dominates the reference, so volume is positive.
+        assert!(report.records[0].front_hypervolume > 0.0);
     }
 
     #[test]

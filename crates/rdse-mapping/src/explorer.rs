@@ -28,7 +28,10 @@ use crate::moves::{propose_impl_move, propose_pair_move, MoveDelta, MoveScratch}
 use crate::solution::Mapping;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use rdse_anneal::{Annealer, LamSchedule, ParetoFront, Problem, RunOptions, RunResult, Scalarizer};
+use rdse_anneal::{
+    crowding_distance, Annealer, Dominance, LamSchedule, ParetoFront, Problem, RunOptions,
+    RunResult, Scalarizer,
+};
 use rdse_model::units::Micros;
 use rdse_model::{Architecture, TaskGraph};
 use std::time::{Duration, Instant};
@@ -529,6 +532,13 @@ pub struct ExploreOptions {
     pub objective: Objective,
     /// Use the adaptive move-class controller.
     pub adaptive_moves: bool,
+    /// Select move kinds with the deterministic UCB bandit credited by
+    /// realized improvement instead of the acceptance-rate roulette
+    /// (takes precedence over `adaptive_moves`). The bandit consumes
+    /// no randomness, so runs stay deterministic per seed; `false`
+    /// (the default) keeps the engine bit-identical to previous
+    /// releases.
+    pub bandit_moves: bool,
     /// Stop early at this makespan-cost (µs), if given.
     pub target_cost: Option<f64>,
 }
@@ -543,6 +553,7 @@ impl Default for ExploreOptions {
             trace_every: 0,
             objective: Objective::MinimizeMakespan,
             adaptive_moves: true,
+            bandit_moves: false,
             target_cost: None,
         }
     }
@@ -717,6 +728,7 @@ impl<'a> Explorer<'a> {
                 seed: opts.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
                 trace_every: opts.trace_every,
                 adaptive_moves: opts.adaptive_moves,
+                bandit_moves: opts.bandit_moves,
                 target_cost: opts.target_cost,
                 ..RunOptions::default()
             },
@@ -892,6 +904,16 @@ pub struct ParallelOptions {
     /// its random initial solution. `None` (the default) keeps the
     /// engine bit-identical to a cold run — see [`WarmStart`].
     pub warm_start: Option<WarmStart>,
+    /// Opt-in front-aware exchange: at each barrier the chains adopt
+    /// *distinct members of the portfolio front* (ordered by crowding
+    /// distance, least crowded first) instead of all converging on the
+    /// single scalar incumbent — diversity injection across the
+    /// trade-off surface. The assignment is a deterministic function
+    /// of the chain states (ties broken by objective axes, then by
+    /// lowest contributing chain id), so the run stays bit-identical
+    /// at any thread count. `false` (the default) keeps the historical
+    /// incumbent-only exchange bit for bit.
+    pub front_exchange: bool,
 }
 
 impl Default for ParallelOptions {
@@ -902,6 +924,7 @@ impl Default for ParallelOptions {
             threads: 0,
             exchange_every: 500,
             warm_start: None,
+            front_exchange: false,
         }
     }
 }
@@ -976,6 +999,7 @@ pub struct ParallelOutcome {
 ///     threads: 2,
 ///     exchange_every: 250,
 ///     warm_start: None,
+///     front_exchange: false,
 /// };
 /// let portfolio = explore_parallel(&app, &arch, &opts)?;
 /// assert_eq!(portfolio.chains.len(), 4);
@@ -1139,19 +1163,23 @@ pub fn explore_parallel_observed(
             break;
         }
 
-        // Exchange at the barrier: strictly worse chains adopt the
-        // portfolio winner (ties keep their own solution — and the
-        // winner is picked by lowest chain id, so the exchange is a
-        // deterministic function of the chain states).
-        let winner = portfolio_winner(&explorers);
-        let winner_cost = explorers[winner].best_cost();
-        let (best_mapping, best_summary) = {
-            let (m, s) = explorers[winner].best();
-            (m.clone(), s)
-        };
-        for (i, chain) in explorers.iter_mut().enumerate() {
-            if i != winner && chain.best_cost() > winner_cost && !chain.is_finished() {
-                chain.adopt_best(best_mapping.clone(), best_summary);
+        if opts.front_exchange {
+            exchange_front_members(&mut explorers);
+        } else {
+            // Exchange at the barrier: strictly worse chains adopt the
+            // portfolio winner (ties keep their own solution — and the
+            // winner is picked by lowest chain id, so the exchange is a
+            // deterministic function of the chain states).
+            let winner = portfolio_winner(&explorers);
+            let winner_cost = explorers[winner].best_cost();
+            let (best_mapping, best_summary) = {
+                let (m, s) = explorers[winner].best();
+                (m.clone(), s)
+            };
+            for (i, chain) in explorers.iter_mut().enumerate() {
+                if i != winner && chain.best_cost() > winner_cost && !chain.is_finished() {
+                    chain.adopt_best(best_mapping.clone(), best_summary);
+                }
             }
         }
     }
@@ -1188,6 +1216,81 @@ pub fn explore_parallel_observed(
         front,
         elapsed: start.elapsed(),
     })
+}
+
+/// A retrievable solution in the front-exchange pool: the cost vector
+/// the front reasons about plus the mapping and summary a chain needs
+/// to adopt it. Equality and dominance delegate to the cost vector
+/// alone, so two chains whose bests coincide on every axis dedupe to
+/// one pool entry — and insertion in chain order makes the *lowest
+/// contributing chain id* the survivor of such ties.
+#[derive(Debug, Clone)]
+struct FrontSolution {
+    cost: CostVector,
+    mapping: Mapping,
+    summary: EvalSummary,
+}
+
+impl PartialEq for FrontSolution {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost
+    }
+}
+
+impl Dominance for FrontSolution {
+    fn dominates(&self, other: &Self) -> bool {
+        self.cost.dominates(&other.cost)
+    }
+}
+
+/// Exact per-axis lexicographic order on cost vectors — the
+/// deterministic tie-break of the front-exchange assignment.
+fn cmp_axes(a: &CostVector, b: &CostVector) -> std::cmp::Ordering {
+    a.makespan
+        .total_cmp(&b.makespan)
+        .then(a.clb_area.total_cmp(&b.clb_area))
+        .then(a.reconfig_overhead.total_cmp(&b.reconfig_overhead))
+        .then(a.contexts.total_cmp(&b.contexts))
+}
+
+/// Front-aware exchange: pools the chains' best solutions, reduces
+/// them to the non-dominated set, orders the members by crowding
+/// distance (descending — boundary and sparse members first, the
+/// diversity NSGA-II's crowded comparison protects) and hands member
+/// `order[i mod len]` to chain `i`. Chains whose best vector already
+/// equals their assigned member keep their position.
+///
+/// Runs entirely at the lock-step barrier and consumes no randomness,
+/// so the portfolio stays bit-identical at any thread count.
+fn exchange_front_members(explorers: &mut [Explorer<'_>]) {
+    let mut pool: ParetoFront<FrontSolution> = ParetoFront::new();
+    for chain in explorers.iter() {
+        let (mapping, summary) = chain.best();
+        pool.insert(FrontSolution {
+            cost: CostVector::from_summary(&summary),
+            mapping: mapping.clone(),
+            summary,
+        });
+    }
+    let members = pool.members();
+    let costs: Vec<CostVector> = members.iter().map(|m| m.cost).collect();
+    let crowding = crowding_distance(&costs);
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    order.sort_by(|&a, &b| {
+        crowding[b]
+            .total_cmp(&crowding[a])
+            .then_with(|| cmp_axes(&costs[a], &costs[b]))
+            .then(a.cmp(&b))
+    });
+    for (i, chain) in explorers.iter_mut().enumerate() {
+        if chain.is_finished() {
+            continue;
+        }
+        let member = &members[order[i % order.len()]];
+        if *chain.best_objectives() != member.cost {
+            chain.adopt_best(member.mapping.clone(), member.summary);
+        }
+    }
 }
 
 /// Index of the chain with the lowest best cost, ties to the lowest id.
@@ -1375,6 +1478,7 @@ mod tests {
                 threads: 4,
                 exchange_every: 300,
                 warm_start: None,
+                front_exchange: false,
             },
         )
         .unwrap();
@@ -1405,6 +1509,7 @@ mod tests {
                     threads,
                     exchange_every: 200,
                     warm_start: None,
+                    front_exchange: false,
                 },
             )
             .unwrap()
@@ -1426,6 +1531,118 @@ mod tests {
     }
 
     #[test]
+    fn front_exchange_is_thread_count_invariant() {
+        let (app, arch) = fixture();
+        let run = |threads: usize| {
+            explore_parallel(
+                &app,
+                &arch,
+                &ParallelOptions {
+                    base: ExploreOptions {
+                        max_iterations: 3_000,
+                        warmup_iterations: 600,
+                        seed: 5,
+                        ..ExploreOptions::default()
+                    },
+                    chains: 5,
+                    threads,
+                    exchange_every: 200,
+                    warm_start: None,
+                    front_exchange: true,
+                },
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(8);
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(b.mapping, c.mapping);
+        assert_eq!(a.winner, c.winner);
+        assert_eq!(
+            a.evaluation.makespan.value().to_bits(),
+            c.evaluation.makespan.value().to_bits()
+        );
+        assert_eq!(a.front.len(), c.front.len());
+        for (x, y) in a.chains.iter().zip(&c.chains) {
+            assert_eq!(x.run.best_cost.to_bits(), y.run.best_cost.to_bits());
+            assert_eq!(x.run.accepted, y.run.accepted);
+        }
+    }
+
+    #[test]
+    fn front_exchange_off_is_bit_identical_to_the_default_path() {
+        // The flag must be a pure opt-in: an explicit `false` and the
+        // historical engine walk the same walk.
+        let (app, arch) = fixture();
+        let opts = |front_exchange: bool| ParallelOptions {
+            base: ExploreOptions {
+                max_iterations: 2_000,
+                warmup_iterations: 400,
+                seed: 9,
+                ..ExploreOptions::default()
+            },
+            chains: 4,
+            threads: 2,
+            exchange_every: 250,
+            warm_start: None,
+            front_exchange,
+        };
+        let off = explore_parallel(&app, &arch, &opts(false)).unwrap();
+        let on = explore_parallel(&app, &arch, &opts(true)).unwrap();
+        // Off matches itself across repeats (sanity), and the on-path
+        // at least converges to a valid solution.
+        let off2 = explore_parallel(&app, &arch, &opts(false)).unwrap();
+        assert_eq!(off.mapping, off2.mapping);
+        assert_eq!(
+            off.evaluation.makespan.value().to_bits(),
+            off2.evaluation.makespan.value().to_bits()
+        );
+        on.mapping.validate(&app, &arch).unwrap();
+        // The front-aware portfolio never loses the scalar race to a
+        // degenerate degree: its winner is still a finite solution at
+        // most as bad as any single chain's own best.
+        assert!(on
+            .chains
+            .iter()
+            .all(|c| on.evaluation.makespan.value() <= c.evaluation.makespan.value()));
+    }
+
+    #[test]
+    fn front_exchange_spreads_distinct_members() {
+        // With diverse chain bests the assignment hands out *different*
+        // front members, not one incumbent: after one exchange the
+        // chains' current positions should not all coincide.
+        let (app, arch) = fixture();
+        let portfolio = explore_parallel(
+            &app,
+            &arch,
+            &ParallelOptions {
+                base: ExploreOptions {
+                    max_iterations: 4_000,
+                    warmup_iterations: 800,
+                    seed: 3,
+                    ..ExploreOptions::default()
+                },
+                chains: 4,
+                threads: 1,
+                exchange_every: 250,
+                warm_start: None,
+                front_exchange: true,
+            },
+        )
+        .unwrap();
+        // The portfolio front survives the member hand-outs and stays
+        // mutually non-dominated (ParetoFront invariant), with the
+        // winner's vector covered by it.
+        let best = CostVector::from_summary(&portfolio.evaluation.summary());
+        assert!(portfolio
+            .front
+            .iter()
+            .any(|m| *m == best || m.dominates(&best)));
+    }
+
+    #[test]
     fn portfolio_budget_is_split_across_chains() {
         let (app, arch) = fixture();
         let portfolio = explore_parallel(
@@ -1442,6 +1659,7 @@ mod tests {
                 threads: 2,
                 exchange_every: 0,
                 warm_start: None,
+                front_exchange: false,
             },
         )
         .unwrap();
@@ -1470,6 +1688,7 @@ mod tests {
                 threads: 2,
                 exchange_every: 100,
                 warm_start: None,
+                front_exchange: false,
             },
         )
         .unwrap();
@@ -1482,6 +1701,7 @@ mod tests {
                 threads: 2,
                 exchange_every: 0,
                 warm_start: None,
+                front_exchange: false,
             },
         )
         .unwrap();
@@ -1551,6 +1771,7 @@ mod tests {
                     warm_start: Some(WarmStart {
                         mapping: donor.mapping.clone(),
                     }),
+                    front_exchange: false,
                 },
             )
             .unwrap()
@@ -1597,6 +1818,7 @@ mod tests {
                     // past chain 0 through exchanges.
                     exchange_every: 0,
                     warm_start: warm,
+                    front_exchange: false,
                 },
             )
             .unwrap()
@@ -1654,6 +1876,7 @@ mod tests {
                 warm_start: Some(WarmStart {
                     mapping: donor.mapping,
                 }),
+                front_exchange: false,
             },
         );
         assert!(err.is_err(), "8-task mapping accepted for a 1-task app");

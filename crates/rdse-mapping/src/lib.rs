@@ -106,7 +106,9 @@ pub use moves::{MoveDelta, MoveKind, MoveOutcome, MoveScratch};
 pub use placement::{Placement, ResourceRef};
 // The shared multi-objective vocabulary, re-exported so downstream
 // layers (corpus, CLI, examples) speak one Pareto language.
-pub use rdse_anneal::{Cost, Dominance, ParetoFront, Scalarizer};
+pub use rdse_anneal::{
+    crowding_distance, hypervolume, non_dominated_rank, Cost, Dominance, ParetoFront, Scalarizer,
+};
 pub use schedule::{BusTransfer, GanttChart, ReconfigSlot, TaskSlot};
 pub use searchgraph::SearchGraph;
 pub use solution::{Context, Mapping};

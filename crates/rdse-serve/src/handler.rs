@@ -378,6 +378,7 @@ pub fn execute(
         threads: 1,
         exchange_every: spec.exchange_every,
         warm_start: warm,
+        front_exchange: false,
     };
     let mut aborted = false;
     let outcome = explore_parallel_observed(app, arch, &popts, arenas, |u| {

@@ -81,6 +81,7 @@ fn offline_bits(
             threads: 0,
             exchange_every: spec.exchange_every,
             warm_start: None,
+            front_exchange: false,
         },
     )
     .expect("offline exploration succeeds");

@@ -7,9 +7,11 @@
 //!               [--sections N] [--branches N] [--workload FAM] [--arch-family FAM] [--dir D]
 //! rdse explore  --app F.json --arch F.json [--iters N] [--warmup N]
 //!               [--seed N] [--lambda X] [--chains K] [--threads T]
-//!               [--exchange-every E] [--gantt] [--profile]
-//!               [--save-mapping F]
+//!               [--exchange-every E] [--bandit] [--front-exchange]
+//!               [--gantt] [--profile] [--save-mapping F]
 //!               [--objective makespan|weighted:<w_mk>,<w_area>,<w_rc>|lexi:<order>]
+//! rdse ga       --app F.json --arch F.json [--population N] [--generations N]
+//!               [--seed N] [--nsga2]
 //! rdse sweep    [--app F.json] [--clbs A,B,...] [--bus A,B,...]
 //!               [--iters N] [--seed N] [--chains K] [--threads T]
 //!               [--out F.json] [--csv F.csv]
@@ -33,6 +35,7 @@
 //! rdse submit   --addr HOST:PORT (--health | --shutdown | --get-job ID)
 //! ```
 
+use rdse::baseline::{GaOptions, GeneticExplorer};
 use rdse::corpus::{
     cross_corpus, run_corpus, smoke_corpus, ArchFamily, CorpusOptions, WorkloadFamily,
 };
@@ -74,7 +77,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          rdse generate <motion|figure1|layered|series-parallel> [--clbs N] [--seed N]\n                [--sections N] [--branches N] [--dir D]\n  \
-         rdse explore  --app F.json --arch F.json [--iters N] [--warmup N] [--seed N] [--lambda X]\n                [--chains K] [--threads T] [--exchange-every E] [--gantt] [--profile] [--save-mapping F]\n                [--objective makespan|weighted:<w_mk>,<w_area>,<w_rc>|lexi:<order>]\n  \
+         rdse explore  --app F.json --arch F.json [--iters N] [--warmup N] [--seed N] [--lambda X]\n                [--chains K] [--threads T] [--exchange-every E] [--bandit] [--front-exchange]\n                [--gantt] [--profile] [--save-mapping F]\n                [--objective makespan|weighted:<w_mk>,<w_area>,<w_rc>|lexi:<order>]\n  \
+         rdse ga       --app F.json --arch F.json [--population N] [--generations N] [--seed N] [--nsga2]\n  \
          rdse sweep    [--app F.json] [--clbs A,B,...] [--bus A,B,...] [--iters N] [--seed N]\n                [--chains K] [--threads T] [--exchange-every E] [--out F.json] [--csv F.csv]\n  \
          rdse simulate --app F.json --arch F.json --mapping F.json [--contention]\n  \
          rdse space    --app F.json\n  \
@@ -95,6 +99,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "generate" => generate(&args),
         "explore" => run_explore(&args),
+        "ga" => run_ga(&args),
         "sweep" => run_sweep(&args),
         "simulate" => run_simulate(&args),
         "space" => run_space(&args),
@@ -231,6 +236,7 @@ fn run_explore(args: &[String]) -> ExitCode {
         seed: arg_num(args, "--seed", 1),
         lambda: arg_num(args, "--lambda", 0.5),
         objective,
+        bandit_moves: args.iter().any(|a| a == "--bandit"),
         ..ExploreOptions::default()
     };
     let chains: usize = arg_num(args, "--chains", 1);
@@ -242,6 +248,7 @@ fn run_explore(args: &[String]) -> ExitCode {
             threads: arg_num(args, "--threads", 0),
             exchange_every: arg_num(args, "--exchange-every", 500),
             warm_start: None,
+            front_exchange: args.iter().any(|a| a == "--front-exchange"),
         };
         match explore_parallel(&app, &arch, &popts) {
             Ok(p) => {
@@ -356,6 +363,60 @@ fn run_explore(args: &[String]) -> ExitCode {
             }
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// The §5 baseline as a first-class command: the Ben Chehida & Auguin
+/// style genetic algorithm over spatial partitions, scalar
+/// (makespan-only) by default, NSGA-II over the full cost vector with
+/// `--nsga2`. Deterministic per seed, like `explore`.
+fn run_ga(args: &[String]) -> ExitCode {
+    let (app, arch) = match load_models(args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let nsga2 = args.iter().any(|a| a == "--nsga2");
+    let opts = GaOptions {
+        population: arg_num(args, "--population", 300),
+        generations: arg_num(args, "--generations", 200),
+        seed: arg_num(args, "--seed", 1),
+        nsga2,
+        ..GaOptions::default()
+    };
+    let outcome = match GeneticExplorer::new(&app, &arch, opts).run() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("GA failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "best makespan : {} ({} generations, {} evaluations)",
+        outcome.evaluation.makespan, outcome.generations, outcome.evaluations
+    );
+    println!(
+        "makespan bits : {:016x}",
+        outcome.evaluation.makespan.value().to_bits()
+    );
+    println!(
+        "contexts      : {} | hardware tasks: {}/{}",
+        outcome.evaluation.n_contexts,
+        outcome.evaluation.n_hw_tasks,
+        app.n_tasks()
+    );
+    println!(
+        "selection     : {}",
+        if nsga2 {
+            "NSGA-II (non-dominated rank + crowding distance)"
+        } else {
+            "scalar tournament (makespan)"
+        }
+    );
+    print_front(&outcome.front);
+    println!("wall time     : {:?}", outcome.elapsed);
     ExitCode::SUCCESS
 }
 
@@ -609,6 +670,7 @@ fn run_sweep(args: &[String]) -> ExitCode {
                     threads: inner_threads,
                     exchange_every,
                     warm_start: None,
+                    front_exchange: false,
                 };
                 match explore_parallel(&app, &arch, &popts) {
                     Ok(p) => {

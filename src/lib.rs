@@ -13,11 +13,11 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`graph`] | DAG substrate: transitive closure, longest path, (max,+) closure with Woodbury updates, linear-extension counting |
-//! | [`anneal`] | adaptive simulated annealing (Lam schedule), move-class controller, test problems |
+//! | [`anneal`] | adaptive simulated annealing (Lam schedule), move-class controller with an optional deterministic UCB operator bandit, Pareto utilities (non-dominated rank, crowding distance, hypervolume), test problems |
 //! | [`model`] | task graphs with area–time Pareto implementations; architectures (processor / DRLC / ASIC / bus) |
 //! | [`mapping`] | the paper's core: solutions, search graph, moves m1–m5, evaluation, Gantt schedules, the resumable explorer and the parallel portfolio engine (`Explorer`, `explore_parallel`) |
 //! | [`sim`] | discrete-event executor validating the analytic cost model |
-//! | [`baseline`] | GA (Ben Chehida & Auguin style), random search, hill climbing |
+//! | [`baseline`] | GA (Ben Chehida & Auguin style; scalar or NSGA-II selection), random search, hill climbing |
 //! | [`workloads`] | the 28-task motion-detection benchmark, Fig. 1 example, random DAG generators |
 //! | [`corpus`] | scenario families (workload × architecture), batch runner, four-way differential verification oracle |
 //! | [`serve`] | long-running exploration service: framed RPC + HTTP transports, sharded worker pool with warm evaluator arenas, streaming Pareto-front updates |
@@ -74,6 +74,7 @@
 //!     threads: 0, // all cores; never changes the result
 //!     exchange_every: 250,
 //!     warm_start: None, // opt-in archive seeding; None = bit-identical cold run
+//!     front_exchange: false, // opt-in diversity injection from the portfolio front
 //! })?;
 //! assert_eq!(portfolio.chains.len(), 4);
 //! # Ok(())

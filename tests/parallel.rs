@@ -24,6 +24,7 @@ fn motion_portfolio(threads: usize, chains: usize, total_iters: u64, seed: u64) 
             threads,
             exchange_every: 250,
             warm_start: None,
+            front_exchange: false,
         },
     )
     .expect("motion benchmark explores cleanly")
@@ -80,6 +81,7 @@ fn one_chain_portfolio_equals_single_chain_explore() {
             threads: 8,
             exchange_every: 250,
             warm_start: None,
+            front_exchange: false,
         },
     )
     .expect("explores cleanly");
