@@ -243,36 +243,36 @@ pub fn anneal<P: Problem, S: Schedule>(
 /// [`adopt`]: Annealer::adopt
 #[derive(Debug)]
 pub struct Annealer<P: Problem, S: Schedule, Z: Scalarizer<P::Cost> = DefaultScalar> {
-    problem: P,
-    schedule: S,
-    opts: RunOptions,
-    rng: StdRng,
-    controller: MoveClassController,
-    scalarizer: Z,
-    initial_cost: f64,
+    pub(crate) problem: P,
+    pub(crate) schedule: S,
+    pub(crate) opts: RunOptions,
+    pub(crate) rng: StdRng,
+    pub(crate) controller: MoveClassController,
+    pub(crate) scalarizer: Z,
+    pub(crate) initial_cost: f64,
     /// Scalarized cost of the current solution.
-    cost: f64,
+    pub(crate) cost: f64,
     /// Full cost vector of the current solution.
-    cost_objectives: P::Cost,
+    pub(crate) cost_objectives: P::Cost,
     /// Scalarized cost of the best solution.
-    best_cost: f64,
+    pub(crate) best_cost: f64,
     /// Full cost vector of the best solution.
-    best_objectives: P::Cost,
-    best_snapshot: P::Snapshot,
+    pub(crate) best_objectives: P::Cost,
+    pub(crate) best_snapshot: P::Snapshot,
     /// Pareto archive over accepted solutions (off by default).
-    front: Option<ParetoFront<P::Cost>>,
-    last_improvement: u64,
-    accepted: u64,
-    rejected: u64,
-    infeasible: u64,
-    warmup: OnlineStats,
-    trace: Vec<TracePoint>,
-    stop: Option<StopReason>,
+    pub(crate) front: Option<ParetoFront<P::Cost>>,
+    pub(crate) last_improvement: u64,
+    pub(crate) accepted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) infeasible: u64,
+    pub(crate) warmup: OnlineStats,
+    pub(crate) trace: Vec<TracePoint>,
+    pub(crate) stop: Option<StopReason>,
     /// Inverse temperature; 0 during warm-up.
-    s: f64,
-    iter: u64,
+    pub(crate) s: f64,
+    pub(crate) iter: u64,
     /// Wall-clock time accumulated over completed segments.
-    elapsed: Duration,
+    pub(crate) elapsed: Duration,
 }
 
 impl<P: Problem, S: Schedule> Annealer<P, S> {
@@ -392,6 +392,17 @@ impl<P: Problem, S: Schedule, Z: Scalarizer<P::Cost>> Annealer<P, S, Z> {
         &self.problem
     }
 
+    /// Mutable access to the problem between steps — for configuring
+    /// execution machinery (e.g. installing a scoring pool for
+    /// [`run_segment_speculative`]). Mutating the *solution* through
+    /// this reference desynchronizes the walk; restrict changes to
+    /// knobs that cannot affect results.
+    ///
+    /// [`run_segment_speculative`]: Annealer::run_segment_speculative
+    pub fn problem_mut(&mut self) -> &mut P {
+        &mut self.problem
+    }
+
     /// Why the run stopped, if it has.
     pub fn stop_reason(&self) -> Option<StopReason> {
         if let Some(stop) = self.stop {
@@ -485,7 +496,7 @@ impl<P: Problem, S: Schedule, Z: Scalarizer<P::Cost>> Annealer<P, S, Z> {
     }
 
     /// One iteration of the loop; mirrors the paper's Fig. 2 structure.
-    fn step_inner(&mut self, segment_start: Instant) {
+    pub(crate) fn step_inner(&mut self, segment_start: Instant) {
         let iter = self.iter;
         if iter == self.opts.warmup_iterations && iter > 0 {
             self.schedule

@@ -1,0 +1,600 @@
+//! Speculative move evaluation: scoring the next W proposals in
+//! parallel without forking the walk.
+//!
+//! The annealing loop is inherently sequential — each acceptance
+//! decision feeds the next proposal through the RNG stream and the
+//! current solution. But the *common case* of a converging run is
+//! rejection, and a rejected move commutes with everything after it:
+//! the state, the RNG and the controller all leave a rejected step
+//! exactly as they entered it (plus the step's own fixed RNG
+//! consumption and bookkeeping). So a **rejected prefix is exactly the
+//! speculation that commutes**:
+//!
+//! 1. **Draw** the next W proposals from the RNG stream in order,
+//!    against the current state, *hypothesizing that each is rejected*
+//!    (one acceptance draw consumed, one rejection recorded) — because
+//!    under that hypothesis the state never changes, all W proposals
+//!    see exactly the state the sequential walk would have shown them.
+//! 2. **Score** all W candidates concurrently against the current
+//!    state (the problem fans this out to a thread pool).
+//! 3. **Replay** the accept/reject decisions sequentially in proposal
+//!    order. Every decision that *is* a rejection confirms the
+//!    hypothesis — nothing to fix. The first decision that is not
+//!    (an acceptance, or an evaluation-infeasible proposal) truncates
+//!    the round: the RNG and controller are restored from checkpoints
+//!    taken in step 1 to the exact state the sequential walk would
+//!    hold after that step, the move is committed, and the remaining
+//!    speculated candidates are discarded.
+//!
+//! The accept sequence, RNG consumption, controller statistics, trace
+//! and final solution are therefore **bit-identical to the sequential
+//! walk at any worker count** — parallelism only changes how fast the
+//! wasted tail of each round is thrown away. The expected useful
+//! prefix per round is `(1 − (1 − p)^W) / p` for acceptance rate `p`,
+//! approaching W as the run freezes — speculation pays off exactly in
+//! the long rejection-dominated tail where the sequential walk spends
+//! most of its time.
+
+use crate::controller::MoveClassController;
+use crate::cost::Scalarizer;
+use crate::problem::Problem;
+use crate::runner::{Annealer, StopReason};
+use crate::schedule::{IterationOutcome, Schedule};
+use crate::TracePoint;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use std::time::Instant;
+
+/// A problem whose proposals can be drawn and scored separately.
+///
+/// [`Problem::try_move`] conflates three things: drawing a proposal
+/// from the RNG, scoring it, and applying it. Speculation needs them
+/// apart — W proposals are drawn against one state, scored in
+/// parallel, and at most one is applied. Implementations must uphold:
+///
+/// * [`propose_candidate`](SpeculativeProblem::propose_candidate)
+///   consumes **exactly** the RNG draws `try_move` would for the same
+///   state and class, and leaves the state unchanged;
+/// * [`score_candidates`](SpeculativeProblem::score_candidates)
+///   returns for each candidate **exactly** the cost `try_move` would
+///   have produced (`None` where `try_move` would return `None` after
+///   proposing), and leaves the state unchanged;
+/// * [`commit_candidate`](SpeculativeProblem::commit_candidate) leaves
+///   the state bit-identical to `try_move` having applied that
+///   proposal.
+pub trait SpeculativeProblem: Problem {
+    /// A drawn-but-unapplied proposal: where the move would put its
+    /// task, without the move having happened.
+    type Candidate;
+
+    /// Draws a proposal of `class` from `rng` against the current
+    /// state, consuming exactly the draws [`Problem::try_move`] would.
+    /// Returns `None` for a proposal-infeasible draw (`try_move` would
+    /// have returned `None` before evaluating). The state is left
+    /// unchanged either way.
+    fn propose_candidate(&mut self, rng: &mut dyn RngCore, class: usize)
+        -> Option<Self::Candidate>;
+
+    /// Scores every candidate against the current state, writing one
+    /// verdict per candidate into `out` (cleared first): `Some(cost)`
+    /// exactly as [`Problem::try_move`] would report, or `None` where
+    /// evaluation would have failed. Implementations are free to fan
+    /// this out across threads — verdicts must not depend on the
+    /// worker count.
+    fn score_candidates(
+        &mut self,
+        candidates: &[Self::Candidate],
+        out: &mut Vec<Option<Self::Cost>>,
+    );
+
+    /// Applies candidate `index` of the last
+    /// [`score_candidates`](SpeculativeProblem::score_candidates)
+    /// slate to the current state.
+    fn commit_candidate(&mut self, candidate: &Self::Candidate, index: usize);
+
+    /// Observes one finished speculation round: `speculated` candidates
+    /// were scored, `committed` of their verdicts were consumed by the
+    /// replay, `wasted` were discarded past the truncation point.
+    fn note_round(&mut self, _speculated: u64, _committed: u64, _wasted: u64) {}
+}
+
+/// What phase A hypothesized for one speculated iteration.
+enum EntryKind {
+    /// The proposal itself was infeasible; recorded immediately (this
+    /// is not a hypothesis — it is certain).
+    Infeasible,
+    /// A candidate was drawn and hypothesized rejected; `slot` indexes
+    /// the scoring slate.
+    Scored {
+        slot: usize,
+        /// RNG state before the speculative acceptance draw — restored
+        /// when the real decision turns out not to consume one.
+        rng_before: StdRng,
+        /// The speculative acceptance draw itself.
+        u: f64,
+    },
+}
+
+struct Entry {
+    class: usize,
+    kind: EntryKind,
+    /// RNG state after this iteration under the rejection hypothesis —
+    /// restored when a stop condition truncates the round on a
+    /// confirmed-rejected (or proposal-infeasible) entry.
+    rng_exit: StdRng,
+}
+
+/// Reusable per-segment scratch: no steady-state allocation per round.
+#[derive(Default)]
+struct SpecScratch<C> {
+    entries: Vec<Entry>,
+    outs: Vec<Option<C>>,
+    /// Controller state at round start; on truncation the controller
+    /// is rebuilt from it by replaying the confirmed records.
+    ctrl_start: Option<MoveClassController>,
+}
+
+impl<P, S, Z> Annealer<P, S, Z>
+where
+    P: SpeculativeProblem,
+    S: Schedule,
+    Z: Scalarizer<P::Cost>,
+{
+    /// Runs up to `steps` iterations like [`run_segment`], scoring up
+    /// to `width` speculative proposals per round through
+    /// [`SpeculativeProblem::score_candidates`]. Bit-identical to
+    /// [`run_segment`] for every `width` and any worker count backing
+    /// the problem's scoring. `width <= 1` delegates to the sequential
+    /// loop. The warm-up phase always runs sequentially: at infinite
+    /// temperature every feasible move is accepted, so there is no
+    /// rejected prefix to speculate on.
+    ///
+    /// [`run_segment`]: Annealer::run_segment
+    pub fn run_segment_speculative(&mut self, steps: u64, width: usize) -> bool {
+        if width <= 1 {
+            return self.run_segment(steps);
+        }
+        let segment_start = Instant::now();
+        let mut done = 0u64;
+        while done < steps && !self.is_finished() && self.iter < self.opts.warmup_iterations {
+            self.step_inner(segment_start);
+            done += 1;
+        }
+        let mut candidates: Vec<P::Candidate> = Vec::new();
+        let mut scratch: SpecScratch<P::Cost> = SpecScratch {
+            entries: Vec::new(),
+            outs: Vec::new(),
+            ctrl_start: None,
+        };
+        while done < steps && !self.is_finished() {
+            done += self.speculative_round(
+                segment_start,
+                width,
+                steps - done,
+                &mut candidates,
+                &mut scratch,
+            );
+        }
+        self.elapsed += segment_start.elapsed();
+        !self.is_finished()
+    }
+
+    /// One speculation round; returns the number of iterations
+    /// consumed (at least 1).
+    fn speculative_round(
+        &mut self,
+        segment_start: Instant,
+        width: usize,
+        remaining: u64,
+        candidates: &mut Vec<P::Candidate>,
+        scratch: &mut SpecScratch<P::Cost>,
+    ) -> u64 {
+        // The cooling boundary fires at the top of the first
+        // post-warm-up iteration, exactly as in the sequential loop.
+        if self.iter == self.opts.warmup_iterations && self.iter > 0 {
+            self.schedule
+                .begin(self.warmup.mean(), self.warmup.std_dev());
+        }
+        let budget = remaining.min(self.opts.max_iterations - self.iter);
+        debug_assert!(budget > 0);
+
+        // Phase A: draw up to `width` candidates (plus any interleaved
+        // proposal-infeasible iterations) under the all-rejected
+        // hypothesis. The state never changes, so every draw sees
+        // exactly what the sequential walk would have shown it.
+        scratch.entries.clear();
+        candidates.clear();
+        match &mut scratch.ctrl_start {
+            Some(ctrl) => ctrl.clone_from(&self.controller),
+            none => *none = Some(self.controller.clone()),
+        }
+        while candidates.len() < width && (scratch.entries.len() as u64) < budget {
+            let class = self.controller.pick(&mut self.rng);
+            match self.problem.propose_candidate(&mut self.rng, class) {
+                None => {
+                    self.controller.record(class, false, false);
+                    scratch.entries.push(Entry {
+                        class,
+                        kind: EntryKind::Infeasible,
+                        rng_exit: self.rng.clone(),
+                    });
+                }
+                Some(candidate) => {
+                    let rng_before = self.rng.clone();
+                    let u = self.rng.random::<f64>();
+                    self.controller.record_delta(class, true, false, 0.0);
+                    scratch.entries.push(Entry {
+                        class,
+                        kind: EntryKind::Scored {
+                            slot: candidates.len(),
+                            rng_before,
+                            u,
+                        },
+                        rng_exit: self.rng.clone(),
+                    });
+                    candidates.push(candidate);
+                }
+            }
+        }
+
+        // Phase B: score the whole slate against the unchanged state.
+        self.problem.score_candidates(candidates, &mut scratch.outs);
+
+        // Phase C: replay the decisions in proposal order.
+        let speculated = candidates.len() as u64;
+        let mut consumed_scored = 0u64;
+        let mut consumed = 0u64;
+        let total = scratch.entries.len();
+        for k in 0..total {
+            let iter = self.iter;
+            let last = k + 1 == total;
+            let outcome;
+            let mut truncate = false;
+            let class = scratch.entries[k].class;
+            // Checkpoint copies are 32-byte memcpys; taking them up
+            // front keeps the replay free of borrows into `scratch`.
+            let rng_exit = scratch.entries[k].rng_exit.clone();
+            let scored = match scratch.entries[k].kind {
+                EntryKind::Infeasible => None,
+                EntryKind::Scored {
+                    slot,
+                    ref rng_before,
+                    u,
+                } => Some((slot, rng_before.clone(), u)),
+            };
+            match scored {
+                None => {
+                    self.infeasible += 1;
+                    outcome = IterationOutcome {
+                        cost: self.cost,
+                        accepted: false,
+                        feasible: false,
+                    };
+                }
+                Some((slot, rng_before, u)) => {
+                    match scratch.outs[slot].clone() {
+                        None => {
+                            // Evaluation-infeasible: the sequential
+                            // walk consumed no acceptance draw and
+                            // recorded an infeasible proposal.
+                            self.rng = rng_before;
+                            self.rebuild_controller(scratch, k, |ctrl| {
+                                ctrl.record(class, false, false);
+                            });
+                            self.infeasible += 1;
+                            consumed_scored += 1;
+                            truncate = true;
+                            outcome = IterationOutcome {
+                                cost: self.cost,
+                                accepted: false,
+                                feasible: false,
+                            };
+                        }
+                        Some(new_objectives) => {
+                            let new_cost = self.scalarizer.scalarize(&new_objectives);
+                            let delta = self.scalarizer.delta(
+                                &new_objectives,
+                                &self.cost_objectives,
+                                new_cost - self.cost,
+                            );
+                            // Post-warm-up: s_eff is the live inverse
+                            // temperature, updated entry by entry. An
+                            // improvement or a zero inverse temperature
+                            // accepts without consuming the draw.
+                            let (accept, used_u) = if delta <= 0.0 || self.s == 0.0 {
+                                (true, false)
+                            } else {
+                                (u < (-delta * self.s).exp(), true)
+                            };
+                            consumed_scored += 1;
+                            if accept {
+                                self.rng = if used_u { rng_exit.clone() } else { rng_before };
+                                self.rebuild_controller(scratch, k, |ctrl| {
+                                    ctrl.record_delta(class, true, true, delta);
+                                });
+                                self.problem.commit_candidate(&candidates[slot], slot);
+                                let vector_changed = new_objectives != self.cost_objectives;
+                                self.cost = new_cost;
+                                self.cost_objectives = new_objectives;
+                                self.accepted += 1;
+                                if vector_changed {
+                                    if let Some(front) = &mut self.front {
+                                        front.insert(self.cost_objectives.clone());
+                                    }
+                                }
+                                let improved = self.scalarizer.delta(
+                                    &self.cost_objectives,
+                                    &self.best_objectives,
+                                    self.cost - self.best_cost,
+                                ) < 0.0;
+                                if improved {
+                                    self.best_cost = self.cost;
+                                    self.best_objectives = self.cost_objectives.clone();
+                                    self.best_snapshot = self.problem.snapshot();
+                                    self.last_improvement = iter;
+                                }
+                                truncate = true;
+                                outcome = IterationOutcome {
+                                    cost: self.cost,
+                                    accepted: true,
+                                    feasible: true,
+                                };
+                            } else {
+                                // Hypothesis confirmed: the RNG and
+                                // controller already hold this entry's
+                                // exit state on the all-rejected path.
+                                self.rejected += 1;
+                                outcome = IterationOutcome {
+                                    cost: self.cost,
+                                    accepted: false,
+                                    feasible: true,
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+
+            self.s = self.schedule.update(outcome);
+            if self.opts.trace_every > 0 && iter.is_multiple_of(self.opts.trace_every) {
+                self.trace.push(TracePoint {
+                    iteration: iter,
+                    cost: self.cost,
+                    best_cost: self.best_cost,
+                    inverse_temperature: self.s,
+                    observables: self.problem.observables(),
+                });
+            }
+            self.iter += 1;
+            consumed += 1;
+
+            let stopped = self.post_step_stops(segment_start);
+            if stopped && !truncate && !last {
+                // Stopping on a confirmed-rejected (or proposal-
+                // infeasible) entry mid-round: the global RNG and
+                // controller sit at the end of phase A — rewind them
+                // to this entry's exit state. The hypothesized records
+                // of entries 0..=k are all confirmed exact, so the
+                // rebuild just replays them.
+                self.rng = rng_exit;
+                self.rebuild_controller(scratch, k + 1, |_| {});
+            }
+            if stopped || truncate {
+                break;
+            }
+        }
+
+        self.problem
+            .note_round(speculated, consumed_scored, speculated - consumed_scored);
+        consumed
+    }
+
+    /// Restores the controller to its round-start state, replays the
+    /// hypothesized records of entries `0..k` (which are confirmed
+    /// exact up to there), then applies `actual` for the divergent
+    /// entry.
+    fn rebuild_controller(
+        &mut self,
+        scratch: &mut SpecScratch<P::Cost>,
+        k: usize,
+        actual: impl FnOnce(&mut MoveClassController),
+    ) {
+        let start = scratch
+            .ctrl_start
+            .as_mut()
+            .expect("round-start controller snapshot");
+        std::mem::swap(&mut self.controller, start);
+        for entry in &scratch.entries[..k] {
+            match entry.kind {
+                EntryKind::Infeasible => self.controller.record(entry.class, false, false),
+                EntryKind::Scored { .. } => {
+                    self.controller.record_delta(entry.class, true, false, 0.0)
+                }
+            }
+        }
+        actual(&mut self.controller);
+    }
+
+    /// The post-iteration stop checks of the sequential loop, in the
+    /// same order (only ever called post-warm-up). Returns whether a
+    /// stop condition fired.
+    fn post_step_stops(&mut self, segment_start: Instant) -> bool {
+        if let Some(target) = self.opts.target_cost {
+            if self.best_cost <= target {
+                self.stop = Some(StopReason::TargetReached);
+                return true;
+            }
+        }
+        if self.opts.freeze_window > 0
+            && self.iter - self.last_improvement > self.opts.freeze_window
+            && self.schedule.acceptance().is_some_and(|a| a < 0.01)
+        {
+            self.stop = Some(StopReason::Frozen);
+            return true;
+        }
+        if self.iter.is_multiple_of(256) {
+            if let Some(budget) = self.opts.time_budget {
+                if self.elapsed + segment_start.elapsed() >= budget {
+                    self.stop = Some(StopReason::TimeBudget);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::problem::Problem;
+    use crate::problems::bipartition::Bipartition;
+    use crate::runner::{Annealer, RunOptions, StopReason};
+    use crate::schedule::LamSchedule;
+
+    fn opts(seed: u64) -> RunOptions {
+        RunOptions {
+            max_iterations: 20_000,
+            warmup_iterations: 1_000,
+            seed,
+            trace_every: 97,
+            ..RunOptions::default()
+        }
+    }
+
+    fn annealer(seed: u64, opts: RunOptions) -> Annealer<Bipartition, LamSchedule> {
+        let mut a = Annealer::new(
+            Bipartition::two_cliques(8, seed ^ 0x5a),
+            LamSchedule::new(1.0),
+            opts,
+        );
+        a.track_front();
+        a
+    }
+
+    /// Asserts two annealers hold bit-identical walk state: solution,
+    /// costs, counters, RNG position and trace.
+    fn assert_walk_equal(
+        a: &Annealer<Bipartition, LamSchedule>,
+        b: &Annealer<Bipartition, LamSchedule>,
+    ) {
+        assert_eq!(a.iter, b.iter);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.infeasible, b.infeasible);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        assert_eq!(a.s.to_bits(), b.s.to_bits());
+        assert_eq!(a.rng, b.rng, "RNG position diverged");
+        assert_eq!(a.problem().snapshot(), b.problem().snapshot());
+        assert_eq!(a.best_snapshot, b.best_snapshot);
+        assert_eq!(a.last_improvement, b.last_improvement);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.stop, b.stop);
+    }
+
+    #[test]
+    fn speculative_walk_is_bit_identical_to_sequential() {
+        for seed in [1u64, 17, 42] {
+            for width in [2usize, 4, 8] {
+                let mut seq = annealer(seed, opts(seed));
+                seq.run_segment(u64::MAX);
+                let mut spec = annealer(seed, opts(seed));
+                spec.run_segment_speculative(u64::MAX, width);
+                assert_walk_equal(&seq, &spec);
+            }
+        }
+    }
+
+    #[test]
+    fn width_one_delegates_to_sequential() {
+        let mut seq = annealer(7, opts(7));
+        seq.run_segment(u64::MAX);
+        let mut spec = annealer(7, opts(7));
+        spec.run_segment_speculative(u64::MAX, 1);
+        assert_walk_equal(&seq, &spec);
+    }
+
+    #[test]
+    fn ragged_segments_and_mode_switches_do_not_perturb_the_walk() {
+        // Alternate speculative and sequential segments with ragged
+        // sizes: if the RNG or controller were off by even one draw at
+        // a segment boundary, the walks would fork.
+        for seed in [1u64, 17, 42] {
+            let mut seq = annealer(seed, opts(seed));
+            seq.run_segment(u64::MAX);
+            let mut spec = annealer(seed, opts(seed));
+            let mut speculative = true;
+            for seg in [1u64, 7, 350, 999, 1, 13, 4096, u64::MAX] {
+                let more = if speculative {
+                    spec.run_segment_speculative(seg, 5)
+                } else {
+                    spec.run_segment(seg)
+                };
+                speculative = !speculative;
+                if !more {
+                    break;
+                }
+            }
+            assert_walk_equal(&seq, &spec);
+        }
+    }
+
+    #[test]
+    fn target_cost_stop_truncates_identically() {
+        let make = |seed| {
+            let o = RunOptions {
+                max_iterations: 200_000,
+                warmup_iterations: 100,
+                target_cost: Some(1.0),
+                seed,
+                ..RunOptions::default()
+            };
+            annealer(seed, o)
+        };
+        for seed in [4u64, 17] {
+            let mut seq = make(seed);
+            seq.run_segment(u64::MAX);
+            let mut spec = make(seed);
+            spec.run_segment_speculative(u64::MAX, 8);
+            assert_eq!(spec.stop_reason(), Some(StopReason::TargetReached));
+            assert_walk_equal(&seq, &spec);
+        }
+    }
+
+    #[test]
+    fn freeze_stop_truncates_identically() {
+        let make = |seed| {
+            let o = RunOptions {
+                max_iterations: 400_000,
+                warmup_iterations: 500,
+                freeze_window: 2_000,
+                seed,
+                ..RunOptions::default()
+            };
+            annealer(seed, o)
+        };
+        for seed in [3u64, 42] {
+            let mut seq = make(seed);
+            seq.run_segment(u64::MAX);
+            let mut spec = make(seed);
+            spec.run_segment_speculative(u64::MAX, 6);
+            assert_walk_equal(&seq, &spec);
+        }
+    }
+
+    #[test]
+    fn bandit_and_uniform_controllers_replay_identically() {
+        for (adaptive, bandit) in [(false, false), (true, true), (false, true)] {
+            let o = RunOptions {
+                adaptive_moves: adaptive,
+                bandit_moves: bandit,
+                ..opts(17)
+            };
+            let mut seq = annealer(17, o.clone());
+            seq.run_segment(u64::MAX);
+            let mut spec = annealer(17, o);
+            spec.run_segment_speculative(u64::MAX, 4);
+            assert_walk_equal(&seq, &spec);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Throughput of speculative parallel annealing against the
+//! sequential engine, on the paper's fig3 motion graph and the
+//! 200-task layered DAG.
+//!
+//! For each workload the same walk runs at speculation width W ∈
+//! {1, 4, 8}; every speculative run is asserted **bit-identical** to
+//! the sequential one (mapping, makespan bits, accept/reject counts)
+//! before anything is timed. Three kinds of rows append to
+//! `RDSE_BENCH_JSON`:
+//!
+//! * absolute wall-clock rows (`seq_*`, `w4_*`, `w8_*`, steps/s —
+//!   gated by `bench_compare`),
+//! * the wall-clock ratio `speedup_*_w8` (informational `ratio`
+//!   field — wall speedup needs real cores, so it is **not** gated;
+//!   on a single-core runner speculation is pure overhead and the
+//!   ratio honestly lands below 1),
+//! * the gated `useful_prefix_layered200_w8` row: the mean number of
+//!   walk steps each speculation round commits (thread-invariant — a
+//!   pure function of the walk). Each round's critical path on a
+//!   wide-enough pool is about two delta evaluations (one resync of
+//!   the previous round's commit, one chunk candidate), so a prefix
+//!   of P models a ~P/2 wall speedup once the pool has cores to
+//!   spend. Being deterministic, the row gates the *algorithmic*
+//!   payoff of speculation on every runner, single-core CI included
+//!   (the `warm_vs_cold/cold_over_warm` idiom: a dimensionless,
+//!   deterministic quantity in the `steps_per_sec` field on purpose).
+//!
+//! Knobs: `RDSE_BENCH_STEPS` overrides the per-run iteration budget.
+
+use rdse_mapping::{ExploreOptions, ExploreOutcome, Explorer};
+use rdse_model::{Architecture, TaskGraph};
+use rdse_workloads::{epicure_architecture, layered_dag, motion_detection_app, LayeredDagConfig};
+use std::io::Write as _;
+
+fn append_record(record: &str) {
+    let Ok(path) = std::env::var("RDSE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| writeln!(file, "{record}"));
+    if let Err(e) = written {
+        eprintln!("warning: cannot append bench record: {e}");
+    }
+}
+
+fn run_chain(app: &TaskGraph, arch: &Architecture, iters: u64, w: usize) -> ExploreOutcome {
+    let opts = ExploreOptions {
+        max_iterations: iters,
+        warmup_iterations: iters / 10,
+        seed: 11,
+        speculate: w,
+        ..ExploreOptions::default()
+    };
+    let mut chain = Explorer::new(app, arch, &opts).expect("initial solution exists");
+    while chain.run_segment(4096) {}
+    chain.into_outcome()
+}
+
+fn assert_same_walk(seq: &ExploreOutcome, spec: &ExploreOutcome, label: &str) {
+    assert_eq!(seq.mapping, spec.mapping, "{label}: mapping diverged");
+    assert_eq!(
+        seq.evaluation.makespan.value().to_bits(),
+        spec.evaluation.makespan.value().to_bits(),
+        "{label}: makespan bits diverged"
+    );
+    assert_eq!(seq.run.accepted, spec.run.accepted, "{label}: accept count");
+    assert_eq!(seq.run.rejected, spec.run.rejected, "{label}: reject count");
+}
+
+fn run_workload(label: &str, app: &TaskGraph, arch: &Architecture, iters: u64) -> ExploreOutcome {
+    // Parity before timing: a short walk at every width must match the
+    // sequential walk bit for bit.
+    let parity_iters = iters.min(3_000);
+    let parity_seq = run_chain(app, arch, parity_iters, 1);
+    for w in [4, 8] {
+        let parity_spec = run_chain(app, arch, parity_iters, w);
+        assert_same_walk(&parity_seq, &parity_spec, &format!("{label} parity W={w}"));
+    }
+
+    let seq = run_chain(app, arch, iters, 1);
+    let mut rates = Vec::new();
+    for (name, w) in [("seq", 1usize), ("w4", 4), ("w8", 8)] {
+        let out = if w == 1 {
+            seq.clone()
+        } else {
+            run_chain(app, arch, iters, w)
+        };
+        if w > 1 {
+            assert_same_walk(&seq, &out, &format!("{label} W={w}"));
+        }
+        let secs = out.run.elapsed.as_secs_f64().max(1e-9);
+        let rate = out.run.iterations as f64 / secs;
+        println!(
+            "bench speculate/{name}_{label} {rate:>12.0} steps/s \
+             ({} steps in {:?})",
+            out.run.iterations, out.run.elapsed
+        );
+        append_record(&format!(
+            "{{\"name\":\"speculate/{name}_{label}\",\"steps_per_sec\":{rate:.0},\
+             \"steps\":{},\"seconds\":{:.6}}}",
+            out.run.iterations, secs
+        ));
+        rates.push((w, rate, out));
+    }
+
+    let seq_rate = rates[0].1;
+    let w8_rate = rates[2].1;
+    let speedup = w8_rate / seq_rate;
+    println!(
+        "bench speculate/speedup_{label}_w8 {speedup:>10.2}x (wall, {} cores)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    append_record(&format!(
+        "{{\"name\":\"speculate/speedup_{label}_w8\",\"ratio\":{speedup:.3}}}"
+    ));
+    rates.pop().expect("w8 row exists").2
+}
+
+fn main() {
+    let iters: u64 = std::env::var("RDSE_BENCH_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+
+    let fig3_app = motion_detection_app();
+    let fig3_arch = epicure_architecture(2000);
+    run_workload("fig3", &fig3_app, &fig3_arch, iters);
+
+    let layered = layered_dag(
+        &LayeredDagConfig {
+            layers: 20,
+            width: 10,
+            edge_percent: 30,
+            hw_percent: 60,
+        },
+        42,
+    );
+    let layered_arch = epicure_architecture(4000);
+    let w8 = run_workload("layered200", &layered, &layered_arch, iters);
+
+    // The deterministic gate: how many walk steps each speculation
+    // round extracts at W=8. Pool-size invariant, so identical on
+    // every runner; ≥ 1.5 is the bar for speculation paying for its
+    // ~2-evaluation round critical path on a multi-core pool.
+    let stats = w8.eval_stats;
+    let prefix = stats.mean_useful_prefix();
+    println!(
+        "bench speculate/useful_prefix_layered200_w8 {prefix:>8.3} steps/round \
+         ({} committed over {} rounds, {} wasted)",
+        stats.spec_committed, stats.spec_rounds, stats.spec_wasted
+    );
+    append_record(&format!(
+        "{{\"name\":\"speculate/useful_prefix_layered200_w8\",\"steps_per_sec\":{prefix:.3},\
+         \"steps\":{},\"seconds\":0}}",
+        stats.spec_committed
+    ));
+}

@@ -7,7 +7,9 @@
 //! bench harness (`RDSE_BENCH_JSON`). Records are matched by `name`;
 //! for every pair carrying a `steps_per_sec` field the relative change
 //! is printed, and the process exits non-zero when any drops by more
-//! than the allowed regression (default 25%). Rows present in only one
+//! than the allowed regression (default 25%). A passing run ends with
+//! a one-line summary (rows compared / improved / regressed) so the
+//! tail of a green CI log still says what was checked. Rows present in only one
 //! of the files are listed by name on both sides — a bench that
 //! silently stopped running (or a baseline row nothing produces
 //! anymore) is drift worth seeing, even though only regressions fail
@@ -166,4 +168,16 @@ fn main() {
         eprintln!("refresh BENCH_main.json deliberately if the step-cost change is intentional");
         std::process::exit(1);
     }
+    let improved = baseline
+        .iter()
+        .filter(|(name, base_rate)| {
+            current
+                .iter()
+                .any(|(n, cur_rate)| n == name && cur_rate > base_rate)
+        })
+        .count();
+    println!(
+        "bench_compare: {compared} row(s) compared, {improved} improved, 0 regressed \
+         beyond -{max_regression:.0}%"
+    );
 }

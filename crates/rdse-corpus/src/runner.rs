@@ -13,7 +13,7 @@
 use crate::oracle::{differential_check, front_check};
 use crate::scenario::ScenarioSpec;
 use rdse_mapping::{
-    explore_parallel, hypervolume, Cost, CostVector, ExploreOptions, ParallelOptions,
+    explore_parallel, hypervolume, Cost, CostVector, ExploreOptions, ParallelOptions, Pool,
 };
 use rdse_model::units::Micros;
 use std::sync::Mutex;
@@ -379,27 +379,35 @@ pub fn run_corpus(
     let results: Mutex<Vec<ScenarioRecord>> = Mutex::new(Vec::with_capacity(specs.len()));
     let failure: Mutex<Option<CorpusError>> = Mutex::new(None);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                // A failure anywhere aborts the remaining corpus: a
-                // matrix with a diverging scenario is worthless.
-                if failure.lock().expect("failure lock").is_some() {
-                    break;
-                }
-                let Some((index, spec)) = work.lock().expect("work queue lock").pop() else {
-                    break;
-                };
-                match run_scenario(index, &spec, opts) {
-                    Ok(record) => results.lock().expect("results lock").push(record),
-                    Err(e) => {
-                        *failure.lock().expect("failure lock") = Some(e);
-                        break;
-                    }
-                }
-            });
+    // Fan out on the persistent process-wide pool (the same drainer
+    // closure per worker as the historical per-batch thread spawn; the
+    // sort below keeps the report thread-count invariant).
+    let drainer = || loop {
+        // A failure anywhere aborts the remaining corpus: a
+        // matrix with a diverging scenario is worthless.
+        if failure.lock().expect("failure lock").is_some() {
+            break;
         }
-    });
+        let Some((index, spec)) = work.lock().expect("work queue lock").pop() else {
+            break;
+        };
+        match run_scenario(index, &spec, opts) {
+            Ok(record) => results.lock().expect("results lock").push(record),
+            Err(e) => {
+                *failure.lock().expect("failure lock") = Some(e);
+                break;
+            }
+        }
+    };
+    if threads == 1 {
+        drainer();
+    } else {
+        Pool::global().run(
+            (0..threads)
+                .map(|_| Box::new(drainer) as Box<dyn FnOnce() + Send + '_>)
+                .collect(),
+        );
+    }
 
     if let Some(e) = failure.into_inner().expect("failure lock") {
         return Err(e);

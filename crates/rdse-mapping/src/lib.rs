@@ -102,13 +102,16 @@ pub use explorer::{
     ParallelOptions, ParallelOutcome, SegmentUpdate, WarmStart,
 };
 pub use init::random_initial;
-pub use moves::{MoveDelta, MoveKind, MoveOutcome, MoveScratch};
+pub use moves::{MoveDelta, MoveKind, MoveOutcome, MoveScratch, SpecCandidate};
 pub use placement::{Placement, ResourceRef};
 // The shared multi-objective vocabulary, re-exported so downstream
 // layers (corpus, CLI, examples) speak one Pareto language.
 pub use rdse_anneal::{
     crowding_distance, hypervolume, non_dominated_rank, Cost, Dominance, ParetoFront, Scalarizer,
 };
+// The persistent work-stealing pool every fan-out in the workspace
+// runs on, re-exported so callers can share one pool across layers.
+pub use rdse_pool::Pool;
 pub use schedule::{BusTransfer, GanttChart, ReconfigSlot, TaskSlot};
 pub use searchgraph::SearchGraph;
 pub use solution::{Context, Mapping};

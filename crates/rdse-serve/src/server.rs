@@ -4,15 +4,15 @@
 use crate::limits::Limits;
 use crate::protocol::{obj, ErrorCode, ServeError};
 use crate::transport;
-use crate::worker::{self, JobRequest, WorkerMsg};
+use crate::worker::{self, JobRequest, ShardState};
+use rdse_mapping::Pool;
 use rdse_store::{ResultStore, SyncPolicy};
 use serde::{Serialize, Value};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
-use std::sync::mpsc::Sender;
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 
 /// How a server is stood up.
@@ -23,7 +23,7 @@ pub struct ServeConfig {
     /// Port to bind; `0` asks the OS for a free port — read the real
     /// one back from [`Server::local_addr`].
     pub port: u16,
-    /// Worker threads (each with its own warm model/arena cache).
+    /// Worker pool lanes (each with its own warm model/arena cache).
     pub workers: usize,
     /// Per-request resource limits.
     pub limits: Limits,
@@ -188,7 +188,10 @@ pub(crate) struct Core {
 /// State shared with connection threads.
 pub(crate) struct Ctx {
     pub core: Arc<Core>,
-    pub senders: Vec<Mutex<Sender<WorkerMsg>>>,
+    /// The job pool: one pinned lane per shard, so jobs hashing to one
+    /// shard run serially in submission order on one worker.
+    pub pool: Pool,
+    pub shards: Arc<Vec<Mutex<ShardState>>>,
     pub sessions: Arc<SessionGauge>,
     pub shutdown: AtomicBool,
     pub addr: SocketAddr,
@@ -236,8 +239,9 @@ impl Ctx {
         ])
     }
 
-    /// Queues a job on its shard. On failure the request is handed
-    /// back so the caller can report the error on its own sink.
+    /// Queues a job on its shard's pinned pool lane. On rejection the
+    /// request is handed back so the caller can report the error on
+    /// its own sink.
     pub fn dispatch(&self, req: Box<JobRequest>) -> Result<(), (Box<JobRequest>, ServeError)> {
         if self.shutdown.load(Relaxed) {
             return Err((
@@ -246,16 +250,11 @@ impl Ctx {
             ));
         }
         let shard = (crate::handler::shard_hash(&req.key) % self.workers as u64) as usize;
-        let sender = self.senders[shard].lock().expect("worker sender lock");
-        sender.send(WorkerMsg::Job(req)).map_err(|e| {
-            let WorkerMsg::Job(req) = e.0 else {
-                unreachable!("only jobs are dispatched")
-            };
-            (
-                req,
-                ServeError::new(ErrorCode::Internal, "worker pool stopped"),
-            )
-        })
+        let core = Arc::clone(&self.core);
+        let shards = Arc::clone(&self.shards);
+        self.pool
+            .submit_pinned(shard, move || worker::run_job(&shards[shard], &core, req));
+        Ok(())
     }
 
     /// Flags shutdown and pokes the accept loop awake with a throwaway
@@ -270,7 +269,6 @@ impl Ctx {
 pub struct Server {
     listener: TcpListener,
     ctx: Arc<Ctx>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -303,20 +301,16 @@ impl Server {
             registry: Registry::default(),
             store,
         });
-        let (senders, handles) = worker::spawn(workers_n, &core);
         let ctx = Arc::new(Ctx {
             core,
-            senders,
+            pool: Pool::new(workers_n),
+            shards: worker::shards(workers_n),
             sessions: SessionGauge::new(config.limits.max_sessions),
             shutdown: AtomicBool::new(false),
             addr,
             workers: workers_n,
         });
-        Ok(Server {
-            listener,
-            ctx,
-            workers: handles,
-        })
+        Ok(Server { listener, ctx })
     }
 
     /// The bound address (resolves `port: 0` to the real port).
@@ -336,7 +330,7 @@ impl Server {
     ///
     /// Currently infallible after a successful bind; the signature
     /// leaves room for fatal accept errors.
-    pub fn run(mut self) -> io::Result<()> {
+    pub fn run(self) -> io::Result<()> {
         for conn in self.listener.incoming() {
             if self.ctx.shutdown.load(Relaxed) {
                 break;
@@ -356,14 +350,21 @@ impl Server {
                 }
             }
         }
-        for sender in &self.ctx.senders {
-            let _ = sender
-                .lock()
-                .expect("worker sender lock")
-                .send(WorkerMsg::Stop);
+        // Drain: pinned lanes are FIFO, so one barrier job per lane
+        // acking on a channel proves every job admitted before the
+        // shutdown flag has finished streaming its reply. (The pool
+        // itself is torn down by `Ctx`'s drop, which drains again —
+        // this barrier just makes `run` returning mean "all served".)
+        let (tx, rx) = mpsc::channel();
+        for lane in 0..self.ctx.workers {
+            let tx = tx.clone();
+            self.ctx.pool.submit_pinned(lane, move || {
+                let _ = tx.send(());
+            });
         }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        drop(tx);
+        for _ in 0..self.ctx.workers {
+            let _ = rx.recv();
         }
         Ok(())
     }

@@ -1,10 +1,13 @@
-//! The sharded worker pool.
+//! The sharded worker layer, running on pinned [`rdse_mapping::Pool`]
+//! lanes.
 //!
-//! Each worker owns a private warm cache of resolved `(app, arch)`
-//! models plus their [`EvaluatorArenas`]. Jobs are routed to a worker
-//! by hashing the cache key, so repeat submissions of the same pair
-//! always land where the warm arenas live — no cross-thread sharing,
-//! no locks on the hot path.
+//! Each shard owns a private warm cache of resolved `(app, arch)`
+//! models plus their [`EvaluatorArenas`]. Jobs are routed to a lane by
+//! hashing the cache key, so repeat submissions of the same pair
+//! always land where the warm arenas live; pinned jobs of one lane run
+//! serially in submission order on that lane's worker, so the shard
+//! mutex below is uncontended on the hot path — it exists to satisfy
+//! the pool's `'static + Send` job bounds, not to arbitrate.
 
 use crate::handler;
 use crate::protocol::{ErrorCode, JobSpec, ServeError};
@@ -17,18 +20,10 @@ use serde::{Deserialize, Value};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering::Relaxed;
-use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::thread::{self, JoinHandle};
 
-/// Warm entries kept per worker before least-recently-used eviction.
+/// Warm entries kept per shard before least-recently-used eviction.
 const MAX_CACHE_ENTRIES: usize = 8;
-
-pub(crate) enum WorkerMsg {
-    Job(Box<JobRequest>),
-    /// Drain the queue, then exit the worker thread.
-    Stop,
-}
 
 /// A fully validated job, ready to run. The sink is the live client
 /// connection; the permit keeps the session slot occupied until the
@@ -50,64 +45,55 @@ struct CacheEntry {
     last_used: u64,
 }
 
-pub(crate) fn spawn(
-    n: usize,
-    core: &Arc<Core>,
-) -> (Vec<Mutex<Sender<WorkerMsg>>>, Vec<JoinHandle<()>>) {
-    let mut senders = Vec::with_capacity(n);
-    let mut handles = Vec::with_capacity(n);
-    for w in 0..n {
-        let (tx, rx) = mpsc::channel();
-        let core = Arc::clone(core);
-        let handle = thread::Builder::new()
-            .name(format!("rdse-worker-{w}"))
-            .spawn(move || worker_loop(rx, &core))
-            .expect("spawn worker thread");
-        senders.push(Mutex::new(tx));
-        handles.push(handle);
-    }
-    (senders, handles)
+/// One shard's warm state: the model/arena cache and its LRU clock.
+#[derive(Default)]
+pub(crate) struct ShardState {
+    cache: HashMap<String, CacheEntry>,
+    tick: u64,
 }
 
-fn worker_loop(rx: Receiver<WorkerMsg>, core: &Arc<Core>) {
-    let mut cache: HashMap<String, CacheEntry> = HashMap::new();
-    let mut tick = 0u64;
-    while let Ok(msg) = rx.recv() {
-        let mut req = match msg {
-            WorkerMsg::Job(r) => r,
-            WorkerMsg::Stop => break,
-        };
-        core.registry.set_state(req.id, JobState::Running);
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_one(&mut cache, &mut tick, &mut req, core)
-        }));
-        match outcome {
-            Ok(Ok(v)) => {
-                core.registry.set_state(req.id, JobState::Done(v.clone()));
-                core.stats.jobs_served.fetch_add(1, Relaxed);
-                req.sink.send_result(&v);
-            }
-            Ok(Err(e)) => {
-                core.registry.set_state(req.id, JobState::Failed(e.clone()));
-                core.stats.jobs_failed.fetch_add(1, Relaxed);
-                req.sink.send_error(&e);
-            }
-            Err(_) => {
-                // A panicking job must not take the worker (or the
-                // server) down, and its cache entry can no longer be
-                // trusted.
-                cache.remove(&req.key);
-                let e = ServeError::new(
-                    ErrorCode::Internal,
-                    "job panicked; its evaluator cache entry was dropped",
-                );
-                core.registry.set_state(req.id, JobState::Failed(e.clone()));
-                core.stats.jobs_failed.fetch_add(1, Relaxed);
-                req.sink.send_error(&e);
-            }
+/// Builds the per-lane shard states for an `n`-worker pool.
+pub(crate) fn shards(n: usize) -> Arc<Vec<Mutex<ShardState>>> {
+    Arc::new((0..n).map(|_| Mutex::new(ShardState::default())).collect())
+}
+
+/// Runs one job against its shard — the body of a pinned pool job.
+///
+/// The panic catch point sits *inside* the lock scope, so a panicking
+/// job never poisons the shard mutex: the guard is dropped normally,
+/// the entry is evicted, and the lane keeps serving.
+pub(crate) fn run_job(shard: &Mutex<ShardState>, core: &Arc<Core>, mut req: Box<JobRequest>) {
+    core.registry.set_state(req.id, JobState::Running);
+    let mut state = shard.lock().expect("shard state lock");
+    let state = &mut *state;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_one(&mut state.cache, &mut state.tick, &mut req, core)
+    }));
+    match outcome {
+        Ok(Ok(v)) => {
+            core.registry.set_state(req.id, JobState::Done(v.clone()));
+            core.stats.jobs_served.fetch_add(1, Relaxed);
+            req.sink.send_result(&v);
         }
-        req.sink.finish();
+        Ok(Err(e)) => {
+            core.registry.set_state(req.id, JobState::Failed(e.clone()));
+            core.stats.jobs_failed.fetch_add(1, Relaxed);
+            req.sink.send_error(&e);
+        }
+        Err(_) => {
+            // A panicking job must not take the lane (or the server)
+            // down, and its cache entry can no longer be trusted.
+            state.cache.remove(&req.key);
+            let e = ServeError::new(
+                ErrorCode::Internal,
+                "job panicked; its evaluator cache entry was dropped",
+            );
+            core.registry.set_state(req.id, JobState::Failed(e.clone()));
+            core.stats.jobs_failed.fetch_add(1, Relaxed);
+            req.sink.send_error(&e);
+        }
     }
+    req.sink.finish();
 }
 
 fn run_one(

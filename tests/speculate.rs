@@ -1,0 +1,113 @@
+//! Cross-crate tests of speculative parallel annealing: the
+//! speculative walk must be **bit-identical** to the sequential walk on
+//! the golden seeds at every width and every pool worker count, and the
+//! speculation counters must be a pure function of the walk (never of
+//! the pool size).
+
+use rdse::mapping::{ExploreOptions, ExploreOutcome, Explorer, Pool};
+use rdse::workloads::{epicure_architecture, motion_detection_app};
+use std::sync::Arc;
+
+/// One motion-benchmark chain at speculation width `w`, scored on a
+/// dedicated pool of `workers` threads (`0` = the process-wide pool),
+/// driven in ragged segments to cross segment boundaries mid-round.
+fn run_motion(seed: u64, w: usize, workers: usize) -> ExploreOutcome {
+    let app = motion_detection_app();
+    let arch = epicure_architecture(2000);
+    let opts = ExploreOptions {
+        max_iterations: 3_000,
+        warmup_iterations: 600,
+        seed,
+        speculate: w,
+        ..ExploreOptions::default()
+    };
+    let mut chain = Explorer::new(&app, &arch, &opts).expect("initial solution exists");
+    if workers > 0 {
+        chain.set_speculation_pool(Arc::new(Pool::new(workers)));
+    }
+    while chain.run_segment(700) {}
+    chain.into_outcome()
+}
+
+fn assert_same_walk(seq: &ExploreOutcome, spec: &ExploreOutcome, label: &str) {
+    assert_eq!(seq.mapping, spec.mapping, "{label}: mapping diverged");
+    assert_eq!(
+        seq.evaluation.makespan.value().to_bits(),
+        spec.evaluation.makespan.value().to_bits(),
+        "{label}: makespan bits diverged"
+    );
+    assert_eq!(
+        seq.run.best_cost.to_bits(),
+        spec.run.best_cost.to_bits(),
+        "{label}: best cost bits diverged"
+    );
+    assert_eq!(
+        seq.run.iterations, spec.run.iterations,
+        "{label}: iterations"
+    );
+    assert_eq!(seq.run.accepted, spec.run.accepted, "{label}: accept count");
+    assert_eq!(seq.run.rejected, spec.run.rejected, "{label}: reject count");
+    assert_eq!(
+        seq.run.infeasible, spec.run.infeasible,
+        "{label}: infeasible count"
+    );
+}
+
+#[test]
+fn speculative_walk_is_bit_identical_on_golden_seeds() {
+    // The tentpole guarantee, on the paper's benchmark: for each golden
+    // seed, the sequential walk and the speculative walk at W ∈ {4, 8}
+    // agree bit for bit — same mapping, same makespan bits, same
+    // accept/reject/infeasible counts — at 1, 2 and 8 pool workers.
+    for seed in [1, 17, 42] {
+        let seq = run_motion(seed, 1, 0);
+        for w in [4, 8] {
+            for workers in [1, 2, 8] {
+                let spec = run_motion(seed, w, workers);
+                assert_same_walk(
+                    &seq,
+                    &spec,
+                    &format!("seed {seed}, width {w}, {workers} workers"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn width_one_is_the_sequential_engine() {
+    // `speculate: 1` (the default) must not merely agree with the
+    // sequential engine — it *is* the sequential engine, evaluator
+    // code paths included.
+    let seq = run_motion(7, 1, 0);
+    let one = run_motion(7, 1, 4);
+    assert_same_walk(&seq, &one, "width 1");
+    assert_eq!(seq.eval_stats, one.eval_stats);
+    assert_eq!(seq.eval_stats.spec_rounds, 0);
+    assert_eq!(seq.eval_stats.speculated, 0);
+}
+
+#[test]
+fn speculation_counters_are_pool_size_invariant() {
+    // The counters describe the walk (rounds, useful prefixes, waste),
+    // and the walk never depends on the pool — so the full EvaluatorStats
+    // must agree across worker counts, speculation counters included.
+    let a = run_motion(17, 8, 1);
+    let b = run_motion(17, 8, 2);
+    let c = run_motion(17, 8, 8);
+    assert_eq!(a.eval_stats, b.eval_stats);
+    assert_eq!(b.eval_stats, c.eval_stats);
+
+    let s = a.eval_stats;
+    assert!(s.spec_rounds > 0, "speculative run must record rounds");
+    assert_eq!(
+        s.speculated,
+        s.spec_committed + s.spec_wasted,
+        "every speculated score is either consumed or wasted"
+    );
+    let prefix = s.mean_useful_prefix();
+    assert!(
+        (1.0..=8.0).contains(&prefix),
+        "mean useful prefix {prefix} outside [1, W]"
+    );
+}
